@@ -1,0 +1,1 @@
+bench/harness.ml: Client Cluster Fun Iaccf_app Iaccf_baselines Iaccf_core Iaccf_sim Iaccf_util List Printf Replica Unix Variant

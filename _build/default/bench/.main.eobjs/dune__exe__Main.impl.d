@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Fun Harness Hashtbl Iaccf_crypto Iaccf_kv Iaccf_merkle List Measure Printf Staged String Sys Test Time Toolkit

@@ -1,0 +1,359 @@
+(* One regeneration function per table/figure of the paper's evaluation.
+   Each prints labelled rows; EXPERIMENTS.md records paper-vs-measured. *)
+
+open Iaccf_core
+module Smallbank = Iaccf_app.Smallbank
+module Latency = Iaccf_sim.Latency
+module Entry = Iaccf_ledger.Entry
+module Ledger = Iaccf_ledger.Ledger
+module Message = Iaccf_types.Message
+module Request = Iaccf_types.Request
+module Genesis = Iaccf_types.Genesis
+module Schnorr = Iaccf_crypto.Schnorr
+module D = Iaccf_crypto.Digest32
+open Harness
+
+(* A forge world of n colluding-capable replicas for offline construction. *)
+let forge_world ?(n = 4) ?(pipeline = 2) ?(checkpoint_interval = 1000) () =
+  let cluster = Cluster.make ~n ~app:(Smallbank.app ()) () in
+  let genesis = Cluster.genesis cluster in
+  let sks = List.init n (fun i -> (i, Cluster.replica_sk cluster i)) in
+  let forge =
+    Forge.create ~genesis ~sks ~app:(Smallbank.app ()) ~pipeline ~checkpoint_interval
+  in
+  (genesis, forge)
+
+let client_keys = Schnorr.keypair_of_seed "bench-client"
+
+let sb_request genesis ?(client_seqno = 0) proc args =
+  let sk, pk = client_keys in
+  Request.make ~sk ~client_pk:pk ~service:(Genesis.hash genesis) ~client_seqno
+    ~proc ~args ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: size of ledger entries (SmallBank)                          *)
+
+let table1 () =
+  print_header "Table 1: size of ledger entries (SmallBank), bytes";
+  let sizes n =
+    let genesis, forge = forge_world ~n () in
+    let reqs =
+      List.init 3 (fun i ->
+          sb_request genesis ~client_seqno:i "sb/transfer"
+            (Smallbank.transfer_args ~src:0 ~dst:1 ~amount:10))
+    in
+    let _ = Forge.add_batch forge [ List.hd reqs ] in
+    let _ = Forge.add_batch forge [ List.nth reqs 1 ] in
+    let s3 = Forge.add_batch forge [ List.nth reqs 2 ] in
+    ignore s3;
+    let ledger = Forge.ledger forge in
+    let tx = ref 0 and pp = ref 0 and pe = ref 0 and ne = ref 0 in
+    Ledger.iteri
+      (fun _ e ->
+        let b = Entry.size_bytes e in
+        match e with
+        | Entry.Tx _ -> tx := max !tx b
+        | Entry.Pre_prepare _ -> pp := max !pp b
+        | Entry.Prepare_evidence _ -> pe := max !pe b
+        | Entry.Nonce_evidence _ -> ne := max !ne b
+        | _ -> ())
+      ledger;
+    (!tx, !pp, !pe, !ne)
+  in
+  let t1, p1, e1, n1 = sizes 4 in
+  let _, _, e3, n3 = sizes 10 in
+  Printf.printf "%-28s %10s %10s\n" "entry type" "f=1" "f=3";
+  Printf.printf "%-28s %10d %10s\n" "Transaction (SmallBank)" t1 "-";
+  Printf.printf "%-28s %10d %10s\n" "Pre-prepare" p1 "-";
+  Printf.printf "%-28s %10d %10d\n" "Prepare evidence" e1 e3;
+  Printf.printf "%-28s %10d %10d\n" "Nonces" n1 n3
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: throughput/latency under increasing load (f=1)               *)
+
+let fig4 ?(total = 240) () =
+  print_header "Fig. 4: throughput/latency as load increases (f=1, dedicated cluster)";
+  List.iter
+    (fun concurrency ->
+      Printf.printf "-- offered load: %d concurrent clients' worth --\n" concurrency;
+      print_result
+        (run_iaccf ~label:"IA-CCF" ~total ~concurrency ());
+      print_result
+        (run_iaccf ~label:"IA-CCF-NoReceipt" ~variant:Variant.no_receipt ~total
+           ~concurrency ());
+      print_result
+        (run_iaccf ~label:"IA-CCF-PeerReview" ~variant:Variant.peer_review
+           ~total:(total / 4) ~concurrency ());
+      print_result (run_fabric ~label:"Fabric (CFT)" ~total ~concurrency ()))
+    [ 16; 64; 192 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: request latency under low load (WAN)                        *)
+
+let table2 () =
+  print_header "Table 2: request latency under low load (WAN)";
+  let ia =
+    run_iaccf ~label:"IA-CCF" ~latency:Latency.wan ~total:30 ~concurrency:1 ()
+  in
+  let hs =
+    run_hotstuff ~label:"HotStuff" ~latency:Latency.wan ~total:30 ~concurrency:1 ()
+  in
+  Printf.printf "%-12s %12s %12s %14s\n" "" "avg latency" "p99 latency" "round trips";
+  Printf.printf "%-12s %9.1f ms %9.1f ms %14s\n" "IA-CCF" ia.rr_avg_latency_ms
+    ia.rr_p99_latency_ms "2";
+  Printf.printf "%-12s %9.1f ms %9.1f ms %14s\n" "HotStuff" hs.rr_avg_latency_ms
+    hs.rr_p99_latency_ms "4.5"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: throughput vs replica count (WAN)                            *)
+
+let fig5 ?(total = 150) () =
+  print_header "Fig. 5: throughput vs replica count (WAN)";
+  List.iter
+    (fun n ->
+      Printf.printf "-- N = %d replicas --\n" n;
+      print_result
+        (run_iaccf ~label:"IA-CCF (WAN)" ~n ~latency:Latency.wan ~total
+           ~pipeline:6 ~max_batch:200 ());
+      print_result
+        (run_iaccf ~label:"IA-CCF (LAN)" ~n ~latency:Latency.lan ~total ());
+      print_result
+        (run_iaccf ~label:"IA-CCF-PeerReview (WAN)" ~n ~latency:Latency.wan
+           ~variant:Variant.peer_review ~total:(total / 3) ~pipeline:6 ());
+      print_result (run_hotstuff ~label:"HotStuff (WAN)" ~n ~latency:Latency.wan ~total ()))
+    [ 4; 7; 10 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: checkpoint interval x key-value store size                   *)
+
+let fig6 ?(total = 200) () =
+  print_header "Fig. 6: throughput/latency vs accounts and checkpoint interval (f=1)";
+  List.iter
+    (fun accounts ->
+      List.iter
+        (fun checkpoint_interval ->
+          print_result
+            (run_iaccf
+               ~label:
+                 (Printf.sprintf "IA-CCF acct=%d C=%d" accounts checkpoint_interval)
+               ~accounts ~checkpoint_interval ~total ()))
+        [ 10; 50; 200 ])
+    [ 100; 1000; 10000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: key-value store size sweep                                   *)
+
+let fig7 ?(total = 200) () =
+  print_header "Fig. 7: throughput/latency vs number of accounts (f=1)";
+  List.iter
+    (fun accounts ->
+      print_result
+        (run_iaccf ~label:(Printf.sprintf "IA-CCF accounts=%d" accounts) ~accounts
+           ~total ()))
+    [ 10; 100; 1000; 10000; 50000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: breakdown of IA-CCF features                                *)
+
+let table3 ?(total = 240) () =
+  print_header "Table 3: breakdown of IA-CCF features (f=1, dedicated cluster)";
+  let v = Variant.full in
+  let rows =
+    [
+      ("(a) full IA-CCF", v, 100, false);
+      ("(b) IA-CCF-NoReceipt", { v with Variant.gen_receipts = false }, 100, false);
+      ( "(c) + without checkpoints",
+        { v with Variant.gen_receipts = false; enable_checkpoints = false },
+        100,
+        false );
+      ( "(d) + small key-value store",
+        { v with Variant.gen_receipts = false; enable_checkpoints = false },
+        10,
+        false );
+      ( "(e) + unsigned client requests",
+        {
+          v with
+          Variant.gen_receipts = false;
+          enable_checkpoints = false;
+          verify_client_sigs = false;
+        },
+        10,
+        false );
+      ( "(f) + MACs only",
+        {
+          v with
+          Variant.gen_receipts = false;
+          enable_checkpoints = false;
+          verify_client_sigs = false;
+          macs_only = true;
+        },
+        10,
+        false );
+      ( "(g) + without ledger",
+        {
+          v with
+          Variant.gen_receipts = false;
+          enable_checkpoints = false;
+          verify_client_sigs = false;
+          macs_only = true;
+          keep_ledger = false;
+        },
+        10,
+        false );
+      ( "(h) + empty requests",
+        {
+          v with
+          Variant.gen_receipts = false;
+          enable_checkpoints = false;
+          verify_client_sigs = false;
+          macs_only = true;
+          keep_ledger = false;
+        },
+        0,
+        true );
+    ]
+  in
+  List.iter
+    (fun (label, variant, accounts, empty_requests) ->
+      print_result (run_iaccf ~label ~variant ~accounts ~empty_requests ~total ()))
+    rows;
+  (* Ablation of the nonce-commitment scheme (§3.1, Lemma 3): signing
+     commit messages adds one signature + N-1 verifications per replica per
+     batch — the saving the paper's scheme exists to capture. *)
+  print_result
+    (run_iaccf ~label:"[ablation] signed commits" ~variant:Variant.signed_commits
+       ~total ());
+  print_result (run_hotstuff ~label:"HotStuff (empty requests)" ~total ());
+  let p = Iaccf_baselines.Pompe.run ~n:4 ~commands:(total / 2) ~batch:100 in
+  Printf.printf "%-28s %6d tx  %8.1f tx/s  (analytic fast path; %d signatures)\n%!"
+    "Pompe (empty requests)" p.Iaccf_baselines.Pompe.r_commands
+    p.Iaccf_baselines.Pompe.r_throughput p.Iaccf_baselines.Pompe.r_signatures
+
+(* ------------------------------------------------------------------ *)
+(* §6.3: receipt validation cost                                        *)
+
+let receipts_bench () =
+  print_header "Receipt validation (6.3): Merkle path + signature checks";
+  List.iter
+    (fun (n, fstr) ->
+      List.iter
+        (fun batch_size ->
+          let genesis, forge = forge_world ~n () in
+          let reqs =
+            List.init batch_size (fun i ->
+                sb_request genesis ~client_seqno:i "sb/deposit"
+                  (Smallbank.deposit_args ~account:0 ~amount:1))
+          in
+          (* One account must exist for deposits to succeed. *)
+          let setup = sb_request genesis ~client_seqno:100000 "sb/create" "0,10,10" in
+          let _ = Forge.add_batch forge [ setup ] in
+          let s = Forge.add_batch forge reqs in
+          let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some (batch_size / 2)) in
+          let config = genesis.Genesis.initial_config in
+          let service = Genesis.hash genesis in
+          let iterations = 10 in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to iterations do
+            match Receipt.verify ~config ~service receipt with
+            | Ok () -> ()
+            | Error e -> failwith e
+          done;
+          let dt = (Unix.gettimeofday () -. t0) /. float_of_int iterations in
+          Printf.printf "%s batch=%4d: verify %8.2f ms  (receipt %5d bytes, path %d hashes)\n%!"
+            fstr batch_size (1000.0 *. dt) (Receipt.size_bytes receipt)
+            (match receipt.Receipt.subject with
+            | Receipt.Tx_subject { path; _ } -> List.length path
+            | Receipt.Batch_subject -> 0))
+        [ 300; 800 ])
+    [ (4, "f=1"); (10, "f=3") ]
+
+(* ------------------------------------------------------------------ *)
+(* §6.4: governance sub-ledger sizes                                    *)
+
+let governance_bench () =
+  print_header "Governance sub-ledger (6.4): receipt sizes";
+  List.iter
+    (fun (n, fstr) ->
+      let genesis, forge = forge_world ~n () in
+      let _ = Forge.add_batch forge [ sb_request genesis "sb/create" "0,10,10" ] in
+      let s =
+        Forge.add_special_batch forge
+          (Iaccf_types.Batch.End_of_config
+             { phase = 2; committed_root = Ledger.m_root (Forge.ledger forge) })
+      in
+      let batch_receipt = Forge.make_receipt forge ~seqno:s ~tx_position:None in
+      let tx_receipt = Forge.make_receipt forge ~seqno:1 ~tx_position:(Some 0) in
+      Printf.printf "%s: end-of-config receipt %5d bytes; gov-tx receipt %5d bytes\n%!"
+        fstr
+        (Receipt.size_bytes batch_receipt)
+        (Receipt.size_bytes tx_receipt))
+    [ (4, "f=1"); (10, "f=3") ]
+
+(* ------------------------------------------------------------------ *)
+(* §6.5: auditing vs execution speed                                    *)
+
+let audit_bench () =
+  print_header "Ledger auditing (6.5): replay vs execution";
+  List.iter
+    (fun (n, fstr, total) ->
+      let params =
+        {
+          Replica.default_params with
+          Replica.vc_timeout_ms = 100_000.0;
+          checkpoint_interval = 1000;
+        }
+      in
+      let cluster = Cluster.make ~n ~params ~app:(Smallbank.app ()) () in
+      let client = Cluster.add_client cluster ~verify_receipts:false () in
+      let rng = Iaccf_util.Rng.create 7 in
+      let accounts = 50 in
+      (* Account-creation transactions go through the ledger so the audit
+         can replay from genesis. *)
+      let ops =
+        Smallbank.setup_ops ~accounts ~initial_balance:10_000
+        @ List.init total (fun _ -> Smallbank.random_op rng ~accounts)
+      in
+      let pending = ref ops in
+      let total = List.length ops in
+      let completed = ref 0 in
+      let rec submit_one () =
+        match !pending with
+        | [] -> ()
+        | op :: rest ->
+            pending := rest;
+            Client.submit client ~proc:op.Smallbank.op_proc ~args:op.Smallbank.op_args
+              ~on_complete:(fun _ ->
+                incr completed;
+                submit_one ())
+              ()
+      in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 32 do
+        submit_one ()
+      done;
+      ignore (Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () -> !completed >= total));
+      let exec_time = Unix.gettimeofday () -. t0 in
+      let ledger = Replica.ledger (Cluster.replica cluster 0) in
+      let auditor =
+        Audit.create ~genesis:(Cluster.genesis cluster) ~app:(Smallbank.app ())
+          ~pipeline:params.Replica.pipeline
+          ~checkpoint_interval:params.Replica.checkpoint_interval
+      in
+      let t1 = Unix.gettimeofday () in
+      (match Audit.audit auditor ~receipts:[] ~ledger ~responder:0 () with
+      | Ok () -> ()
+      | Error v ->
+          Printf.printf "unexpected verdict: %s\n" (Format.asprintf "%a" Audit.pp_verdict v));
+      let audit_time = Unix.gettimeofday () -. t1 in
+      (* All N replicas execute in this one process; per-replica execution
+         cost (the paper's comparison point) is exec_time / N. *)
+      let per_replica = exec_time /. float_of_int n in
+      Printf.printf
+        "%s: execute %d txs: %.2fs total, %.3fs per replica (%.0f tx/s); audit replay %.3fs (%.0f tx/s) -> audit is %.0f%% %s than execution\n%!"
+        fstr total exec_time per_replica
+        (float_of_int total /. per_replica)
+        audit_time
+        (float_of_int total /. audit_time)
+        (100.0 *. Float.abs ((per_replica /. audit_time) -. 1.0))
+        (if audit_time < per_replica then "faster" else "slower"))
+    [ (4, "f=1", 200); (13, "f=4", 60) ]

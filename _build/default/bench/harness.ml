@@ -1,0 +1,226 @@
+(* Shared drivers for the table/figure benches: closed-loop SmallBank load
+   on an IA-CCF cluster (and on the baselines), measured as real compute
+   time for throughput and virtual network time for latency. See
+   EXPERIMENTS.md for how this maps to the paper's testbeds. *)
+
+open Iaccf_core
+module Smallbank = Iaccf_app.Smallbank
+module Latency = Iaccf_sim.Latency
+module Sched = Iaccf_sim.Sched
+module Network = Iaccf_sim.Network
+module Rng = Iaccf_util.Rng
+
+type run_result = {
+  rr_label : string;
+  rr_txs : int;
+  rr_wall_s : float;
+  rr_throughput : float; (* transactions per second of real compute *)
+  rr_avg_latency_ms : float; (* virtual: network model + batching *)
+  rr_p99_latency_ms : float;
+  rr_sigs_made : int;
+  rr_sigs_verified : int;
+}
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let idx = min (n - 1) (int_of_float (p *. float_of_int n)) in
+      List.nth sorted idx
+
+let summarize ~label ~txs ~wall ~latencies ~sigs_made ~sigs_verified =
+  {
+    rr_label = label;
+    rr_txs = txs;
+    rr_wall_s = wall;
+    rr_throughput = (if wall > 0.0 then float_of_int txs /. wall else 0.0);
+    rr_avg_latency_ms =
+      (match latencies with
+      | [] -> 0.0
+      | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+    rr_p99_latency_ms = percentile 0.99 latencies;
+    rr_sigs_made = sigs_made;
+    rr_sigs_verified = sigs_verified;
+  }
+
+let preload_accounts cluster ~accounts ~initial_balance =
+  let kvs =
+    List.concat_map
+      (fun id ->
+        [
+          (Printf.sprintf "sb/c/%d" id, string_of_int initial_balance);
+          (Printf.sprintf "sb/s/%d" id, string_of_int initial_balance);
+        ])
+      (List.init accounts Fun.id)
+  in
+  List.iter (fun r -> Replica.preload_state r kvs) (Cluster.replicas cluster)
+
+(* Closed-loop driver: [concurrency] operations in flight; every completion
+   submits the next until [total] have completed. *)
+let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
+    ?(latency = Latency.dedicated_cluster) ?(accounts = 100) ?(total = 300)
+    ?(concurrency = 64) ?(pipeline = 2) ?(checkpoint_interval = 50)
+    ?(max_batch = 100) ?(empty_requests = false) ?(seed = 42) () =
+  let params =
+    {
+      Replica.pipeline;
+      checkpoint_interval;
+      max_batch;
+      batch_delay_ms = 1.0;
+      vc_timeout_ms = 100_000.0 (* no view changes during load runs *);
+      variant;
+    }
+  in
+  let cluster =
+    Cluster.make ~seed ~n ~params ~latency ~app:(Smallbank.app ()) ()
+  in
+  if accounts > 0 then preload_accounts cluster ~accounts ~initial_balance:10_000;
+  let client =
+    Cluster.add_client cluster ~verify_receipts:false
+      ~sign_requests:variant.Variant.verify_client_sigs ()
+  in
+  let rng = Rng.create (seed + 1) in
+  let completed = ref 0 in
+  let submitted = ref 0 in
+  let next_op () =
+    if empty_requests then ("noop", "")
+    else begin
+      let op = Smallbank.random_op rng ~accounts in
+      (op.Smallbank.op_proc, op.Smallbank.op_args)
+    end
+  in
+  let committed_txs () =
+    (Replica.stats (Cluster.replica cluster 0)).Replica.txs_committed
+  in
+  let wall_start = Unix.gettimeofday () in
+  let ok =
+    if variant.Variant.gen_receipts then begin
+      (* Closed loop on receipt completions. *)
+      let rec submit_one () =
+        if !submitted < total then begin
+          incr submitted;
+          let proc, args = next_op () in
+          Client.submit client ~proc ~args
+            ~on_complete:(fun _ ->
+              incr completed;
+              submit_one ())
+            ()
+        end
+      in
+      for _ = 1 to concurrency do
+        submit_one ()
+      done;
+      Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () -> !completed >= total)
+    end
+    else begin
+      (* No receipts are produced: drive in waves and complete on the
+         replicas' commit counters (throughput-only variants). *)
+      let ok = ref true in
+      while !ok && !submitted < total do
+        let wave = min concurrency (total - !submitted) in
+        for _ = 1 to wave do
+          incr submitted;
+          let proc, args = next_op () in
+          Client.submit client ~proc ~args ()
+        done;
+        let target = !submitted in
+        ok :=
+          Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
+              committed_txs () >= target)
+      done;
+      completed := committed_txs ();
+      !ok
+    end
+  in
+  let wall = Unix.gettimeofday () -. wall_start in
+  if not ok then Printf.eprintf "warning: %s finished only %d/%d\n%!" label !completed total;
+  let sigs_made, sigs_verified =
+    List.fold_left
+      (fun (sm, sv) r ->
+        let st = Replica.stats r in
+        (sm + st.Replica.signatures_made, sv + st.Replica.signatures_verified))
+      (0, 0) (Cluster.replicas cluster)
+  in
+  summarize ~label ~txs:!completed ~wall ~latencies:(Client.latencies_ms client)
+    ~sigs_made ~sigs_verified
+
+let run_hotstuff ?(label = "HotStuff") ?(n = 4)
+    ?(latency = Latency.dedicated_cluster) ?(total = 300) ?(concurrency = 64)
+    ?(seed = 43) () =
+  let sched = Sched.create () in
+  let rng = Rng.create seed in
+  let network = Network.create ~sched ~latency:(latency (Rng.split rng)) () in
+  let cluster = Iaccf_baselines.Hotstuff.spawn ~n ~sched ~network ~seed () in
+  let client = Iaccf_baselines.Hotstuff.client cluster ~address:100 ~sched ~network in
+  let completed = ref 0 in
+  let submitted = ref 0 in
+  let rec submit_one () =
+    if !submitted < total then begin
+      incr submitted;
+      Iaccf_baselines.Hotstuff.submit client
+        ~payload:(Printf.sprintf "cmd-%d" !submitted)
+        ~on_complete:(fun ~latency_ms:_ ->
+          incr completed;
+          submit_one ())
+    end
+  in
+  let wall_start = Unix.gettimeofday () in
+  for _ = 1 to concurrency do
+    submit_one ()
+  done;
+  let deadline = Sched.now sched +. 10_000_000.0 in
+  let rec drive () =
+    if !completed < total && Sched.now sched < deadline && Sched.step sched then drive ()
+  in
+  drive ();
+  let wall = Unix.gettimeofday () -. wall_start in
+  summarize ~label ~txs:!completed ~wall
+    ~latencies:(Iaccf_baselines.Hotstuff.client_latencies client)
+    ~sigs_made:(Iaccf_baselines.Hotstuff.signatures_made cluster)
+    ~sigs_verified:(Iaccf_baselines.Hotstuff.signatures_verified cluster)
+
+let run_fabric ?(label = "Fabric") ?(peers = 4)
+    ?(latency = Latency.dedicated_cluster) ?(total = 300) ?(concurrency = 64)
+    ?(seed = 44) () =
+  let sched = Sched.create () in
+  let rng = Rng.create seed in
+  let network = Network.create ~sched ~latency:(latency (Rng.split rng)) () in
+  let cluster =
+    Iaccf_baselines.Fabric.spawn ~peers ~endorsement_policy:2 ~sched ~network ~seed ()
+  in
+  let client = Iaccf_baselines.Fabric.client cluster ~address:100 ~sched ~network in
+  let completed = ref 0 in
+  let submitted = ref 0 in
+  let rec submit_one () =
+    if !submitted < total then begin
+      incr submitted;
+      Iaccf_baselines.Fabric.submit client
+        ~payload:(Printf.sprintf "tx-%d" !submitted)
+        ~on_complete:(fun ~latency_ms:_ ->
+          incr completed;
+          submit_one ())
+    end
+  in
+  let wall_start = Unix.gettimeofday () in
+  for _ = 1 to concurrency do
+    submit_one ()
+  done;
+  let deadline = Sched.now sched +. 10_000_000.0 in
+  let rec drive () =
+    if !completed < total && Sched.now sched < deadline && Sched.step sched then drive ()
+  in
+  drive ();
+  let wall = Unix.gettimeofday () -. wall_start in
+  summarize ~label ~txs:!completed ~wall
+    ~latencies:(Iaccf_baselines.Fabric.client_latencies client)
+    ~sigs_made:(Iaccf_baselines.Fabric.signatures_made cluster)
+    ~sigs_verified:(Iaccf_baselines.Fabric.signatures_verified cluster)
+
+let print_header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let print_result r =
+  Printf.printf "%-28s %6d tx  %8.1f tx/s  avg %7.2f ms  p99 %7.2f ms  (sigs %d/%d)\n%!"
+    r.rr_label r.rr_txs r.rr_throughput r.rr_avg_latency_ms r.rr_p99_latency_ms
+    r.rr_sigs_made r.rr_sigs_verified

@@ -1,0 +1,1 @@
+examples/banking_audit.ml: Audit Client Cluster Enforcer Forge Format Iaccf_app Iaccf_core Iaccf_crypto Iaccf_types Iaccf_util Lincheck List Printf Replica String

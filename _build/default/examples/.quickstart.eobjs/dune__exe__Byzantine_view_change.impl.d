@@ -1,0 +1,1 @@
+examples/byzantine_view_change.ml: App Audit Client Cluster Format Iaccf_core Iaccf_kv Option Printf Replica

@@ -1,0 +1,1 @@
+examples/governance_reconfig.ml: Client Cluster Govchain Iaccf_core Iaccf_types List Option Printf Replica Result String

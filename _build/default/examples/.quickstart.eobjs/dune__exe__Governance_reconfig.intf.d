@@ -1,0 +1,1 @@
+examples/governance_reconfig.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: App Audit Client Cluster Format Iaccf_core Iaccf_types List Printf Receipt Replica

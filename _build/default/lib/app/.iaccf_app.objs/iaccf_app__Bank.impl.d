@@ -1,0 +1,1 @@
+lib/app/bank.ml: Iaccf_core Iaccf_crypto Iaccf_kv Iaccf_util Option String

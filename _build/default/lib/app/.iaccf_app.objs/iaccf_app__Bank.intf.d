@@ -1,0 +1,1 @@
+lib/app/bank.mli: Iaccf_core Iaccf_crypto

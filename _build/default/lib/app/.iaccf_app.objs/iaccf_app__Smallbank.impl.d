@@ -1,0 +1,1 @@
+lib/app/smallbank.ml: Iaccf_core Iaccf_kv Iaccf_util List Printf String

@@ -1,0 +1,1 @@
+lib/app/smallbank.mli: Iaccf_core Iaccf_util

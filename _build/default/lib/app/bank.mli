@@ -1,0 +1,21 @@
+(** An access-controlled bank.
+
+    Unlike {!Smallbank} (whose accounts are numbered and world-writable, as
+    in the benchmark), accounts here are owned by client signing keys: only
+    the key that opened an account can withdraw from or transfer out of it.
+    Stored procedures see the authenticated caller (§2: "clients ...
+    identified by their signing keys"), and because the caller identity is
+    part of the signed request, misexecution of an access-control check is
+    caught by audit replay like any other fraud. *)
+
+val procedures : (string * Iaccf_core.App.procedure) list
+(** [bank/open] (args: initial balance) — opens the caller's account;
+    [bank/deposit] (args: ["owner-hex,amount"]) — anyone may deposit;
+    [bank/withdraw] (args: ["amount"]) — caller's own account only;
+    [bank/transfer] (args: ["dst-hex,amount"]) — from the caller's account;
+    [bank/balance] (args: ["owner-hex"]) — public. *)
+
+val app : unit -> Iaccf_core.App.t
+
+val owner_hex : Iaccf_crypto.Schnorr.public_key -> string
+(** The account identifier for a client key (hex of the key bytes). *)

@@ -1,0 +1,132 @@
+module Store = Iaccf_kv.Store
+module App = Iaccf_core.App
+module Rng = Iaccf_util.Rng
+
+let checking_key id = Printf.sprintf "sb/c/%d" id
+let savings_key id = Printf.sprintf "sb/s/%d" id
+
+let read_balance tx key =
+  match Store.get tx key with
+  | None -> None
+  | Some v -> int_of_string_opt v
+
+let parse_ints args = List.filter_map int_of_string_opt (String.split_on_char ',' args)
+
+let with_account tx id k =
+  match (read_balance tx (checking_key id), read_balance tx (savings_key id)) with
+  | Some c, Some s -> k c s
+  | _ -> Error (Printf.sprintf "no such account %d" id)
+
+(* sb/create: account,checking,savings *)
+let create (ctx : App.context) args =
+  match parse_ints args with
+  | [ id; checking; savings ] when checking >= 0 && savings >= 0 ->
+      if Store.get ctx.App.tx (checking_key id) <> None then
+        Error "account exists"
+      else begin
+        Store.put ctx.App.tx (checking_key id) (string_of_int checking);
+        Store.put ctx.App.tx (savings_key id) (string_of_int savings);
+        Ok (string_of_int (checking + savings))
+      end
+  | _ -> Error "usage: account,checking,savings"
+
+(* sb/deposit (transact_savings): account,amount *)
+let deposit (ctx : App.context) args =
+  match parse_ints args with
+  | [ id; amount ] when amount > 0 ->
+      with_account ctx.App.tx id (fun _ s ->
+          Store.put ctx.App.tx (savings_key id) (string_of_int (s + amount));
+          Ok (string_of_int (s + amount)))
+  | _ -> Error "usage: account,amount"
+
+(* sb/withdraw (write_check): account,amount — overdrafts rejected. *)
+let withdraw (ctx : App.context) args =
+  match parse_ints args with
+  | [ id; amount ] when amount > 0 ->
+      with_account ctx.App.tx id (fun c _ ->
+          if c < amount then Error "insufficient funds"
+          else begin
+            Store.put ctx.App.tx (checking_key id) (string_of_int (c - amount));
+            Ok (string_of_int (c - amount))
+          end)
+  | _ -> Error "usage: account,amount"
+
+(* sb/transfer (send_payment): src,dst,amount between checking accounts. *)
+let transfer (ctx : App.context) args =
+  match parse_ints args with
+  | [ src; dst; amount ] when amount > 0 && src <> dst ->
+      with_account ctx.App.tx src (fun c_src _ ->
+          with_account ctx.App.tx dst (fun c_dst _ ->
+              if c_src < amount then Error "insufficient funds"
+              else begin
+                Store.put ctx.App.tx (checking_key src) (string_of_int (c_src - amount));
+                Store.put ctx.App.tx (checking_key dst) (string_of_int (c_dst + amount));
+                Ok (string_of_int (c_src - amount))
+              end))
+  | _ -> Error "usage: src,dst,amount"
+
+(* sb/balance: account -> total balance (read-only). *)
+let balance (ctx : App.context) args =
+  match parse_ints args with
+  | [ id ] -> with_account ctx.App.tx id (fun c s -> Ok (string_of_int (c + s)))
+  | _ -> Error "usage: account"
+
+(* sb/amalgamate: move all of src's funds into dst's checking. *)
+let amalgamate (ctx : App.context) args =
+  match parse_ints args with
+  | [ src; dst ] when src <> dst ->
+      with_account ctx.App.tx src (fun c_src s_src ->
+          with_account ctx.App.tx dst (fun c_dst _ ->
+              Store.put ctx.App.tx (checking_key src) "0";
+              Store.put ctx.App.tx (savings_key src) "0";
+              Store.put ctx.App.tx (checking_key dst)
+                (string_of_int (c_dst + c_src + s_src));
+              Ok (string_of_int (c_dst + c_src + s_src))))
+  | _ -> Error "usage: src,dst"
+
+let procedures =
+  [
+    ("sb/create", create);
+    ("sb/deposit", deposit);
+    ("sb/withdraw", withdraw);
+    ("sb/transfer", transfer);
+    ("sb/balance", balance);
+    ("sb/amalgamate", amalgamate);
+  ]
+
+let app () = App.create procedures
+
+let create_args ~account ~checking ~savings =
+  Printf.sprintf "%d,%d,%d" account checking savings
+
+let deposit_args ~account ~amount = Printf.sprintf "%d,%d" account amount
+let withdraw_args ~account ~amount = Printf.sprintf "%d,%d" account amount
+let transfer_args ~src ~dst ~amount = Printf.sprintf "%d,%d,%d" src dst amount
+let balance_args ~account = string_of_int account
+let amalgamate_args ~src ~dst = Printf.sprintf "%d,%d" src dst
+
+type op = { op_proc : string; op_args : string }
+
+let setup_ops ~accounts ~initial_balance =
+  List.init accounts (fun id ->
+      {
+        op_proc = "sb/create";
+        op_args = create_args ~account:id ~checking:initial_balance ~savings:initial_balance;
+      })
+
+let random_op rng ~accounts =
+  let account () = Rng.int rng accounts in
+  let amount () = 1 + Rng.int rng 50 in
+  match Rng.int rng 5 with
+  | 0 -> { op_proc = "sb/deposit"; op_args = deposit_args ~account:(account ()) ~amount:(amount ()) }
+  | 1 -> { op_proc = "sb/withdraw"; op_args = withdraw_args ~account:(account ()) ~amount:(amount ()) }
+  | 2 ->
+      let src = account () in
+      let dst = (src + 1 + Rng.int rng (max 1 (accounts - 1))) mod accounts in
+      let dst = if dst = src then (src + 1) mod accounts else dst in
+      { op_proc = "sb/transfer"; op_args = transfer_args ~src ~dst ~amount:(amount ()) }
+  | 3 -> { op_proc = "sb/balance"; op_args = balance_args ~account:(account ()) }
+  | _ ->
+      let src = account () in
+      let dst = (src + 1) mod accounts in
+      { op_proc = "sb/amalgamate"; op_args = amalgamate_args ~src ~dst }

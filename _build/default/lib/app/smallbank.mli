@@ -1,0 +1,38 @@
+(** The SmallBank benchmark (§6, [2]): a bank with N customer accounts and
+    five transaction types — deposit (transact_savings), withdraw
+    (write_check), transfer (send_payment), balance, and amalgamate.
+
+    Each customer has a checking and a savings account, stored under
+    ["sb/c/<id>"] and ["sb/s/<id>"]. Amounts are integer cents. Procedures
+    are deterministic and reject overdrafts, so replay-based auditing can
+    re-check every execution. *)
+
+val procedures : (string * Iaccf_core.App.procedure) list
+(** [sb/create], [sb/deposit], [sb/withdraw], [sb/transfer], [sb/balance],
+    [sb/amalgamate]. *)
+
+val app : unit -> Iaccf_core.App.t
+(** A fresh application with just the SmallBank procedures. *)
+
+(** Argument encoding helpers (arguments are comma-separated decimal
+    strings; outputs are decimal balances). *)
+
+val create_args : account:int -> checking:int -> savings:int -> string
+val deposit_args : account:int -> amount:int -> string
+val withdraw_args : account:int -> amount:int -> string
+val transfer_args : src:int -> dst:int -> amount:int -> string
+val balance_args : account:int -> string
+val amalgamate_args : src:int -> dst:int -> string
+
+(** {1 Workload generation} *)
+
+type op = {
+  op_proc : string;
+  op_args : string;
+}
+
+val setup_ops : accounts:int -> initial_balance:int -> op list
+(** Creation transactions for every account. *)
+
+val random_op : Iaccf_util.Rng.t -> accounts:int -> op
+(** One random operation with the benchmark's 5-way mix. *)

@@ -1,0 +1,1 @@
+lib/baselines/fabric.ml: Array Hashtbl Iaccf_crypto Iaccf_kv Iaccf_sim List Printf

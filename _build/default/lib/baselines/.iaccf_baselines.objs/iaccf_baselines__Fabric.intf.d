@@ -1,0 +1,1 @@
+lib/baselines/fabric.mli: Iaccf_sim

@@ -1,0 +1,1 @@
+lib/baselines/hotstuff.ml: Array Hashtbl Iaccf_crypto Iaccf_sim Iaccf_util List Printf

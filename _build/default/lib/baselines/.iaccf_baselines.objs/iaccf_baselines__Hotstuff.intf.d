@@ -1,0 +1,1 @@
+lib/baselines/hotstuff.mli: Iaccf_crypto Iaccf_sim

@@ -1,0 +1,1 @@
+lib/baselines/pompe.ml: Array Iaccf_crypto Printf Unix

@@ -1,0 +1,1 @@
+lib/core/app.ml: Hashtbl Iaccf_crypto Iaccf_kv Iaccf_types Iaccf_util List Printf String

@@ -1,0 +1,1 @@
+lib/core/app.mli: Iaccf_crypto Iaccf_kv Iaccf_types

@@ -1,0 +1,1 @@
+lib/core/audit.ml: App Format Govchain Hashtbl Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_merkle Iaccf_types Iaccf_util List Printf Receipt String

@@ -1,0 +1,1 @@
+lib/core/audit.mli: App Format Iaccf_kv Iaccf_ledger Iaccf_types Iaccf_util Receipt

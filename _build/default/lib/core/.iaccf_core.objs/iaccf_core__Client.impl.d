@@ -1,0 +1,1 @@
+lib/core/client.ml: App Govchain Hashtbl Iaccf_crypto Iaccf_sim Iaccf_types Iaccf_util List Printf Receipt String Sys Wire

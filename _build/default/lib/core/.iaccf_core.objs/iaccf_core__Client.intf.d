@@ -1,0 +1,1 @@
+lib/core/client.mli: Govchain Iaccf_crypto Iaccf_sim Iaccf_types Receipt Wire

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: App Client Fun Hashtbl Iaccf_crypto Iaccf_kv Iaccf_sim Iaccf_types Iaccf_util List Option Printf Replica Wire

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: App Client Iaccf_crypto Iaccf_sim Iaccf_types Iaccf_util Replica Wire

@@ -1,0 +1,1 @@
+lib/core/enforcer.ml: App Audit Hashtbl Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_sim Iaccf_types Iaccf_util List Option Receipt

@@ -1,0 +1,1 @@
+lib/core/enforcer.mli: App Audit Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_sim Iaccf_types Receipt

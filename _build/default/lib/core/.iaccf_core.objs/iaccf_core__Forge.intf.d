@@ -1,0 +1,1 @@
+lib/core/forge.mli: App Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_types Receipt

@@ -1,0 +1,1 @@
+lib/core/govchain.ml: App Hashtbl Iaccf_crypto Iaccf_types List Receipt

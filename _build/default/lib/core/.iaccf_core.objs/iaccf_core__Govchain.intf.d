@@ -1,0 +1,1 @@
+lib/core/govchain.mli: Iaccf_crypto Iaccf_types Receipt

@@ -1,0 +1,1 @@
+lib/core/lincheck.ml: App Format Iaccf_kv Iaccf_types List Option Receipt String

@@ -1,0 +1,1 @@
+lib/core/lincheck.mli: App Format Iaccf_types Receipt

@@ -1,0 +1,1 @@
+lib/core/receipt.ml: Format Iaccf_crypto Iaccf_merkle Iaccf_types Iaccf_util List Printf String

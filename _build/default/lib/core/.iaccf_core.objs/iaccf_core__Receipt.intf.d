@@ -1,0 +1,1 @@
+lib/core/receipt.mli: Format Iaccf_crypto Iaccf_types Iaccf_util

@@ -1,0 +1,1 @@
+lib/core/replica.ml: App Char Hashtbl Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_merkle Iaccf_sim Iaccf_types Iaccf_util List Option Printf Receipt String Sys Variant Wire

@@ -1,0 +1,1 @@
+lib/core/replica.mli: App Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_sim Iaccf_types Iaccf_util Receipt Variant Wire

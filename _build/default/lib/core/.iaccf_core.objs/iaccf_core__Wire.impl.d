@@ -1,0 +1,1 @@
+lib/core/wire.ml: Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_types List Printf Receipt

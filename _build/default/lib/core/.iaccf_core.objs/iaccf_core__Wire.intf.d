@@ -1,0 +1,1 @@
+lib/core/wire.mli: Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_types Receipt

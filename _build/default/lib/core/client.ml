@@ -1,0 +1,290 @@
+module Sched = Iaccf_sim.Sched
+module Network = Iaccf_sim.Network
+module Message = Iaccf_types.Message
+module Batch = Iaccf_types.Batch
+module Request = Iaccf_types.Request
+module Config = Iaccf_types.Config
+module Genesis = Iaccf_types.Genesis
+module Schnorr = Iaccf_crypto.Schnorr
+module D = Iaccf_crypto.Digest32
+module Bitmap = Iaccf_util.Bitmap
+
+type outcome = {
+  oc_output : (string, string) result;
+  oc_receipt : Receipt.t;
+  oc_index : int;
+  oc_latency_ms : float;
+}
+
+type pending = {
+  p_req : Request.t;
+  p_hash : D.t;
+  p_sent_at : float;
+  (* (view, seqno) -> replica -> reply *)
+  p_replies : (int * int, (int, Message.reply) Hashtbl.t) Hashtbl.t;
+  mutable p_replyx : Message.replyx option;
+  mutable p_done : bool;
+  mutable p_retries : int;
+  p_callback : (outcome -> unit) option;
+}
+
+type t = {
+  addr : int;
+  sk : Schnorr.secret_key;
+  pk : Schnorr.public_key;
+  service : D.t;
+  sched : Sched.t;
+  network : Wire.t Network.t;
+  chain : Govchain.t;
+  verify_receipts : bool;
+  sign_requests : bool;
+  retry_ms : float;
+  mutable next_client_seqno : int;
+  mutable min_idx : int;
+  pending : (string, pending) Hashtbl.t;
+  mutable completed : int;
+  mutable failed_verifications : int;
+  mutable latencies_rev : float list;
+  mutable waiting_gov : bool;
+}
+
+let replica_addresses t =
+  List.map
+    (fun r -> r.Config.replica_id)
+    (Govchain.latest_config t.chain).Config.replicas
+
+let public_key t = t.pk
+let address t = t.addr
+let govchain t = t.chain
+let completed t = t.completed
+let failed_verifications t = t.failed_verifications
+let latencies_ms t = List.rev t.latencies_rev
+let in_flight t = Hashtbl.length t.pending
+let min_index t = t.min_idx
+
+let sub_tbl tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some sub -> sub
+  | None ->
+      let sub = Hashtbl.create 8 in
+      Hashtbl.replace tbl key sub;
+      sub
+
+let broadcast t msg =
+  List.iter
+    (fun dst -> Network.send t.network ~src:t.addr ~dst msg)
+    (replica_addresses t)
+
+(* Assemble and verify a receipt from the collected replies (Alg. 3). *)
+let try_complete t p =
+  if not p.p_done then begin
+    match p.p_replyx with
+    | None -> ()
+    | Some x ->
+        let pp = x.Message.x_pp in
+        let key = (pp.Message.view, pp.Message.seqno) in
+        let replies = sub_tbl p.p_replies key in
+        let config = Govchain.config_for_seqno t.chain pp.Message.seqno in
+        if pp.Message.gov_index > Govchain.last_gov_index t.chain then begin
+          (* Missing governance receipts: fetch before verifying (§5.2). *)
+          if not t.waiting_gov then begin
+            t.waiting_gov <- true;
+            broadcast t
+              (Wire.Gov_receipts_request
+                 { gr_from_index = Govchain.last_gov_index t.chain })
+          end
+        end
+        else begin
+          let quorum = Config.quorum config in
+          let backups =
+            Hashtbl.fold
+              (fun r (reply : Message.reply) acc ->
+                if r = pp.Message.primary then acc else (r, reply) :: acc)
+              replies []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          if List.length backups >= quorum - 1 then begin
+            let chosen = List.filteri (fun i _ -> i < quorum - 1) backups in
+            let receipt =
+              {
+                Receipt.pp;
+                prep_bitmap = Bitmap.of_list (List.map fst chosen);
+                prepare_sigs =
+                  List.map (fun (_, r) -> r.Message.r_signature) chosen;
+                nonces = List.map (fun (_, r) -> r.Message.r_nonce) chosen;
+                subject =
+                  Receipt.Tx_subject
+                    {
+                      tx = x.Message.x_tx;
+                      leaf_index = x.Message.x_leaf_index;
+                      batch_size = x.Message.x_batch_size;
+                      path = x.Message.x_path;
+                    };
+              }
+            in
+            let verdict =
+              if t.verify_receipts then
+                Govchain.verify_receipt t.chain receipt
+              else Ok ()
+            in
+            match verdict with
+            | Ok () ->
+                p.p_done <- true;
+                Hashtbl.remove t.pending (D.to_raw p.p_hash);
+                t.completed <- t.completed + 1;
+                let idx = x.Message.x_tx.Batch.index in
+                if idx + 1 > t.min_idx then t.min_idx <- idx + 1;
+                let latency = Sched.now t.sched -. p.p_sent_at in
+                t.latencies_rev <- latency :: t.latencies_rev;
+                let output =
+                  App.decode_output x.Message.x_tx.Batch.result.Batch.output
+                in
+                (match p.p_callback with
+                | Some f ->
+                    f
+                      {
+                        oc_output = output;
+                        oc_receipt = receipt;
+                        oc_index = idx;
+                        oc_latency_ms = latency;
+                      }
+                | None -> ())
+            | Error _ ->
+                (* A reply carried a bad signature: drop the replyx and the
+                   offending replies; the retry timer re-requests. *)
+                t.failed_verifications <- t.failed_verifications + 1;
+                p.p_replyx <- None;
+                Hashtbl.remove p.p_replies key
+          end
+        end
+  end
+
+let rec arm_retry t p =
+  ignore
+    (Sched.schedule t.sched ~delay:t.retry_ms (fun () ->
+         if (not p.p_done) && Hashtbl.mem t.pending (D.to_raw p.p_hash) then begin
+           p.p_retries <- p.p_retries + 1;
+           (match Sys.getenv_opt "IACCF_DEBUG_CLIENT" with
+           | Some _ when p.p_retries mod 50 = 0 ->
+               Printf.eprintf "CLIENT retry#%d tx=%s replyx=%b replies=%s\n%!"
+                 p.p_retries
+                 (String.sub (D.to_hex p.p_hash) 0 8)
+                 (p.p_replyx <> None)
+                 (String.concat ";"
+                    (Hashtbl.fold
+                       (fun (v, s) tbl acc ->
+                         Printf.sprintf "(v%d,s%d:%d)" v s (Hashtbl.length tbl) :: acc)
+                       p.p_replies []))
+           | _ -> ());
+           (* If replies exist but the designated replyx never came, ask any
+              replica for it; otherwise retransmit the request. *)
+           let seqnos =
+             Hashtbl.fold (fun k tbl acc ->
+                 if Hashtbl.length tbl > 0 then k :: acc else acc)
+               p.p_replies []
+           in
+           (match (p.p_replyx, seqnos) with
+           | None, (_, s) :: _ ->
+               broadcast t
+                 (Wire.Replyx_request { rr_seqno = s; rr_tx_hash = p.p_hash })
+           | _ -> broadcast t (Wire.Request_msg p.p_req));
+           try_complete t p;
+           arm_retry t p
+         end))
+
+let on_message t ~src msg =
+  match msg with
+  | Wire.Reply_msg reply ->
+      Hashtbl.iter
+        (fun _ p ->
+          if not p.p_done then begin
+            let key = (reply.Message.r_view, reply.Message.r_seqno) in
+            (* src authenticates the sender in the simulator; the signature
+               inside is checked during receipt verification. *)
+            if src = reply.Message.r_replica then begin
+              Hashtbl.replace (sub_tbl p.p_replies key) reply.Message.r_replica reply;
+              try_complete t p
+            end
+          end)
+        t.pending
+  | Wire.Replyx_msg x -> (
+      let h = D.to_raw (Request.hash x.Message.x_tx.Batch.request) in
+      match Hashtbl.find_opt t.pending h with
+      | Some p when not p.p_done ->
+          p.p_replyx <- Some x;
+          try_complete t p
+      | _ -> ())
+  | Wire.Gov_receipts_msg rs ->
+      t.waiting_gov <- false;
+      (match Govchain.sync_from t.chain rs with
+      | Ok () -> ()
+      | Error _ -> t.failed_verifications <- t.failed_verifications + 1);
+      Hashtbl.iter (fun _ p -> try_complete t p) t.pending
+  | Wire.Request_msg _ | Wire.Pre_prepare_msg _ | Wire.Prepare_msg _
+  | Wire.Commit_msg _ | Wire.View_change_msg _ | Wire.New_view_msg _
+  | Wire.Fetch_missing _ | Wire.Batch_package_msg _ | Wire.Fetch_state _
+  | Wire.State_msg _ | Wire.Fetch_snapshot | Wire.Snapshot_msg _
+  | Wire.Replyx_request _ | Wire.Gov_receipts_request _
+  | Wire.Ack_msg _ ->
+      ()
+
+let create ~address ~seed ~genesis ~pipeline ~sched ~network
+    ?(verify_receipts = true) ?(sign_requests = true) ?(retry_ms = 300.0) () =
+  let sk, pk = Schnorr.keypair_of_seed seed in
+  let t =
+    {
+      addr = address;
+      sk;
+      pk;
+      service = Genesis.hash genesis;
+      sched;
+      network;
+      chain = Govchain.create genesis ~pipeline;
+      verify_receipts;
+      sign_requests;
+      retry_ms;
+      next_client_seqno = 0;
+      min_idx = 0;
+      pending = Hashtbl.create 16;
+      completed = 0;
+      failed_verifications = 0;
+      latencies_rev = [];
+      waiting_gov = false;
+    }
+  in
+  Network.register network address (fun ~src msg -> on_message t ~src msg);
+  t
+
+let submit t ~proc ~args ?on_complete () =
+  let req =
+    if t.sign_requests then
+      Request.make ~sk:t.sk ~client_pk:t.pk ~service:t.service ~min_index:t.min_idx
+        ~client_seqno:t.next_client_seqno ~proc ~args ()
+    else
+      {
+        Request.proc;
+        args;
+        client_pk = t.pk;
+        service = t.service;
+        min_index = t.min_idx;
+        client_seqno = t.next_client_seqno;
+        signature = "";
+      }
+  in
+  t.next_client_seqno <- t.next_client_seqno + 1;
+  let h = Request.hash req in
+  let p =
+    {
+      p_req = req;
+      p_hash = h;
+      p_sent_at = Sched.now t.sched;
+      p_replies = Hashtbl.create 4;
+      p_replyx = None;
+      p_done = false;
+      p_retries = 0;
+      p_callback = on_complete;
+    }
+  in
+  Hashtbl.replace t.pending (D.to_raw h) p;
+  broadcast t (Wire.Request_msg req);
+  arm_retry t p

@@ -1,0 +1,47 @@
+(** An IA-CCF client (§2, §3.3).
+
+    Signs requests, broadcasts them to all replicas, waits for [N-f]
+    matching replies plus the designated replica's replyx, assembles and
+    verifies a receipt (Alg. 3), and keeps the governance sub-ledger
+    receipts needed to verify across reconfigurations (§5.2). The client
+    sets every request's minimum ledger index above the largest index it has
+    a receipt for, capturing real-time ordering (Appx. B, Theorem 2). *)
+
+type outcome = {
+  oc_output : (string, string) result;  (** decoded procedure output *)
+  oc_receipt : Receipt.t;
+  oc_index : int;  (** ledger index the transaction executed at *)
+  oc_latency_ms : float;
+}
+
+type t
+
+val create :
+  address:int ->
+  seed:string ->
+  genesis:Iaccf_types.Genesis.t ->
+  pipeline:int ->
+  sched:Iaccf_sim.Sched.t ->
+  network:Wire.t Iaccf_sim.Network.t ->
+  ?verify_receipts:bool ->
+  ?sign_requests:bool ->
+  ?retry_ms:float ->
+  unit ->
+  t
+
+val public_key : t -> Iaccf_crypto.Schnorr.public_key
+val address : t -> int
+
+val submit :
+  t -> proc:string -> args:string -> ?on_complete:(outcome -> unit) -> unit -> unit
+(** Sign and broadcast a request; [on_complete] fires once a verified
+    receipt is assembled. *)
+
+val govchain : t -> Govchain.t
+val completed : t -> int
+val failed_verifications : t -> int
+val latencies_ms : t -> float list
+(** Completion latencies, oldest first. *)
+
+val in_flight : t -> int
+val min_index : t -> int

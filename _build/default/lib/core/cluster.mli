@@ -1,0 +1,79 @@
+(** Test/bench harness: a whole IA-CCF deployment in one simulator.
+
+    Builds a genesis configuration (members, replica keys, endorsements),
+    spawns replicas and clients on a simulated network, and runs the
+    scheduler. Client addresses start at {!client_base} so replica ids never
+    collide with them. *)
+
+module Config = Iaccf_types.Config
+module Genesis = Iaccf_types.Genesis
+module Schnorr = Iaccf_crypto.Schnorr
+
+val client_base : int
+
+val counter_app_procs : (string * App.procedure) list
+(** The default app: a shared counter plus a no-op procedure. *)
+
+type member_identity = {
+  mi_name : string;
+  mi_sk : Schnorr.secret_key;
+  mi_pk : Schnorr.public_key;
+}
+
+type t
+
+val make :
+  ?seed:int ->
+  ?n_members:int ->
+  ?params:Replica.params ->
+  ?latency:(Iaccf_util.Rng.t -> Iaccf_sim.Latency.t) ->
+  ?app:App.t ->
+  n:int ->
+  unit ->
+  t
+(** [make ~n ()] builds a service with [n] replicas operated round-robin by
+    [n_members] members (default [n]), using the counter app plus any
+    procedures of [app]. *)
+
+val sched : t -> Iaccf_sim.Sched.t
+val network : t -> Wire.t Iaccf_sim.Network.t
+val genesis : t -> Genesis.t
+val replicas : t -> Replica.t list
+val replica : t -> int -> Replica.t
+val members : t -> member_identity list
+val params : t -> Replica.params
+
+val replica_sk : t -> int -> Schnorr.secret_key
+(** Secret key of a replica — used by tests that forge Byzantine messages. *)
+
+val add_client : t -> ?verify_receipts:bool -> ?sign_requests:bool -> unit -> Client.t
+
+val add_member_client : t -> member_identity -> Client.t
+(** A client whose signing key is the member's key, for submitting
+    governance transactions (propose/vote referenda, §5.1). *)
+
+val clients : t -> Client.t list
+
+val run : t -> ms:float -> unit
+(** Advance the simulation by [ms] virtual milliseconds. *)
+
+val run_until : t -> ?timeout_ms:float -> (unit -> bool) -> bool
+(** Run until the predicate holds; [false] on timeout. *)
+
+val make_next_config :
+  t ->
+  ?add_replicas:int list ->
+  ?remove_replicas:int list ->
+  base:Config.t ->
+  unit ->
+  Config.t
+(** Build a valid next configuration (endorsed keys, next config number)
+    adding/removing the given replica ids. New replica ids get fresh keys
+    derived from the cluster seed, matching {!spawn_replica}. *)
+
+val spawn_replica : t -> id:int -> Replica.t
+(** Create (and start) a replica for a future configuration; it stays
+    passive until {!Replica.join} and activation. *)
+
+val committed_everywhere : t -> int
+(** Minimum [last_committed] across active replicas. *)

@@ -1,0 +1,35 @@
+(** Client-side linearizability checking over receipts (§4.1).
+
+    Audits are triggered when someone holds receipts "inconsistent with any
+    linearizable execution". The detection mechanism is application
+    dependent; this module implements the natural one for deterministic
+    stored procedures: order the receipts by ledger position, re-execute
+    their requests serially, and compare against the recorded outputs — the
+    intro's example of Bob checking his deposit against his balance query.
+
+    The caller must supply a receipt set that is {e closed} over the state
+    it touches (e.g. the full history of the accounts involved): missing
+    interleaved writes would make honest outputs look wrong. *)
+
+type violation =
+  | Output_mismatch of {
+      v_receipt : Receipt.t;
+      v_expected : string;  (** output a serial execution produces *)
+      v_recorded : string;
+    }
+  | Duplicate_slot of { v_first : Receipt.t; v_second : Receipt.t }
+      (** two different receipts for the same (seqno, index) *)
+  | Min_index_violation of { v_receipt : Receipt.t }
+      (** a receipt whose request carries a minimum ledger index above the
+          index it executed at: proof that the replicas violated the
+          client's real-time ordering constraint (Thm. 2) *)
+
+val check :
+  app:App.t ->
+  genesis:Iaccf_types.Genesis.t ->
+  receipts:Receipt.t list ->
+  (unit, violation) result
+(** Sort the receipts by (seqno, index) and re-execute. [Ok ()] means the
+    receipts are consistent with the serial execution they claim. *)
+
+val pp_violation : Format.formatter -> violation -> unit

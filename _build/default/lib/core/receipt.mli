@@ -1,0 +1,58 @@
+(** Transaction receipts (§3.3, Alg. 3).
+
+    A receipt is a statement signed by [N-f] replicas that request [t]
+    executed at ledger index [i] with result [o]: the signed pre-prepare,
+    [N-f-1] prepare signatures with the nonces that open their commitments,
+    and a Merkle path from the [<t,i,o>] leaf to the per-batch root bound
+    inside the pre-prepare. Receipts for request-less special batches (the
+    P-th end-of-configuration batch of the governance sub-ledger, §5.2)
+    carry no transaction subject. *)
+
+module Message = Iaccf_types.Message
+module Batch = Iaccf_types.Batch
+module D = Iaccf_crypto.Digest32
+
+type subject =
+  | Tx_subject of {
+      tx : Batch.tx_entry;
+      leaf_index : int;
+      batch_size : int;
+      path : D.t list;  (** S *)
+    }
+  | Batch_subject  (** the receipt vouches for the (empty) batch itself *)
+
+type t = {
+  pp : Message.pre_prepare;  (** carries sigma_p, M-bar, H(k_p), E_{s-P}, i_g, d_C *)
+  prep_bitmap : Iaccf_util.Bitmap.t;  (** E_s: backups contributing below *)
+  prepare_sigs : string list;  (** Sigma_s, ascending replica id *)
+  nonces : string list;  (** K_s, same order: opens each prepare's commitment *)
+  subject : subject;
+}
+
+val seqno : t -> int
+val view : t -> int
+
+val index : t -> int option
+(** Ledger index [i] for transaction receipts. *)
+
+val signers : t -> Iaccf_util.Bitmap.t
+(** Primary plus prepare signers: the replicas this receipt binds. *)
+
+val verify : config:Iaccf_types.Config.t -> service:D.t -> t -> (unit, string) result
+(** Alg. 3: reconstruct the pre-prepare and prepare messages, check the
+    primary's identity and signature, each prepare signature under the
+    reconstructed payload (nonce commitments recomputed from the revealed
+    nonces), quorum size, the Merkle path to [g_root], and — for transaction
+    subjects — the client signature and service binding of the request. *)
+
+val reconstruct_prepare : t -> replica:int -> nonce:string -> signature:string -> Message.prepare
+(** The prepare message a verifier reconstructs for a contributing backup;
+    exposed for auditors that compare receipts against ledgers. *)
+
+val encode : Iaccf_util.Codec.W.t -> t -> unit
+val decode : Iaccf_util.Codec.R.t -> t
+val serialize : t -> string
+val deserialize : string -> t
+val size_bytes : t -> int
+val equal : t -> t -> bool
+val pp_receipt : Format.formatter -> t -> unit

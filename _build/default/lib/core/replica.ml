@@ -1,0 +1,2033 @@
+module Sched = Iaccf_sim.Sched
+module Network = Iaccf_sim.Network
+module Store = Iaccf_kv.Store
+module Checkpoint = Iaccf_kv.Checkpoint
+module Ledger = Iaccf_ledger.Ledger
+module Entry = Iaccf_ledger.Entry
+module Message = Iaccf_types.Message
+module Batch = Iaccf_types.Batch
+module Request = Iaccf_types.Request
+module Config = Iaccf_types.Config
+module Genesis = Iaccf_types.Genesis
+module Schnorr = Iaccf_crypto.Schnorr
+module D = Iaccf_crypto.Digest32
+module Nonce = Iaccf_crypto.Nonce
+module Hmac = Iaccf_crypto.Hmac
+module Bitmap = Iaccf_util.Bitmap
+module Tree = Iaccf_merkle.Tree
+module Rng = Iaccf_util.Rng
+
+type params = {
+  pipeline : int;
+  checkpoint_interval : int;
+  max_batch : int;
+  batch_delay_ms : float;
+  vc_timeout_ms : float;
+  variant : Variant.t;
+}
+
+let default_params =
+  {
+    pipeline = 2;
+    checkpoint_interval = 50;
+    max_batch = 100;
+    batch_delay_ms = 1.0;
+    vc_timeout_ms = 400.0;
+    variant = Variant.full;
+  }
+
+type stats = {
+  mutable signatures_made : int;
+  mutable signatures_verified : int;
+  mutable macs_computed : int;
+  mutable batches_committed : int;
+  mutable txs_executed : int;
+  mutable txs_committed : int;
+  mutable view_changes : int;
+  mutable checkpoints_taken : int;
+}
+
+type reconfig_phase =
+  | Normal
+  | Ending of { vote_seqno : int; new_config : Config.t; committed_root : D.t }
+  | Starting of { cp_seqno : int; last_start : int }
+
+type batch_record = {
+  br_pp : Message.pre_prepare;
+  br_batch_hashes : D.t list;
+  br_requests : Request.t list;
+  br_txs : Batch.tx_entry list;
+  br_ev_prepares : Message.prepare list;
+  br_ev_nonces : (int * string) list;
+  br_ledger_start : int;
+  br_kv_version_before : int;
+  br_gov_index_before : int;
+  br_dc_before : D.t;
+  br_phase_before : reconfig_phase;
+  br_cfg_before : Config.t;
+  mutable br_prepared : bool;
+  mutable br_committed : bool;
+}
+
+type t = {
+  rid : int;
+  sk : Schnorr.secret_key;
+  nonce_key : string;
+  mac_key : string;
+  genesis : Genesis.t;
+  service : D.t;
+  app : App.t;
+  params : params;
+  sched : Sched.t;
+  network : Wire.t Network.t;
+  client_address : Schnorr.public_key -> int option;
+  rng : Rng.t;
+  st : stats;
+  mutable cfg : Config.t;
+  mutable view : int;
+  mutable seqno : int; (* s: next sequence number to assign/accept *)
+  mutable ready : bool;
+  mutable running : bool;
+  mutable activated : bool;
+  mutable last_prepared : int;
+  mutable last_committed : int;
+  mutable gov_index : int;
+  mutable current_dc : D.t;
+  mutable phase : reconfig_phase;
+  store : Store.t;
+  ledger : Ledger.t;
+  requests : (string, Request.t) Hashtbl.t;
+  mutable request_order : D.t list; (* request hashes, newest first *)
+  executed_requests : (string, int) Hashtbl.t; (* hash -> ledger index *)
+  records : (int, batch_record) Hashtbl.t;
+  prepares : (int * int, (int, Message.prepare) Hashtbl.t) Hashtbl.t;
+  commits : (int * int, (int, string) Hashtbl.t) Hashtbl.t;
+  own_nonces : (int * int, string) Hashtbl.t;
+  view_changes : (int, (int, Message.view_change) Hashtbl.t) Hashtbl.t;
+  pending_pps : (int, Message.pre_prepare * D.t list) Hashtbl.t;
+  checkpoints : (int, Checkpoint.t * D.t) Hashtbl.t;
+  mutable latest_cp_seqno : int;
+  mutable gov_receipts_rev : Receipt.t list;
+  mutable progress_marker : int;
+  mutable batch_timer_armed : bool;
+  mutable pending_new_view : (Message.new_view * Message.view_change list) option;
+  mutable fetch_target : int option; (* replica we are fetching state from *)
+  mutable extra_recipients : int list;
+  mutable stall_count : int; (* consecutive no-progress timer ticks *)
+  (* Rollback-proof memory backing view-change messages (Alg. 2 reads PP
+     from the message store, not the roll-backable ledger): *)
+  prepared_pps : (int, Message.pre_prepare) Hashtbl.t; (* seqno -> best pp *)
+  batch_ledger_end : (int, int) Hashtbl.t;
+      (* seqno -> ledger length right after the batch's entries; defines the
+         canonical cut point when a view change rebuilds the suffix *)
+  archived_content : (int * string, Batch.kind * Request.t list * Batch.tx_entry list) Hashtbl.t;
+      (* (seqno, raw g_root) -> batch content, stashed on rollback. A batch
+         re-proposed in a later view keeps its original transaction entries
+         (and hence ledger indices and g_root), as required for receipts to
+         stay valid across view changes (Alg. 2). *)
+      (* during a reconfiguration, the outgoing configuration's replicas
+         still receive protocol messages until they retire at s+2P (5.1) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let id t = t.rid
+let config t = t.cfg
+let view t = t.view
+let next_seqno t = t.seqno
+let last_prepared t = t.last_prepared
+let last_committed t = t.last_committed
+let ledger t = t.ledger
+let store t = t.store
+let stats t = t.st
+let gov_index t = t.gov_index
+let pending_requests t = Hashtbl.length t.requests
+let gov_receipts t = List.rev t.gov_receipts_rev
+let active t = t.activated && t.running
+let quorum t = Config.quorum t.cfg
+let primary_id t = Config.primary_of_view t.cfg t.view
+let is_primary t = t.activated && primary_id t = t.rid
+let replica_ids t = List.map (fun r -> r.Config.replica_id) t.cfg.Config.replicas
+let in_config t = Config.replica t.cfg t.rid <> None
+let keep_ledger t = t.params.variant.Variant.keep_ledger
+
+let committed_prefix_length t =
+  if t.last_committed = 0 then 1
+  else
+    match Hashtbl.find_opt t.batch_ledger_end t.last_committed with
+    | Some n -> n
+    | None -> Ledger.length t.ledger
+
+let batch_end_length t seqno =
+  if seqno = 0 then 1
+  else
+    match Hashtbl.find_opt t.batch_ledger_end seqno with
+    | Some n -> n
+    | None -> Ledger.length t.ledger
+
+let checkpoint_at t seqno =
+  Option.map fst (Hashtbl.find_opt t.checkpoints seqno)
+
+let sub_tbl tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some sub -> sub
+  | None ->
+      let sub = Hashtbl.create 8 in
+      Hashtbl.replace tbl key sub;
+      sub
+
+(* ------------------------------------------------------------------ *)
+(* Signing: real signatures, or HMAC authenticators for the macs-only  *)
+(* variant (Table 3 row f). PeerReview adds signatures per message.    *)
+
+let sign_digest t d =
+  if t.params.variant.Variant.macs_only then begin
+    t.st.macs_computed <- t.st.macs_computed + 1;
+    Hmac.mac ~key:t.mac_key (D.to_raw d)
+  end
+  else begin
+    t.st.signatures_made <- t.st.signatures_made + 1;
+    Schnorr.sign t.sk (D.to_raw d)
+  end
+
+let verify_digest t ~replica d ~signature =
+  if t.params.variant.Variant.macs_only then begin
+    t.st.macs_computed <- t.st.macs_computed + 1;
+    Hmac.verify ~key:t.mac_key (D.to_raw d) ~mac:signature
+  end
+  else begin
+    t.st.signatures_verified <- t.st.signatures_verified + 1;
+    match Config.replica_pk t.cfg replica with
+    | None -> false
+    | Some pk -> Schnorr.verify pk (D.to_raw d) ~signature
+  end
+
+let verify_pp_sig t (pp : Message.pre_prepare) =
+  pp.Message.primary = Config.primary_of_view t.cfg pp.Message.view
+  && verify_digest t ~replica:pp.Message.primary (Message.pp_hash pp)
+       ~signature:pp.Message.signature
+
+let verify_prepare_sig t (p : Message.prepare) =
+  let payload =
+    Message.prepare_payload ~view:p.Message.p_view ~seqno:p.Message.p_seqno
+      ~replica:p.Message.p_replica ~nonce_com:p.Message.p_nonce_com
+      ~pp_hash:p.Message.p_pp_hash
+  in
+  verify_digest t ~replica:p.Message.p_replica payload ~signature:p.Message.p_signature
+
+let verify_vc_sig t (vc : Message.view_change) =
+  let payload =
+    Message.view_change_payload ~view:vc.Message.vc_view
+      ~replica:vc.Message.vc_replica ~last_prepared:vc.Message.vc_last_prepared
+  in
+  verify_digest t ~replica:vc.Message.vc_replica payload ~signature:vc.Message.vc_signature
+
+let verify_nv_sig t (nv : Message.new_view) =
+  nv.Message.nv_primary = Config.primary_of_view t.cfg nv.Message.nv_view
+  && verify_digest t ~replica:nv.Message.nv_primary
+       (Message.new_view_payload ~view:nv.Message.nv_view ~m_root:nv.Message.nv_m_root
+          ~vc_bitmap:nv.Message.nv_vc_bitmap ~vc_hash:nv.Message.nv_vc_hash
+          ~primary:nv.Message.nv_primary)
+       ~signature:nv.Message.nv_signature
+
+(* ------------------------------------------------------------------ *)
+(* Network plumbing                                                    *)
+
+let peerreview_extra_sign t payload =
+  if t.params.variant.Variant.peerreview then begin
+    t.st.signatures_made <- t.st.signatures_made + 1;
+    ignore (Schnorr.sign t.sk (D.to_raw (D.of_string payload)))
+  end
+
+let send t ~dst msg =
+  if t.running then begin
+    peerreview_extra_sign t (Wire.describe msg);
+    Network.send t.network ~src:t.rid ~dst msg
+  end
+
+let broadcast_replicas t msg =
+  let recipients = List.sort_uniq compare (replica_ids t @ t.extra_recipients) in
+  List.iter (fun rid -> if rid <> t.rid then send t ~dst:rid msg) recipients
+
+let send_to_client t pk msg =
+  match t.client_address pk with None -> () | Some addr -> send t ~dst:addr msg
+
+(* ------------------------------------------------------------------ *)
+(* Evidence (P_{s-P}, K_{s-P}, E_{s-P})                                *)
+
+(* Commitment evidence for the batch at [s_past]: the pre-prepare signer
+   plus the first quorum-1 backups (ascending id) that contributed both a
+   matching prepare and a nonce opening its commitment. *)
+let evidence_for t s_past =
+  if s_past < 1 then Some ([], [], Bitmap.empty)
+  else begin
+    match Hashtbl.find_opt t.records s_past with
+    | None -> None
+    | Some rec_ -> (
+        let v = rec_.br_pp.Message.view in
+        let pph = Message.pp_hash rec_.br_pp in
+        let primary = rec_.br_pp.Message.primary in
+        let preps = sub_tbl t.prepares (v, s_past) in
+        let nonces = sub_tbl t.commits (v, s_past) in
+        let primary_nonce = Hashtbl.find_opt nonces primary in
+        match primary_nonce with
+        | Some pk_nonce
+          when Nonce.check ~commitment:rec_.br_pp.Message.nonce_com
+                 (Option.get (Nonce.of_revealed pk_nonce)) -> (
+            let candidates =
+              Hashtbl.fold
+                (fun r (p : Message.prepare) acc ->
+                  if r = primary || not (D.equal p.Message.p_pp_hash pph) then acc
+                  else begin
+                    match Hashtbl.find_opt nonces r with
+                    | Some n
+                      when D.equal (D.of_string n) p.Message.p_nonce_com ->
+                        (r, p, n) :: acc
+                    | _ -> acc
+                  end)
+                preps []
+              |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+            in
+            let needed = quorum t - 1 in
+            if List.length candidates < needed then None
+            else begin
+              let chosen = List.filteri (fun i _ -> i < needed) candidates in
+              let prepares = List.map (fun (_, p, _) -> p) chosen in
+              let nonce_list =
+                List.sort compare
+                  ((primary, pk_nonce) :: List.map (fun (r, _, n) -> (r, n)) chosen)
+              in
+              let bitmap =
+                Bitmap.of_list (primary :: List.map (fun (r, _, _) -> r) chosen)
+              in
+              Some (prepares, nonce_list, bitmap)
+            end)
+        | _ -> None)
+  end
+
+(* Reconstruct the exact evidence entries the primary committed to via its
+   E_{s-P} bitmap, from this replica's own message stores. *)
+let evidence_matching t s_past (bitmap : Bitmap.t) =
+  if s_past < 1 then
+    if Bitmap.equal bitmap Bitmap.empty then Some ([], []) else None
+  else begin
+    match Hashtbl.find_opt t.records s_past with
+    | None -> None
+    | Some rec_ -> (
+        let v = rec_.br_pp.Message.view in
+        let primary = rec_.br_pp.Message.primary in
+        let members = Bitmap.to_list bitmap in
+        if List.length members <> quorum t || not (Bitmap.mem primary bitmap) then None
+        else begin
+          let preps = sub_tbl t.prepares (v, s_past) in
+          let nonces = sub_tbl t.commits (v, s_past) in
+          let rec collect = function
+            | [] -> Some ([], [])
+            | r :: rest -> (
+                match collect rest with
+                | None -> None
+                | Some (ps, ns) -> (
+                    match Hashtbl.find_opt nonces r with
+                    | None -> None
+                    | Some n ->
+                        if r = primary then Some (ps, (r, n) :: ns)
+                        else begin
+                          match Hashtbl.find_opt preps r with
+                          | None -> None
+                          | Some p -> Some (p :: ps, (r, n) :: ns)
+                        end))
+          in
+          collect members
+        end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+let is_gov_request (req : Request.t) =
+  String.length req.Request.proc >= 4 && String.sub req.Request.proc 0 4 = "gov/"
+
+let execute_requests t ~base_index reqs =
+  List.mapi
+    (fun k (req : Request.t) ->
+      let output, write_set_hash =
+        App.execute t.app ~config:t.cfg ~caller:req.Request.client_pk
+          ~store:t.store ~proc:req.Request.proc ~args:req.Request.args
+      in
+      t.st.txs_executed <- t.st.txs_executed + 1;
+      {
+        Batch.request = req;
+        index = base_index + k;
+        result = { Batch.output; write_set_hash };
+      })
+    reqs
+
+let append_ledger t entry = if keep_ledger t then ignore (Ledger.append t.ledger entry)
+let ledger_len t = if keep_ledger t then Ledger.length t.ledger else t.seqno * 4
+let m_root_now t = if keep_ledger t then Ledger.m_root t.ledger else D.zero
+
+let append_evidence_entries t ~s_past ev_prepares ev_nonces =
+  if s_past >= 1 then begin
+    match Hashtbl.find_opt t.records s_past with
+    | None -> ()
+    | Some rec_ ->
+        let v = rec_.br_pp.Message.view in
+        append_ledger t
+          (Entry.Prepare_evidence { pe_view = v; pe_seqno = s_past; pe_prepares = ev_prepares });
+        append_ledger t
+          (Entry.Nonce_evidence { ne_view = v; ne_seqno = s_past; ne_nonces = ev_nonces })
+  end
+
+(* Shared post-execution bookkeeping: d_C updates, checkpoints, governance
+   phase transitions, configuration activation (§5.1, §3.4). *)
+let post_execute_batch t (pp : Message.pre_prepare) txs =
+  let s = pp.Message.seqno in
+  (* Governance transactions move i_g. *)
+  List.iter
+    (fun (tx : Batch.tx_entry) ->
+      if is_gov_request tx.Batch.request then t.gov_index <- tx.Batch.index)
+    txs;
+  (match pp.Message.kind with
+  | Batch.Checkpoint { cp_digest; _ } -> t.current_dc <- cp_digest
+  | Batch.Regular | Batch.End_of_config _ | Batch.Start_of_config _ -> ());
+  let take_checkpoint () =
+    let cp = Checkpoint.make ~seqno:s (Store.map t.store) in
+    Hashtbl.replace t.checkpoints s (cp, Checkpoint.digest cp);
+    t.latest_cp_seqno <- s;
+    t.st.checkpoints_taken <- t.st.checkpoints_taken + 1
+  in
+  (match t.phase with
+  | Normal ->
+      if
+        t.params.variant.Variant.enable_checkpoints
+        && s mod t.params.checkpoint_interval = 0
+      then take_checkpoint ()
+  | Ending _ | Starting _ -> ());
+  (* Detect a passed referendum: the vote procedure installs the new
+     configuration under the reserved key. *)
+  (match t.phase with
+  | Normal -> (
+      match Iaccf_kv.Hamt.find App.config_key (Store.map t.store) with
+      | Some bytes -> (
+          match Config.deserialize bytes with
+          | exception _ -> ()
+          | new_config ->
+              if new_config.Config.config_no > t.cfg.Config.config_no then begin
+                t.extra_recipients <- replica_ids t;
+                t.phase <-
+                  Ending { vote_seqno = s; new_config; committed_root = m_root_now t }
+              end)
+      | None -> ())
+  | Ending _ | Starting _ -> ());
+  (* Configuration activation at vote_seqno + 2P. *)
+  (match t.phase with
+  | Ending { vote_seqno; new_config; _ }
+    when s = vote_seqno + (2 * t.params.pipeline) ->
+      t.cfg <- new_config;
+      take_checkpoint ();
+      t.phase <- Starting { cp_seqno = s; last_start = s + 1 + t.params.pipeline };
+      if not (in_config t) then t.activated <- false
+  | Ending _ | Starting _ | Normal -> ());
+  match t.phase with
+  | Starting { last_start; _ } when s = last_start ->
+      t.phase <- Normal;
+      t.extra_recipients <- []
+  | Starting _ | Ending _ | Normal -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Receipts and replies                                                *)
+
+let g_tree_of_txs txs =
+  let tree = Tree.create () in
+  List.iter (fun tx -> Tree.append tree (Batch.tx_leaf tx)) txs;
+  tree
+
+let designated_for t (tx : Batch.tx_entry) =
+  let ids = replica_ids t in
+  let h = Request.hash tx.Batch.request in
+  let b = Char.code (D.to_raw h).[0] in
+  List.nth ids ((b + tx.Batch.index) mod List.length ids)
+
+let own_signature_for t rec_ =
+  let v = rec_.br_pp.Message.view and s = rec_.br_pp.Message.seqno in
+  if rec_.br_pp.Message.primary = t.rid then Some rec_.br_pp.Message.signature
+  else begin
+    match Hashtbl.find_opt (sub_tbl t.prepares (v, s)) t.rid with
+    | Some p -> Some p.Message.p_signature
+    | None -> None
+  end
+
+let send_replies t rec_ =
+  let v = rec_.br_pp.Message.view and s = rec_.br_pp.Message.seqno in
+  match (own_signature_for t rec_, Hashtbl.find_opt t.own_nonces (v, s)) with
+  | Some signature, Some nonce ->
+      let reply =
+        Wire.Reply_msg
+          {
+            Message.r_view = v;
+            r_seqno = s;
+            r_replica = t.rid;
+            r_signature = signature;
+            r_nonce = nonce;
+          }
+      in
+      let clients = Hashtbl.create 4 in
+      List.iter
+        (fun (tx : Batch.tx_entry) ->
+          let pk = tx.Batch.request.Request.client_pk in
+          let key = Schnorr.public_key_to_bytes pk in
+          if not (Hashtbl.mem clients key) then begin
+            Hashtbl.add clients key ();
+            (* PeerReview signs a reply per transaction rather than relying
+               on the nonce scheme; model the extra signatures. *)
+            if t.params.variant.Variant.peerreview then
+              peerreview_extra_sign t ("reply" ^ key);
+            send_to_client t pk reply
+          end)
+        rec_.br_txs;
+      if t.params.variant.Variant.gen_receipts then begin
+        let tree = g_tree_of_txs rec_.br_txs in
+        let size = List.length rec_.br_txs in
+        List.iteri
+          (fun i (tx : Batch.tx_entry) ->
+            if designated_for t tx = t.rid then
+              send_to_client t tx.Batch.request.Request.client_pk
+                (Wire.Replyx_msg
+                   {
+                     Message.x_pp = rec_.br_pp;
+                     x_tx = tx;
+                     x_leaf_index = i;
+                     x_batch_size = size;
+                     x_path = Tree.path tree i;
+                   }))
+          rec_.br_txs
+      end
+  | _ -> ()
+
+let build_receipt t ~seqno ~tx_position =
+  match Hashtbl.find_opt t.records seqno with
+  | None -> None
+  | Some rec_ when rec_.br_committed -> (
+      let v = rec_.br_pp.Message.view in
+      let primary = rec_.br_pp.Message.primary in
+      let pph = Message.pp_hash rec_.br_pp in
+      let preps = sub_tbl t.prepares (v, seqno) in
+      let nonces = sub_tbl t.commits (v, seqno) in
+      let candidates =
+        Hashtbl.fold
+          (fun r (p : Message.prepare) acc ->
+            if r = primary || not (D.equal p.Message.p_pp_hash pph) then acc
+            else begin
+              match Hashtbl.find_opt nonces r with
+              | Some n when D.equal (D.of_string n) p.Message.p_nonce_com ->
+                  (r, p, n) :: acc
+              | _ -> acc
+            end)
+          preps []
+        |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      in
+      let needed = quorum t - 1 in
+      if List.length candidates < needed then None
+      else begin
+        let chosen = List.filteri (fun i _ -> i < needed) candidates in
+        let subject =
+          match tx_position with
+          | None -> Some Receipt.Batch_subject
+          | Some i ->
+              if i < 0 || i >= List.length rec_.br_txs then None
+              else begin
+                let tree = g_tree_of_txs rec_.br_txs in
+                Some
+                  (Receipt.Tx_subject
+                     {
+                       tx = List.nth rec_.br_txs i;
+                       leaf_index = i;
+                       batch_size = List.length rec_.br_txs;
+                       path = Tree.path tree i;
+                     })
+              end
+        in
+        match subject with
+        | None -> None
+        | Some subject ->
+            Some
+              {
+                Receipt.pp = rec_.br_pp;
+                prep_bitmap = Bitmap.of_list (List.map (fun (r, _, _) -> r) chosen);
+                prepare_sigs = List.map (fun (_, p, _) -> p.Message.p_signature) chosen;
+                nonces = List.map (fun (_, _, n) -> n) chosen;
+                subject;
+              }
+      end)
+  | Some _ -> None
+
+let record_gov_receipts t rec_ =
+  let seqno = rec_.br_pp.Message.seqno in
+  (match rec_.br_pp.Message.kind with
+  | Batch.End_of_config { phase; _ } when phase = t.params.pipeline -> (
+      match build_receipt t ~seqno ~tx_position:None with
+      | Some r -> t.gov_receipts_rev <- r :: t.gov_receipts_rev
+      | None -> ())
+  | Batch.End_of_config _ | Batch.Regular | Batch.Checkpoint _ | Batch.Start_of_config _ -> ());
+  List.iteri
+    (fun i (tx : Batch.tx_entry) ->
+      if is_gov_request tx.Batch.request then begin
+        match build_receipt t ~seqno ~tx_position:(Some i) with
+        | Some r -> t.gov_receipts_rev <- r :: t.gov_receipts_rev
+        | None -> ()
+      end)
+    rec_.br_txs
+
+(* ------------------------------------------------------------------ *)
+(* Batch packages (retransmission / state transfer)                    *)
+
+let batch_package t ~seqno =
+  match Hashtbl.find_opt t.records seqno with
+  | None -> None
+  | Some rec_ ->
+      Some
+        {
+          Wire.bp_pp = rec_.br_pp;
+          bp_requests = rec_.br_requests;
+          bp_ev_prepares = rec_.br_ev_prepares;
+          bp_ev_nonces = rec_.br_ev_nonces;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Forward declarations for the mutually recursive protocol engine      *)
+
+let rec check_prepared t =
+  let q = t.last_prepared + 1 in
+  match Hashtbl.find_opt t.records q with
+  | None -> ()
+  | Some rec_ ->
+      let v = rec_.br_pp.Message.view in
+      let pph = Message.pp_hash rec_.br_pp in
+      let preps = sub_tbl t.prepares (v, q) in
+      let matching =
+        Hashtbl.fold
+          (fun r (p : Message.prepare) acc ->
+            if r <> rec_.br_pp.Message.primary && D.equal p.Message.p_pp_hash pph then
+              acc + 1
+            else acc)
+          preps 0
+      in
+      if matching >= quorum t - 1 then begin
+        rec_.br_prepared <- true;
+        t.last_prepared <- q;
+        (match Hashtbl.find_opt t.prepared_pps q with
+        | Some prev when prev.Message.view >= rec_.br_pp.Message.view -> ()
+        | _ -> Hashtbl.replace t.prepared_pps q rec_.br_pp);
+        on_prepared t rec_;
+        check_prepared t
+      end
+
+and on_prepared t rec_ =
+  let v = rec_.br_pp.Message.view and s = rec_.br_pp.Message.seqno in
+  (match Hashtbl.find_opt t.own_nonces (v, s) with
+  | Some nonce ->
+      let commit =
+        { Message.c_view = v; c_seqno = s; c_replica = t.rid; c_nonce = nonce }
+      in
+      (* PeerReview — and the signed-commit ablation — sign commit
+         messages; L-PBFT's nonce reveal does not (§3.1, Lemma 3). *)
+      if t.params.variant.Variant.peerreview then peerreview_extra_sign t "commit";
+      if t.params.variant.Variant.sign_commits then begin
+        t.st.signatures_made <- t.st.signatures_made + 1;
+        ignore
+          (Schnorr.sign t.sk
+             (D.to_raw (D.of_string (Printf.sprintf "commit:%d:%d:%d" v s t.rid))))
+      end;
+      Hashtbl.replace (sub_tbl t.commits (v, s)) t.rid nonce;
+      broadcast_replicas t (Wire.Commit_msg commit)
+  | None -> ());
+  send_replies t rec_;
+  check_committed t
+
+and check_committed t =
+  let q = t.last_committed + 1 in
+  match Hashtbl.find_opt t.records q with
+  | None -> ()
+  | Some rec_ when rec_.br_prepared ->
+      let v = rec_.br_pp.Message.view in
+      let primary = rec_.br_pp.Message.primary in
+      let pph = Message.pp_hash rec_.br_pp in
+      let preps = sub_tbl t.prepares (v, q) in
+      let nonces = sub_tbl t.commits (v, q) in
+      let valid =
+        Hashtbl.fold
+          (fun r n acc ->
+            let commitment =
+              if r = primary then Some rec_.br_pp.Message.nonce_com
+              else begin
+                match Hashtbl.find_opt preps r with
+                | Some p when D.equal p.Message.p_pp_hash pph ->
+                    Some p.Message.p_nonce_com
+                | _ -> None
+              end
+            in
+            match commitment with
+            | Some c when D.equal (D.of_string n) c -> acc + 1
+            | _ -> acc)
+          nonces 0
+      in
+      if valid >= quorum t then begin
+        rec_.br_committed <- true;
+        t.last_committed <- q;
+        t.stall_count <- 0;
+        t.st.batches_committed <- t.st.batches_committed + 1;
+        t.st.txs_committed <- t.st.txs_committed + List.length rec_.br_txs;
+        record_gov_receipts t rec_;
+        prune_old_state t;
+        try_send_pre_prepares t;
+        check_committed t
+      end
+  | Some _ -> ()
+
+and prune_old_state t =
+  (* Keep recent checkpoints only; old rollback snapshots are not needed
+     once well below the committed prefix. *)
+  let keep_from = t.latest_cp_seqno - (3 * t.params.checkpoint_interval) in
+  Hashtbl.iter
+    (fun s _ -> if s < keep_from && s <> 0 then Hashtbl.remove t.checkpoints s)
+    (Hashtbl.copy t.checkpoints)
+
+(* Primary: emit as many batches as the pipeline allows (Alg. 1, line 4). *)
+and try_send_pre_prepares t =
+  if t.running && t.activated && t.ready && is_primary t then begin
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let s = t.seqno in
+      if s - 1 - t.last_committed < t.params.pipeline then begin
+        match evidence_for t (s - t.params.pipeline) with
+        | None -> ()
+        | Some (ev_prepares, ev_nonces, ev_bitmap) -> (
+            match plan_batch t s with
+            | None -> ()
+            | Some (kind, reqs) ->
+                emit_batch t ~kind ~reqs ~ev_prepares ~ev_nonces ~ev_bitmap ();
+                progress := true)
+      end
+    done
+  end
+
+and plan_batch t s =
+  match t.phase with
+  | Ending { vote_seqno; committed_root; _ } ->
+      if s <= vote_seqno + (2 * t.params.pipeline) then
+        Some (Batch.End_of_config { phase = s - vote_seqno; committed_root }, [])
+      else None (* activation happens in post_execute of batch 2P *)
+  | Starting { cp_seqno; last_start } ->
+      if s = cp_seqno + 1 then begin
+        match Hashtbl.find_opt t.checkpoints cp_seqno with
+        | Some (_, digest) -> Some (Batch.Checkpoint { cp_seqno; cp_digest = digest }, [])
+        | None -> None
+      end
+      else if s <= last_start then
+        Some (Batch.Start_of_config { phase = s - cp_seqno - 1 }, [])
+      else None
+  | Normal ->
+      if
+        t.params.variant.Variant.enable_checkpoints
+        && s mod t.params.checkpoint_interval = 0
+        && t.latest_cp_seqno >= 0
+      then begin
+        match Hashtbl.find_opt t.checkpoints t.latest_cp_seqno with
+        | Some (_, digest) ->
+            Some (Batch.Checkpoint { cp_seqno = t.latest_cp_seqno; cp_digest = digest }, [])
+        | None -> None
+      end
+      else begin
+        (* Collect a batch from T, oldest first, honoring minimum indices,
+           skipping executed duplicates, cutting after a governance tx. *)
+        let base_index = ledger_len t + 3 in
+        (* evidence(2) + pp(1) would place the first tx there when evidence
+           exists; recomputed precisely in emit_batch. This estimate only
+           gates min_index; emit_batch re-checks. *)
+        let rec take acc n = function
+          | [] -> List.rev acc
+          | h :: rest ->
+              if n = 0 then List.rev acc
+              else begin
+                match Hashtbl.find_opt t.requests h with
+                | None -> take acc n rest
+                | Some req ->
+                    if Hashtbl.mem t.executed_requests h then begin
+                      Hashtbl.remove t.requests h;
+                      take acc n rest
+                    end
+                    else if req.Request.min_index > base_index + List.length acc then
+                      take acc n rest
+                    else if is_gov_request req then List.rev ((h, req) :: acc)
+                    else take ((h, req) :: acc) (n - 1) rest
+              end
+        in
+        let order = List.rev t.request_order in
+        let chosen = take [] t.params.max_batch (List.map D.to_raw order) in
+        if chosen = [] then None else Some (Batch.Regular, List.map snd chosen)
+      end
+
+and emit_batch t ?fixed_txs ~kind ~reqs ~ev_prepares ~ev_nonces ~ev_bitmap () =
+  let s = t.seqno in
+  let v = t.view in
+  let ledger_start = ledger_len t in
+  let kv_before = Store.version t.store in
+  let gov_before = t.gov_index in
+  let dc_before = t.current_dc in
+  let phase_before = t.phase in
+  let cfg_before = t.cfg in
+  append_evidence_entries t ~s_past:(s - t.params.pipeline) ev_prepares ev_nonces;
+  let base_index = ledger_len t + 1 in
+  let executed = execute_requests t ~base_index reqs in
+  let txs =
+    (* Re-proposals after a view change keep the original entries so the
+       batch's Merkle root (and every receipt bound to it) is unchanged. *)
+    match fixed_txs with
+    | Some original
+      when List.length original = List.length executed
+           && List.for_all2
+                (fun (a : Batch.tx_entry) (b : Batch.tx_entry) ->
+                  String.equal a.Batch.result.Batch.output b.Batch.result.Batch.output
+                  && D.equal a.Batch.result.Batch.write_set_hash
+                       b.Batch.result.Batch.write_set_hash)
+                original executed ->
+        original
+    | Some _ | None -> executed
+  in
+  let g_root = Batch.g_root txs in
+  let m_root = m_root_now t in
+  let nonce = Nonce.derive ~key:t.nonce_key ~view:v ~seqno:s in
+  Hashtbl.replace t.own_nonces (v, s) (Nonce.reveal nonce);
+  let payload =
+    Message.pre_prepare_payload ~view:v ~seqno:s ~m_root ~g_root
+      ~nonce_com:(Nonce.commit nonce) ~ev_bitmap ~gov_index:gov_before
+      ~cp_digest:dc_before ~kind ~primary:t.rid
+  in
+  let pp : Message.pre_prepare =
+    {
+      Message.view = v;
+      seqno = s;
+      m_root;
+      g_root;
+      nonce_com = Nonce.commit nonce;
+      ev_bitmap;
+      gov_index = gov_before;
+      cp_digest = dc_before;
+      kind;
+      primary = t.rid;
+      signature = sign_digest t payload;
+    }
+  in
+  append_ledger t (Entry.Pre_prepare pp);
+  List.iter (fun tx -> append_ledger t (Entry.Tx tx)) txs;
+  let batch_hashes = List.map (fun (r : Request.t) -> Request.hash r) reqs in
+  List.iter
+    (fun (tx : Batch.tx_entry) ->
+      let h = D.to_raw (Request.hash tx.Batch.request) in
+      Hashtbl.replace t.executed_requests h tx.Batch.index;
+      Hashtbl.remove t.requests h)
+    txs;
+  t.request_order <-
+    List.filter (fun h -> Hashtbl.mem t.requests (D.to_raw h)) t.request_order;
+  let rec_ =
+    {
+      br_pp = pp;
+      br_batch_hashes = batch_hashes;
+      br_requests = reqs;
+      br_txs = txs;
+      br_ev_prepares = ev_prepares;
+      br_ev_nonces = ev_nonces;
+      br_ledger_start = ledger_start;
+      br_kv_version_before = kv_before;
+      br_gov_index_before = gov_before;
+      br_dc_before = dc_before;
+      br_phase_before = phase_before;
+      br_cfg_before = cfg_before;
+      br_prepared = false;
+      br_committed = false;
+    }
+  in
+  Hashtbl.replace t.records s rec_;
+  Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+  post_execute_batch t pp txs;
+  t.seqno <- s + 1;
+  broadcast_replicas t (Wire.Pre_prepare_msg { pp; batch = batch_hashes });
+  check_prepared t
+
+(* ------------------------------------------------------------------ *)
+(* Backup processing of pre-prepares (Alg. 1, line 15)                 *)
+
+and validate_kind t (pp : Message.pre_prepare) =
+  let s = pp.Message.seqno in
+  let cp_digest_matches cp_seqno digest =
+    if not t.params.variant.Variant.enable_checkpoints then true
+    else begin
+      match Hashtbl.find_opt t.checkpoints cp_seqno with
+      | Some (_, own) -> D.equal own digest
+      | None -> false
+    end
+  in
+  match (pp.Message.kind, t.phase) with
+  | Batch.Regular, Normal ->
+      not
+        (t.params.variant.Variant.enable_checkpoints
+        && s mod t.params.checkpoint_interval = 0)
+  | Batch.Checkpoint { cp_seqno; cp_digest }, Normal ->
+      t.params.variant.Variant.enable_checkpoints
+      && s mod t.params.checkpoint_interval = 0
+      && cp_seqno = t.latest_cp_seqno
+      && cp_digest_matches cp_seqno cp_digest
+  | Batch.End_of_config { phase; committed_root }, Ending { vote_seqno; committed_root = own_root; _ }
+    ->
+      phase = s - vote_seqno
+      && phase >= 1
+      && phase <= 2 * t.params.pipeline
+      && ((not (keep_ledger t)) || D.equal committed_root own_root)
+  | Batch.Checkpoint { cp_seqno; cp_digest }, Starting { cp_seqno = base; _ } ->
+      s = base + 1 && cp_seqno = base && cp_digest_matches cp_seqno cp_digest
+  | Batch.Start_of_config { phase }, Starting { cp_seqno = base; last_start } ->
+      s > base + 1 && s <= last_start && phase = s - base - 1
+  | ( (Batch.Regular | Batch.Checkpoint _ | Batch.End_of_config _ | Batch.Start_of_config _),
+      (Normal | Ending _ | Starting _) ) ->
+      false
+
+(* Returns true when the pp was consumed (accepted or definitively
+   rejected); false when it should stay buffered. *)
+and process_pre_prepare t (pp : Message.pre_prepare) batch_hashes =
+  let s = pp.Message.seqno in
+  let v = pp.Message.view in
+  let missing =
+    List.filter
+      (fun h ->
+        (not (Hashtbl.mem t.requests (D.to_raw h)))
+        && not (Hashtbl.mem t.executed_requests (D.to_raw h)))
+      batch_hashes
+  in
+  if missing <> [] then begin
+    send t ~dst:pp.Message.primary (Wire.Fetch_missing { fm_seqno = s });
+    false
+  end
+  else begin
+    match evidence_matching t (s - t.params.pipeline) pp.Message.ev_bitmap with
+    | None ->
+        send t ~dst:pp.Message.primary (Wire.Fetch_missing { fm_seqno = s });
+        false
+    | Some (ev_prepares, ev_nonces) ->
+        if not (validate_kind t pp) then true (* reject; suspicion via timer *)
+        else begin
+          let ledger_start = ledger_len t in
+          let kv_before = Store.version t.store in
+          let gov_before = t.gov_index in
+          let dc_before = t.current_dc in
+          let phase_before = t.phase in
+          let cfg_before = t.cfg in
+          append_evidence_entries t ~s_past:(s - t.params.pipeline) ev_prepares
+            ev_nonces;
+          let base_index = ledger_len t + 1 in
+          let reqs =
+            List.map
+              (fun h ->
+                match Hashtbl.find_opt t.requests (D.to_raw h) with
+                | Some r -> r
+                | None -> assert false)
+              batch_hashes
+          in
+          let txs = execute_requests t ~base_index reqs in
+          let undo () =
+            if keep_ledger t then Ledger.truncate t.ledger ledger_start;
+            Store.rollback t.store kv_before;
+            t.gov_index <- gov_before;
+            t.current_dc <- dc_before;
+            t.phase <- phase_before;
+            t.cfg <- cfg_before
+          in
+          (* A re-proposed batch must keep its original entries: if fresh
+             execution diverges from the pre-prepare's g_root only in the
+             assigned indices, adopt the archived entries for this root. *)
+          let txs =
+            if D.equal (Batch.g_root txs) pp.Message.g_root then txs
+            else begin
+              match
+                Hashtbl.find_opt t.archived_content (s, (pp.Message.g_root :> string))
+              with
+              | Some (_, _, original)
+                when List.length original = List.length txs
+                     && List.for_all2
+                          (fun (a : Batch.tx_entry) (b : Batch.tx_entry) ->
+                            String.equal a.Batch.result.Batch.output
+                              b.Batch.result.Batch.output
+                            && D.equal a.Batch.result.Batch.write_set_hash
+                                 b.Batch.result.Batch.write_set_hash)
+                          original txs ->
+                  original
+              | _ -> txs
+            end
+          in
+          let g_root = Batch.g_root txs in
+          let m_root = m_root_now t in
+          let min_index_ok =
+            List.for_all
+              (fun (tx : Batch.tx_entry) ->
+                tx.Batch.request.Request.min_index <= tx.Batch.index)
+              txs
+          in
+          if
+            (not min_index_ok)
+            || (not (D.equal g_root pp.Message.g_root))
+            || (keep_ledger t && not (D.equal m_root pp.Message.m_root))
+          then begin
+            (* Divergent execution or a lying primary: roll back (Alg. 1,
+               line 23) and let the progress timer trigger a view change. *)
+            undo ();
+            true
+          end
+          else begin
+            append_ledger t (Entry.Pre_prepare pp);
+            List.iter (fun tx -> append_ledger t (Entry.Tx tx)) txs;
+            List.iter
+              (fun (tx : Batch.tx_entry) ->
+                let h = D.to_raw (Request.hash tx.Batch.request) in
+                Hashtbl.replace t.executed_requests h tx.Batch.index;
+                Hashtbl.remove t.requests h)
+              txs;
+            t.request_order <-
+              List.filter (fun h -> Hashtbl.mem t.requests (D.to_raw h)) t.request_order;
+            let nonce = Nonce.derive ~key:t.nonce_key ~view:v ~seqno:s in
+            Hashtbl.replace t.own_nonces (v, s) (Nonce.reveal nonce);
+            let pph = Message.pp_hash pp in
+            let payload =
+              Message.prepare_payload ~view:v ~seqno:s ~replica:t.rid
+                ~nonce_com:(Nonce.commit nonce) ~pp_hash:pph
+            in
+            let prepare =
+              {
+                Message.p_view = v;
+                p_seqno = s;
+                p_replica = t.rid;
+                p_nonce_com = Nonce.commit nonce;
+                p_pp_hash = pph;
+                p_signature = sign_digest t payload;
+              }
+            in
+            let rec_ =
+              {
+                br_pp = pp;
+                br_batch_hashes = batch_hashes;
+                br_requests = reqs;
+                br_txs = txs;
+                br_ev_prepares = ev_prepares;
+                br_ev_nonces = ev_nonces;
+                br_ledger_start = ledger_start;
+                br_kv_version_before = kv_before;
+                br_gov_index_before = gov_before;
+                br_dc_before = dc_before;
+                br_phase_before = phase_before;
+                br_cfg_before = cfg_before;
+                br_prepared = false;
+                br_committed = false;
+              }
+            in
+            Hashtbl.replace t.records s rec_;
+            Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+            post_execute_batch t pp txs;
+            t.seqno <- s + 1;
+            Hashtbl.replace (sub_tbl t.prepares (v, s)) t.rid prepare;
+            broadcast_replicas t (Wire.Prepare_msg prepare);
+            check_prepared t;
+            true
+          end
+        end
+  end
+
+and try_process_pending t =
+  match Hashtbl.find_opt t.pending_pps t.seqno with
+  | Some (pp, batch) when t.ready ->
+      if pp.Message.view < t.view then begin
+        (* Superseded by a view change. *)
+        Hashtbl.remove t.pending_pps t.seqno;
+        try_process_pending t
+      end
+      else if pp.Message.view > t.view then ()
+        (* Keep: it may become processable once we adopt that view. *)
+      else if process_pre_prepare t pp batch then begin
+        Hashtbl.remove t.pending_pps t.seqno;
+        try_process_pending t
+      end
+  | _ -> ()
+
+and on_pre_prepare t (pp : Message.pre_prepare) batch =
+  (match Sys.getenv_opt "IACCF_DEBUG_PP" with
+  | Some _ ->
+      Printf.eprintf
+        "PP r%d: recv s=%d v=%d | my v=%d s=%d ready=%b nonce_used=%b\n%!" t.rid
+        pp.Message.seqno pp.Message.view t.view t.seqno t.ready
+        (Hashtbl.mem t.own_nonces (t.view, pp.Message.seqno))
+  | None -> ());
+  if t.running && t.activated && pp.Message.primary <> t.rid then begin
+    if pp.Message.view >= t.view && verify_pp_sig t pp then begin
+      if
+        pp.Message.view = t.view && t.ready && pp.Message.seqno = t.seqno
+        && not (Hashtbl.mem t.own_nonces (t.view, pp.Message.seqno))
+      then begin
+        if process_pre_prepare t pp batch then () else
+          Hashtbl.replace t.pending_pps pp.Message.seqno (pp, batch);
+        try_process_pending t
+      end
+      else if pp.Message.seqno >= t.seqno || (not t.ready) || pp.Message.view > t.view
+      then begin
+        (* While a view change is in flight our sequence number may roll
+           back below this pre-prepare's: keep everything for the newest
+           view until the new-view settles. *)
+        match Hashtbl.find_opt t.pending_pps pp.Message.seqno with
+        | Some (prev, _) when prev.Message.view > pp.Message.view -> ()
+        | _ -> Hashtbl.replace t.pending_pps pp.Message.seqno (pp, batch)
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Requests, prepares, commits                                         *)
+
+and arm_batch_timer t =
+  if not t.batch_timer_armed then begin
+    t.batch_timer_armed <- true;
+    ignore
+      (Sched.schedule t.sched ~delay:t.params.batch_delay_ms (fun () ->
+           t.batch_timer_armed <- false;
+           try_send_pre_prepares t))
+  end
+
+and on_request t (req : Request.t) =
+  if t.running && t.activated then begin
+    let h = D.to_raw (Request.hash req) in
+    if (not (Hashtbl.mem t.requests h)) && not (Hashtbl.mem t.executed_requests h)
+    then begin
+      let ok =
+        if t.params.variant.Variant.verify_client_sigs then begin
+          t.st.signatures_verified <- t.st.signatures_verified + 1;
+          Request.verify req ~service:t.service
+        end
+        else true
+      in
+      if ok then begin
+        Hashtbl.replace t.requests h req;
+        t.request_order <- Request.hash req :: t.request_order;
+        if is_primary t then arm_batch_timer t;
+        try_process_pending t
+      end
+    end
+  end
+
+and on_prepare t (p : Message.prepare) =
+  if
+    t.running && t.activated
+    && p.Message.p_replica <> t.rid
+    && verify_prepare_sig t p
+  then begin
+    Hashtbl.replace (sub_tbl t.prepares (p.Message.p_view, p.Message.p_seqno))
+      p.Message.p_replica p;
+    check_prepared t
+  end
+
+and on_commit t (c : Message.commit) =
+  if t.running && t.activated && c.Message.c_replica <> t.rid then begin
+    (* Signed-commit ablation: pay the verification the nonce scheme saves. *)
+    if t.params.variant.Variant.sign_commits then begin
+      t.st.signatures_verified <- t.st.signatures_verified + 1;
+      match Config.replica_pk t.cfg c.Message.c_replica with
+      | Some pk ->
+          ignore
+            (Schnorr.verify pk
+               (D.to_raw
+                  (D.of_string
+                     (Printf.sprintf "commit:%d:%d:%d" c.Message.c_view c.Message.c_seqno
+                        c.Message.c_replica)))
+               ~signature:(String.make 64 '\000'))
+      | None -> ()
+    end;
+    Hashtbl.replace (sub_tbl t.commits (c.Message.c_view, c.Message.c_seqno))
+      c.Message.c_replica c.Message.c_nonce;
+    check_committed t;
+    try_send_pre_prepares t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Roll-back (Appx. A, Lemma 1)                                        *)
+
+and rollback_to t target =
+  (match Sys.getenv_opt "IACCF_DEBUG_ROLLBACK" with
+  | Some _ when target < t.seqno - 1 ->
+      Printf.eprintf "ROLLBACK r%d target=%d seqno=%d lc=%d lp=%d view=%d\n%!"
+        t.rid target t.seqno t.last_committed t.last_prepared t.view
+  | _ -> ());
+  let top = t.seqno - 1 in
+  if top > target then begin
+    (match Hashtbl.find_opt t.records (target + 1) with
+    | Some rec_ ->
+        if keep_ledger t then Ledger.truncate t.ledger rec_.br_ledger_start;
+        Store.rollback t.store rec_.br_kv_version_before;
+        t.gov_index <- rec_.br_gov_index_before;
+        t.current_dc <- rec_.br_dc_before;
+        t.phase <- rec_.br_phase_before;
+        t.cfg <- rec_.br_cfg_before
+    | None -> ());
+    for q = target + 1 to top do
+      match Hashtbl.find_opt t.records q with
+      | Some rec_ ->
+          Hashtbl.replace t.archived_content
+            (q, (rec_.br_pp.Message.g_root :> string))
+            (rec_.br_pp.Message.kind, rec_.br_requests, rec_.br_txs);
+          List.iter
+            (fun (req : Request.t) ->
+              let h = D.to_raw (Request.hash req) in
+              Hashtbl.remove t.executed_requests h;
+              if not (Hashtbl.mem t.requests h) then begin
+                Hashtbl.replace t.requests h req;
+                t.request_order <- Request.hash req :: t.request_order
+              end)
+            rec_.br_requests;
+          Hashtbl.remove t.records q;
+          Hashtbl.remove t.batch_ledger_end q
+      | None -> Hashtbl.remove t.batch_ledger_end q
+    done;
+    t.seqno <- target + 1;
+    if t.last_prepared > target then t.last_prepared <- target;
+    if t.last_committed > target then t.last_committed <- target
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View changes (Alg. 2)                                               *)
+
+and last_prepared_pps t =
+  (* The P highest-seqno pre-prepares this replica ever prepared, surviving
+     any roll-backs in between (Alg. 2 line 3). *)
+  let seqnos =
+    Hashtbl.fold (fun s _ acc -> s :: acc) t.prepared_pps []
+    |> List.sort (fun a b -> compare b a)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | s :: rest -> Hashtbl.find t.prepared_pps s :: take (n - 1) rest
+  in
+  List.rev (take t.params.pipeline seqnos)
+
+and send_view_change t v' =
+  if t.running && t.activated && in_config t then begin
+    t.st.view_changes <- t.st.view_changes + 1;
+    let pps = last_prepared_pps t in
+    t.view <- v';
+    t.ready <- false;
+    let payload =
+      Message.view_change_payload ~view:v' ~replica:t.rid ~last_prepared:pps
+    in
+    let vc =
+      {
+        Message.vc_view = v';
+        vc_replica = t.rid;
+        vc_last_prepared = pps;
+        vc_signature = sign_digest t payload;
+      }
+    in
+    Hashtbl.replace (sub_tbl t.view_changes v') t.rid vc;
+    broadcast_replicas t (Wire.View_change_msg vc);
+    maybe_new_view t
+  end
+
+and start_view_change t = send_view_change t (t.view + 1)
+
+and on_view_change t (vc : Message.view_change) =
+  if t.running && t.activated && vc.Message.vc_view >= t.view && verify_vc_sig t vc
+  then begin
+    Hashtbl.replace (sub_tbl t.view_changes vc.Message.vc_view) vc.Message.vc_replica vc;
+    if
+      vc.Message.vc_view > t.view
+      && Hashtbl.length (sub_tbl t.view_changes vc.Message.vc_view) > Config.f t.cfg
+    then send_view_change t vc.Message.vc_view
+    else maybe_new_view t
+  end
+
+(* The highest prepared pre-prepare across a view-change quorum, plus the
+   pre-prepares for the P sequence numbers ending at it (best view wins). *)
+and summarize_view_changes vcs =
+  let best = Hashtbl.create 8 in
+  List.iter
+    (fun (vc : Message.view_change) ->
+      List.iter
+        (fun (pp : Message.pre_prepare) ->
+          match Hashtbl.find_opt best pp.Message.seqno with
+          | Some (prev : Message.pre_prepare) when prev.Message.view >= pp.Message.view -> ()
+          | _ -> Hashtbl.replace best pp.Message.seqno pp)
+        vc.Message.vc_last_prepared)
+    vcs;
+  let s_lp = Hashtbl.fold (fun s _ acc -> max s acc) best 0 in
+  (s_lp, best)
+
+and maybe_new_view t =
+  if
+    t.running && t.activated && (not t.ready)
+    && Config.primary_of_view t.cfg t.view = t.rid
+  then begin
+    let v' = t.view in
+    let tbl = sub_tbl t.view_changes v' in
+    if Hashtbl.length tbl >= quorum t then begin
+      let vcs =
+        Hashtbl.fold (fun _ vc acc -> vc :: acc) tbl []
+        |> List.sort (fun a b -> compare a.Message.vc_replica b.Message.vc_replica)
+        |> List.filteri (fun i _ -> i < quorum t)
+      in
+      let s_lp, best = summarize_view_changes vcs in
+      let target = max 0 (s_lp - t.params.pipeline) in
+      (* Find a replica that can supply anything we are missing. *)
+      let reporter =
+        Hashtbl.fold
+          (fun _ (pp : Message.pre_prepare) acc ->
+            if pp.Message.seqno = s_lp then
+              List.find_opt
+                (fun (vc : Message.view_change) ->
+                  List.exists
+                    (fun p -> Message.pre_prepare_equal p pp)
+                    vc.Message.vc_last_prepared)
+                vcs
+            else acc)
+          best None
+      in
+      let content_of q =
+        match (Hashtbl.find_opt t.records q, Hashtbl.find_opt best q) with
+        | Some rec_, Some pp
+          when D.equal rec_.br_pp.Message.g_root pp.Message.g_root ->
+            Some (rec_.br_pp.Message.kind, rec_.br_requests, rec_.br_txs)
+        | Some rec_, None when q <= t.last_committed ->
+            Some (rec_.br_pp.Message.kind, rec_.br_requests, rec_.br_txs)
+        | Some _, None -> None
+        | (Some _ | None), Some pp ->
+            Hashtbl.find_opt t.archived_content (q, (pp.Message.g_root :> string))
+        | None, None -> None
+      in
+      let have q = content_of q <> None in
+      let all_present =
+        t.last_committed >= target
+        && List.for_all have
+             (List.init (max 0 (s_lp - target)) (fun i -> target + 1 + i))
+      in
+      if not all_present then begin
+        match reporter with
+        | Some vc ->
+            (* Our uncommitted prefix may diverge from the canonical chain:
+               drop it and fetch the committed entries from a replica that
+               prepared the high-water batch (Alg. 2). *)
+            t.fetch_target <- Some vc.Message.vc_replica;
+            rollback_to t t.last_committed;
+            if keep_ledger t then Ledger.truncate t.ledger (committed_prefix_length t);
+            send t ~dst:vc.Message.vc_replica
+              (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+        | None -> ()
+      end
+      else begin
+        (* Save the content of the batches to re-propose, then roll back. *)
+        let saved =
+          List.filter_map content_of
+            (List.init (max 0 (s_lp - target)) (fun i -> target + 1 + i))
+        in
+        rollback_to t target;
+        (* Drop stale view-change entries beyond the last batch: the new
+           view's ledger is canonical-prefix + [view-change set][new-view]. *)
+        if keep_ledger t then Ledger.truncate t.ledger (batch_end_length t target);
+        let entry = Entry.View_change_set vcs in
+        let h_vc = Entry.leaf_digest entry in
+        append_ledger t entry;
+        let m_root = m_root_now t in
+        let bitmap =
+          Bitmap.of_list (List.map (fun vc -> vc.Message.vc_replica) vcs)
+        in
+        let payload =
+          Message.new_view_payload ~view:v' ~m_root ~vc_bitmap:bitmap ~vc_hash:h_vc
+            ~primary:t.rid
+        in
+        let nv =
+          {
+            Message.nv_view = v';
+            nv_m_root = m_root;
+            nv_vc_bitmap = bitmap;
+            nv_vc_hash = h_vc;
+            nv_primary = t.rid;
+            nv_signature = sign_digest t payload;
+          }
+        in
+        append_ledger t (Entry.New_view nv);
+        broadcast_replicas t (Wire.New_view_msg { nv; vcs });
+        t.ready <- true;
+        (* Re-propose the prepared batches in the new view (Alg. 2 line 17),
+           then resume normal batching. *)
+        List.iter
+          (fun (kind, reqs, txs) ->
+            match evidence_for t (t.seqno - t.params.pipeline) with
+            | Some (ev_prepares, ev_nonces, ev_bitmap) ->
+                emit_batch t ~fixed_txs:txs ~kind ~reqs ~ev_prepares ~ev_nonces
+                  ~ev_bitmap ()
+            | None -> ())
+          saved;
+        try_send_pre_prepares t
+      end
+    end
+  end
+
+and on_new_view t (nv : Message.new_view) vcs =
+  if
+    t.running && t.activated
+    && nv.Message.nv_view >= t.view
+    && nv.Message.nv_primary <> t.rid
+    && verify_nv_sig t nv
+    && List.length vcs >= quorum t
+    && List.for_all (fun vc -> verify_vc_sig t vc && vc.Message.vc_view = nv.Message.nv_view) vcs
+  then begin
+    t.view <- nv.Message.nv_view;
+    t.ready <- false;
+    t.pending_new_view <- Some (nv, vcs);
+    try_complete_new_view t
+  end
+
+and try_complete_new_view t =
+  match t.pending_new_view with
+  | None -> ()
+  | Some (nv, vcs) ->
+      let s_lp, _ = summarize_view_changes vcs in
+      let target = max 0 (s_lp - t.params.pipeline) in
+      let reconcile () =
+        (* Our prefix diverges from the new view's canonical chain (we may
+           have missed earlier view-change entries, or hold uncommitted
+           batches the quorum never saw): drop back to the committed prefix
+           and fetch the primary's ledger (Alg. 2's reconciliation). *)
+        t.fetch_target <- Some nv.Message.nv_primary;
+        rollback_to t t.last_committed;
+        if keep_ledger t then Ledger.truncate t.ledger (committed_prefix_length t);
+        send t ~dst:nv.Message.nv_primary
+          (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+      in
+      if t.last_committed < target then reconcile ()
+      else begin
+        rollback_to t target;
+        if keep_ledger t then Ledger.truncate t.ledger (batch_end_length t target);
+        let vcs_sorted =
+          List.sort (fun a b -> compare a.Message.vc_replica b.Message.vc_replica) vcs
+        in
+        let entry = Entry.View_change_set vcs_sorted in
+        let h_vc = Entry.leaf_digest entry in
+        if D.equal h_vc nv.Message.nv_vc_hash then begin
+          append_ledger t entry;
+          let m_root = m_root_now t in
+          if (not (keep_ledger t)) || D.equal m_root nv.Message.nv_m_root then begin
+            t.pending_new_view <- None;
+            append_ledger t (Entry.New_view nv);
+            t.ready <- true;
+            try_process_pending t;
+            (* Re-emitted pre-prepares may have been dropped before we
+               adopted the view; pull the next batch explicitly. *)
+            if not (Hashtbl.mem t.pending_pps t.seqno) then
+              send t ~dst:(primary_id t) (Wire.Fetch_missing { fm_seqno = t.seqno })
+          end
+          else begin
+            if keep_ledger t then
+              Ledger.truncate t.ledger (Ledger.length t.ledger - 1);
+            reconcile ()
+          end
+        end
+        else t.pending_new_view <- None
+      end
+
+(* ------------------------------------------------------------------ *)
+(* State transfer                                                      *)
+
+and store_package_evidence t (bp : Wire.batch_package) =
+  List.iter
+    (fun (p : Message.prepare) ->
+      Hashtbl.replace (sub_tbl t.prepares (p.Message.p_view, p.Message.p_seqno))
+        p.Message.p_replica p)
+    bp.Wire.bp_ev_prepares;
+  let past = bp.Wire.bp_pp.Message.seqno - t.params.pipeline in
+  match Hashtbl.find_opt t.records past with
+  | Some rec_ ->
+      let v = rec_.br_pp.Message.view in
+      List.iter
+        (fun (r, n) -> Hashtbl.replace (sub_tbl t.commits (v, past)) r n)
+        bp.Wire.bp_ev_nonces;
+      check_committed t
+  | None -> ()
+
+(* Ledger length of the prefix covering batches up to last_prepared: the
+   safe suffix to serve to catching-up replicas. *)
+and safe_ledger_length t =
+  if t.last_prepared >= t.seqno - 1 then Ledger.length t.ledger
+  else begin
+    match Hashtbl.find_opt t.records (t.last_prepared + 1) with
+    | Some rec_ -> rec_.br_ledger_start
+    | None -> Ledger.length t.ledger
+  end
+
+and on_fetch_state t ~src from_len =
+  if keep_ledger t then begin
+    let upto = min (safe_ledger_length t) (from_len + 400) in
+    if upto > from_len then begin
+      let entries =
+        List.map snd (Ledger.entries t.ledger ~from:from_len ~until:upto ())
+      in
+      send t ~dst:src
+        (Wire.State_msg { sm_from = from_len; sm_entries = entries; sm_view = t.view })
+    end
+  end
+
+(* Apply a received ledger suffix: append evidence verbatim, re-execute
+   every batch checking roots and recorded results, adopt view changes.
+   State transfer thus reconstructs exactly the sender's ledger — including
+   the view-change and new-view entries that batch replay alone would
+   miss. *)
+and apply_entries t ?(skip_exec_upto = 0) entries =
+  let progressed = ref false in
+  let aborted = ref false in
+  (* Current batch being assembled: (pp, txs rev). *)
+  let current = ref None in
+  let staged_ev = ref [] in (* evidence entries awaiting their pp, reversed *)
+  let flush_batch () =
+    match !current with
+    | None -> ()
+    | Some (pp, txs_rev) ->
+        current := None;
+        let recorded = List.rev txs_rev in
+        let s = pp.Message.seqno in
+        let skip_exec = s <= skip_exec_upto in
+        (* Checkpoint-based bootstrap (Â§3.4): entries up to the installed
+           checkpoint are adopted without re-execution; only checkpoint
+           batches' signatures are verified, plus the Merkle chain below. *)
+        let sig_ok =
+          if skip_exec then begin
+            match pp.Message.kind with
+            | Batch.Checkpoint _ -> verify_pp_sig t pp
+            | Batch.Regular | Batch.End_of_config _ | Batch.Start_of_config _ -> true
+          end
+          else verify_pp_sig t pp
+        in
+        if s <> t.seqno || not sig_ok then aborted := true
+        else if skip_exec then begin
+          (* Adopt verbatim: ledger, Merkle chain, and bookkeeping move; the
+             key-value store comes from the checkpoint instead. *)
+          List.iter (fun e -> append_ledger t e) (List.rev !staged_ev);
+          staged_ev := [];
+          let m_root = m_root_now t in
+          if
+            (not (D.equal m_root pp.Message.m_root))
+            || not (D.equal (Batch.g_root recorded) pp.Message.g_root)
+          then aborted := true
+          else begin
+            append_ledger t (Entry.Pre_prepare pp);
+            List.iter
+              (fun (tx : Batch.tx_entry) ->
+                append_ledger t (Entry.Tx tx);
+                let h = D.to_raw (Request.hash tx.Batch.request) in
+                Hashtbl.replace t.executed_requests h tx.Batch.index;
+                let proc = tx.Batch.request.Request.proc in
+                if String.length proc >= 4 && String.sub proc 0 4 = "gov/" then
+                  t.gov_index <- tx.Batch.index)
+              recorded;
+            (match pp.Message.kind with
+            | Batch.Checkpoint { cp_digest; _ } -> t.current_dc <- cp_digest
+            | Batch.Regular | Batch.End_of_config _ | Batch.Start_of_config _ -> ());
+            Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+            t.seqno <- s + 1;
+            t.last_prepared <- max t.last_prepared s;
+            t.last_committed <- max t.last_committed s;
+            progressed := true
+          end
+        end
+        else begin
+          let ledger_start = ledger_len t in
+          let kv_before = Store.version t.store in
+          let gov_before = t.gov_index in
+          let dc_before = t.current_dc in
+          let phase_before = t.phase in
+          let cfg_before = t.cfg in
+          (* Evidence entries preceding this pp go in verbatim and feed the
+             message stores so later evidence assembly works. *)
+          List.iter
+            (fun e ->
+              (match e with
+              | Entry.Prepare_evidence { pe_prepares; _ } ->
+                  List.iter
+                    (fun (p : Message.prepare) ->
+                      Hashtbl.replace
+                        (sub_tbl t.prepares (p.Message.p_view, p.Message.p_seqno))
+                        p.Message.p_replica p)
+                    pe_prepares
+              | Entry.Nonce_evidence { ne_view; ne_seqno; ne_nonces } ->
+                  List.iter
+                    (fun (r, n) ->
+                      Hashtbl.replace (sub_tbl t.commits (ne_view, ne_seqno)) r n)
+                    ne_nonces
+              | _ -> ());
+              append_ledger t e)
+            (List.rev !staged_ev);
+          staged_ev := [];
+          let reqs = List.map (fun (tx : Batch.tx_entry) -> tx.Batch.request) recorded in
+          let base_index = ledger_len t + 1 in
+          let executed = execute_requests t ~base_index reqs in
+          (* Indices are adopted from the recorded entries (they are bound by
+             the signed g_root and may be lower than the physical position if
+             the batch was re-proposed after a view change). *)
+          let matches =
+            List.length executed = List.length recorded
+            && List.for_all2
+                 (fun (a : Batch.tx_entry) (b : Batch.tx_entry) ->
+                   String.equal a.Batch.result.Batch.output b.Batch.result.Batch.output
+                   && D.equal a.Batch.result.Batch.write_set_hash
+                        b.Batch.result.Batch.write_set_hash)
+                 executed recorded
+          in
+          let txs = recorded in
+          let g_root = Batch.g_root txs in
+          let m_root = m_root_now t in
+          if
+            (not matches)
+            || (not (D.equal g_root pp.Message.g_root))
+            || not (D.equal m_root pp.Message.m_root)
+          then begin
+            if keep_ledger t then Ledger.truncate t.ledger ledger_start;
+            Store.rollback t.store kv_before;
+            t.gov_index <- gov_before;
+            t.current_dc <- dc_before;
+            t.phase <- phase_before;
+            t.cfg <- cfg_before;
+            aborted := true
+          end
+          else begin
+            append_ledger t (Entry.Pre_prepare pp);
+            List.iter (fun tx -> append_ledger t (Entry.Tx tx)) txs;
+            List.iter
+              (fun (tx : Batch.tx_entry) ->
+                let h = D.to_raw (Request.hash tx.Batch.request) in
+                Hashtbl.replace t.executed_requests h tx.Batch.index;
+                Hashtbl.remove t.requests h)
+              txs;
+            let rec_ =
+              {
+                br_pp = pp;
+                br_batch_hashes = List.map Request.hash reqs;
+                br_requests = reqs;
+                br_txs = txs;
+                br_ev_prepares = [];
+                br_ev_nonces = [];
+                br_ledger_start = ledger_start;
+                br_kv_version_before = kv_before;
+                br_gov_index_before = gov_before;
+                br_dc_before = dc_before;
+                br_phase_before = phase_before;
+                br_cfg_before = cfg_before;
+                br_prepared = true;
+                br_committed = true;
+              }
+            in
+            Hashtbl.replace t.records s rec_;
+            Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+            (match Hashtbl.find_opt t.prepared_pps s with
+            | Some prev when prev.Message.view >= pp.Message.view -> ()
+            | _ -> Hashtbl.replace t.prepared_pps s pp);
+            post_execute_batch t pp txs;
+            t.seqno <- s + 1;
+            t.last_prepared <- max t.last_prepared s;
+            t.last_committed <- max t.last_committed s;
+            progressed := true
+          end
+        end
+  in
+  List.iter
+    (fun entry ->
+      if not !aborted then begin
+        match entry with
+        | Entry.Tx tx -> (
+            match !current with
+            | Some (pp, txs_rev) -> current := Some (pp, tx :: txs_rev)
+            | None -> aborted := true)
+        | Entry.Pre_prepare pp ->
+            flush_batch ();
+            if not !aborted then current := Some (pp, [])
+        | Entry.Prepare_evidence _ | Entry.Nonce_evidence _ ->
+            flush_batch ();
+            if not !aborted then staged_ev := entry :: !staged_ev
+        | Entry.View_change_set vcs ->
+            flush_batch ();
+            if not !aborted then begin
+              List.iter
+                (fun (vc : Message.view_change) ->
+                  Hashtbl.replace (sub_tbl t.view_changes vc.Message.vc_view)
+                    vc.Message.vc_replica vc)
+                vcs;
+              append_ledger t entry
+            end
+        | Entry.New_view nv ->
+            flush_batch ();
+            if not !aborted then begin
+              append_ledger t entry;
+              if nv.Message.nv_view > t.view then t.view <- nv.Message.nv_view;
+              progressed := true
+            end
+        | Entry.Genesis _ -> aborted := true
+      end)
+    entries;
+  if not !aborted then flush_batch ();
+  !progressed
+
+and on_state t ~sm_from ~sm_entries ~sm_view =
+  if t.running && keep_ledger t && sm_from = Ledger.length t.ledger then begin
+    let progressed = apply_entries t sm_entries in
+    if progressed then begin
+      if sm_view > t.view && t.pending_new_view = None then t.view <- sm_view;
+      if in_config t && not t.activated then t.activated <- true;
+      (match t.fetch_target with
+      | Some target when List.length sm_entries >= 400 || not t.activated ->
+          send t ~dst:target (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+      | _ -> t.fetch_target <- None);
+      try_complete_new_view t;
+      maybe_new_view t;
+      try_process_pending t;
+      check_prepared t;
+      try_send_pre_prepares t
+    end
+  end
+
+(* Serve a checkpoint-based bootstrap: the newest retained checkpoint whose
+   digest a committed checkpoint transaction records, plus the ledger. *)
+and on_fetch_snapshot t ~src =
+  if keep_ledger t then begin
+    let recorded = ref None in
+    Ledger.iteri
+      (fun _ e ->
+        match e with
+        | Entry.Pre_prepare pp -> (
+            match pp.Message.kind with
+            | Batch.Checkpoint { cp_seqno; cp_digest }
+              when pp.Message.seqno <= t.last_committed ->
+                recorded := Some (cp_seqno, cp_digest)
+            | _ -> ())
+        | _ -> ())
+      t.ledger;
+    match !recorded with
+    | Some (cp_seqno, _) when Hashtbl.mem t.checkpoints cp_seqno ->
+        let cp, _ = Hashtbl.find t.checkpoints cp_seqno in
+        let upto = safe_ledger_length t in
+        let entries = List.map snd (Ledger.entries t.ledger ~from:0 ~until:upto ()) in
+        send t ~dst:src
+          (Wire.Snapshot_msg { sp_checkpoint = cp; sp_entries = entries; sp_view = t.view })
+    | _ ->
+        (* No recorded checkpoint yet: fall back to plain state transfer. *)
+        on_fetch_state t ~src 1
+  end
+
+(* Install a snapshot: adopt the ledger up to the checkpoint without
+   re-execution (verifying the Merkle chain and checkpoint signatures),
+   load the key-value store from the checkpoint, then execute the tail. *)
+and on_snapshot t ~sp_checkpoint ~sp_entries ~sp_view =
+  if t.running && keep_ledger t && t.seqno = 1 && Ledger.length t.ledger = 1 then begin
+    let cp_seqno = sp_checkpoint.Checkpoint.seqno in
+    let cp_digest = Checkpoint.digest sp_checkpoint in
+    (* The checkpoint's digest must be recorded by a checkpoint transaction
+       in the offered ledger. *)
+    let recorded =
+      List.exists
+        (fun e ->
+          match e with
+          | Entry.Pre_prepare pp -> (
+              match pp.Message.kind with
+              | Batch.Checkpoint { cp_seqno = s; cp_digest = d } ->
+                  s = cp_seqno && D.equal d cp_digest
+              | _ -> false)
+          | _ -> false)
+        sp_entries
+    in
+    match sp_entries with
+    | Entry.Genesis g :: rest when recorded && D.equal (Genesis.hash g) t.service ->
+        Store.reset_to t.store sp_checkpoint.Checkpoint.state;
+        let progressed = apply_entries t ~skip_exec_upto:cp_seqno rest in
+        if progressed then begin
+          (* Configuration and phase are read back from the installed
+             state; joining mid-reconfiguration is not supported. *)
+          (match Iaccf_kv.Hamt.find App.config_key (Store.map t.store) with
+          | Some bytes -> (
+              match Config.deserialize bytes with
+              | exception _ -> ()
+              | c -> if c.Config.config_no > t.cfg.Config.config_no then t.cfg <- c)
+          | None -> ());
+          Hashtbl.replace t.checkpoints cp_seqno (sp_checkpoint, cp_digest);
+          t.latest_cp_seqno <- max t.latest_cp_seqno cp_seqno;
+          if sp_view > t.view then t.view <- sp_view;
+          if in_config t && not t.activated then t.activated <- true;
+          try_process_pending t;
+          check_prepared t
+        end
+        else Store.reset_to t.store Iaccf_kv.Hamt.empty
+    | _ -> ()
+  end
+
+and on_batch_package t (bp : Wire.batch_package) =
+  if t.running && t.activated then begin
+    (* Adopt the requests and evidence; the buffered pre-prepare (or this
+       package applied directly if we are the one behind) can then proceed. *)
+    List.iter
+      (fun (req : Request.t) ->
+        let h = D.to_raw (Request.hash req) in
+        if (not (Hashtbl.mem t.requests h)) && not (Hashtbl.mem t.executed_requests h)
+        then begin
+          Hashtbl.replace t.requests h req;
+          t.request_order <- Request.hash req :: t.request_order
+        end)
+      bp.Wire.bp_requests;
+    store_package_evidence t bp;
+    if
+      bp.Wire.bp_pp.Message.seqno = t.seqno
+      && not (Hashtbl.mem t.pending_pps t.seqno)
+    then
+      Hashtbl.replace t.pending_pps t.seqno
+        (bp.Wire.bp_pp, List.map Request.hash bp.Wire.bp_requests);
+    try_process_pending t;
+    check_prepared t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Progress timer: retransmission, then view change                    *)
+
+and progress_tick t =
+  if t.running && not t.activated then begin
+    (* Passive joiner: keep pulling state until our configuration includes
+       us and we have caught up (§5.1). *)
+    (match t.fetch_target with
+    | Some target ->
+        send t ~dst:target (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+    | None -> ());
+    arm_progress_timer t
+  end
+  else if t.running && t.activated then begin
+    (match Sys.getenv_opt "IACCF_DEBUG_TICK" with
+    | Some _ ->
+        Printf.eprintf "TICK r%d t=%.0f v=%d s=%d lc=%d lp=%d stall=%d ready=%b reqs=%d pends=%d\n%!"
+          t.rid (Sched.now t.sched) t.view t.seqno t.last_committed t.last_prepared
+          t.stall_count t.ready (Hashtbl.length t.requests) (Hashtbl.length t.pending_pps)
+    | None -> ());
+    let working =
+      Hashtbl.length t.requests > 0
+      || t.last_committed < t.seqno - 1
+      || Hashtbl.length t.pending_pps > 0
+      || not t.ready
+    in
+    if working && t.last_committed = t.progress_marker then begin
+      t.stall_count <- t.stall_count + 1;
+      (* First stall: a gap may just mean a lost message. *)
+      let has_gap =
+        Hashtbl.fold (fun s _ acc -> acc || s > t.seqno) t.pending_pps false
+      in
+      if has_gap && t.ready && t.stall_count <= 1 then begin
+        (* Likely just lost messages: drop the speculative suffix and
+           bulk-fetch from the committed prefix. If that does not restore
+           progress by the next tick, suspect the primary instead. *)
+        rollback_to t t.last_committed;
+        if keep_ledger t then Ledger.truncate t.ledger (committed_prefix_length t);
+        send t ~dst:(primary_id t)
+          (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+      end
+      else start_view_change t
+    end
+    else if not working then t.stall_count <- 0;
+    t.progress_marker <- t.last_committed;
+    arm_progress_timer t
+  end
+
+and arm_progress_timer t =
+  (* Exponential backoff under repeated stalls (as in PBFT) so competing
+     view changes can converge instead of racing each other. *)
+  let backoff = float_of_int (1 lsl min t.stall_count 6) in
+  ignore
+    (Sched.schedule t.sched ~delay:(t.params.vc_timeout_ms *. backoff) (fun () ->
+         progress_tick t))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let is_replica_address addr = addr < Iaccf_util.Bitmap.max_replicas
+
+let on_message t ~src msg =
+  if t.running then begin
+    (if t.params.variant.Variant.peerreview && is_replica_address src then begin
+       match msg with
+       | Wire.Ack_msg _ -> t.st.signatures_verified <- t.st.signatures_verified + 1
+       | _ ->
+           t.st.signatures_verified <- t.st.signatures_verified + 1;
+           t.st.signatures_made <- t.st.signatures_made + 1;
+           let digest = D.of_string (Wire.describe msg) in
+           let signature = Schnorr.sign t.sk (D.to_raw digest) in
+           Network.send t.network ~src:t.rid ~dst:src
+             (Wire.Ack_msg { a_replica = t.rid; a_digest = digest; a_signature = signature })
+     end);
+    match msg with
+    | Wire.Request_msg r -> on_request t r
+    | Wire.Pre_prepare_msg { pp; batch } -> on_pre_prepare t pp batch
+    | Wire.Prepare_msg p -> on_prepare t p
+    | Wire.Commit_msg c -> on_commit t c
+    | Wire.View_change_msg vc -> on_view_change t vc
+    | Wire.New_view_msg { nv; vcs } -> on_new_view t nv vcs
+    | Wire.Fetch_missing { fm_seqno } -> (
+        match batch_package t ~seqno:fm_seqno with
+        | Some bp -> send t ~dst:src (Wire.Batch_package_msg bp)
+        | None -> ())
+    | Wire.Batch_package_msg bp -> on_batch_package t bp
+    | Wire.Fetch_state { fs_from_len } -> on_fetch_state t ~src fs_from_len
+    | Wire.State_msg { sm_from; sm_entries; sm_view } ->
+        on_state t ~sm_from ~sm_entries ~sm_view
+    | Wire.Fetch_snapshot -> on_fetch_snapshot t ~src
+    | Wire.Snapshot_msg { sp_checkpoint; sp_entries; sp_view } ->
+        on_snapshot t ~sp_checkpoint ~sp_entries ~sp_view
+    | Wire.Replyx_request { rr_seqno; rr_tx_hash } ->
+        (* The client may not know which batch its transaction landed in;
+           check the hinted seqno first, then search by request hash. *)
+        let answer_from rec_ =
+          if rec_.br_committed then begin
+            let tree = g_tree_of_txs rec_.br_txs in
+            let size = List.length rec_.br_txs in
+            List.iteri
+              (fun i (tx : Batch.tx_entry) ->
+                if D.equal (Request.hash tx.Batch.request) rr_tx_hash then
+                  send t ~dst:src
+                    (Wire.Replyx_msg
+                       {
+                         Message.x_pp = rec_.br_pp;
+                         x_tx = tx;
+                         x_leaf_index = i;
+                         x_batch_size = size;
+                         x_path = Tree.path tree i;
+                       }))
+              rec_.br_txs;
+            List.exists
+              (fun (tx : Batch.tx_entry) -> D.equal (Request.hash tx.Batch.request) rr_tx_hash)
+              rec_.br_txs
+          end
+          else false
+        in
+        let found =
+          match Hashtbl.find_opt t.records rr_seqno with
+          | Some rec_ -> answer_from rec_
+          | None -> false
+        in
+        if not found then
+          Hashtbl.iter
+            (fun s rec_ -> if s <> rr_seqno then ignore (answer_from rec_))
+            t.records
+    | Wire.Gov_receipts_request { gr_from_index } ->
+        let receipts =
+          List.filter
+            (fun r -> r.Receipt.pp.Message.gov_index >= gr_from_index)
+            (gov_receipts t)
+        in
+        send t ~dst:src (Wire.Gov_receipts_msg receipts)
+    | Wire.Gov_receipts_msg _ | Wire.Reply_msg _ | Wire.Replyx_msg _ -> ()
+    | Wire.Ack_msg _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng =
+  if params.checkpoint_interval <= params.pipeline then
+    invalid_arg "Replica.create: checkpoint interval must exceed the pipeline depth";
+  let cfg = genesis.Genesis.initial_config in
+  let st =
+    {
+      signatures_made = 0;
+      signatures_verified = 0;
+      macs_computed = 0;
+      batches_committed = 0;
+      txs_executed = 0;
+      txs_committed = 0;
+      view_changes = 0;
+      checkpoints_taken = 0;
+    }
+  in
+  let store = Store.create () in
+  let cp0 = Checkpoint.make ~seqno:0 (Store.map store) in
+  let t =
+    {
+      rid = id;
+      sk;
+      nonce_key = Rng.bytes rng 32;
+      mac_key = "iaccf-shared-mac-key";
+      genesis;
+      service = Genesis.hash genesis;
+      app;
+      params;
+      sched;
+      network;
+      client_address;
+      rng;
+      st;
+      cfg;
+      view = 0;
+      seqno = 1;
+      ready = true;
+      running = false;
+      activated = Config.replica cfg id <> None;
+      last_prepared = 0;
+      last_committed = 0;
+      gov_index = 0;
+      current_dc = Checkpoint.digest cp0;
+      phase = Normal;
+      store;
+      ledger = Ledger.create genesis;
+      requests = Hashtbl.create 64;
+      request_order = [];
+      executed_requests = Hashtbl.create 64;
+      records = Hashtbl.create 64;
+      prepares = Hashtbl.create 64;
+      commits = Hashtbl.create 64;
+      own_nonces = Hashtbl.create 64;
+      view_changes = Hashtbl.create 8;
+      pending_pps = Hashtbl.create 8;
+      checkpoints = Hashtbl.create 8;
+      latest_cp_seqno = 0;
+      gov_receipts_rev = [];
+      progress_marker = 0;
+      batch_timer_armed = false;
+      pending_new_view = None;
+      fetch_target = None;
+      extra_recipients = [];
+      stall_count = 0;
+      prepared_pps = Hashtbl.create 16;
+      batch_ledger_end = Hashtbl.create 32;
+      archived_content = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace t.checkpoints 0 (cp0, Checkpoint.digest cp0);
+  Network.register network id (fun ~src msg -> on_message t ~src msg);
+  t
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    arm_progress_timer t
+  end
+
+let stop t = t.running <- false
+
+let store_version t = Store.version t.store
+
+let preload_state t kvs =
+  if t.seqno <> 1 then invalid_arg "Replica.preload_state: already executing";
+  Store.preload t.store (Iaccf_kv.Hamt.of_list kvs)
+let inject_view_change t = start_view_change t
+
+let join t ~from =
+  if t.running then begin
+    t.fetch_target <- Some from;
+    send t ~dst:from (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+  end
+
+let join_snapshot t ~from =
+  if t.running then begin
+    t.fetch_target <- Some from;
+    send t ~dst:from Wire.Fetch_snapshot
+  end

@@ -1,0 +1,107 @@
+(** An L-PBFT replica (Alg. 1, Alg. 2, §3.4, §5.1).
+
+    The replica is an event-driven state machine attached to a simulated
+    network: the primary batches requests, executes them early, and emits
+    signed pre-prepares whose Merkle roots commit it to the entire ledger;
+    backups re-execute and compare roots before preparing; nonce
+    commitments replace commit-message signatures; commitment evidence for
+    batch [s-P] is appended to the ledger just before the pre-prepare for
+    [s]. View changes and reconfigurations keep the ledger auditable. *)
+
+module Schnorr = Iaccf_crypto.Schnorr
+module Config = Iaccf_types.Config
+module Genesis = Iaccf_types.Genesis
+
+type params = {
+  pipeline : int;  (** P >= 1: concurrent batches in flight *)
+  checkpoint_interval : int;  (** C > P: checkpoint every C sequence numbers *)
+  max_batch : int;  (** maximum requests per batch *)
+  batch_delay_ms : float;  (** how long the primary waits to fill a batch *)
+  vc_timeout_ms : float;  (** progress timeout before a view change *)
+  variant : Variant.t;
+}
+
+val default_params : params
+
+type stats = {
+  mutable signatures_made : int;
+  mutable signatures_verified : int;
+  mutable macs_computed : int;
+  mutable batches_committed : int;
+  mutable txs_executed : int;
+  mutable txs_committed : int;
+  mutable view_changes : int;
+  mutable checkpoints_taken : int;
+}
+
+type t
+
+val create :
+  id:int ->
+  sk:Schnorr.secret_key ->
+  genesis:Genesis.t ->
+  app:App.t ->
+  params:params ->
+  sched:Iaccf_sim.Sched.t ->
+  network:Wire.t Iaccf_sim.Network.t ->
+  client_address:(Schnorr.public_key -> int option) ->
+  rng:Iaccf_util.Rng.t ->
+  t
+(** The replica registers itself on the network under address [id]. A
+    replica whose [id] is not in the genesis configuration stays passive
+    until a reconfiguration activates it (it then fetches state, §5.1). *)
+
+val start : t -> unit
+(** Arm timers and begin participating. *)
+
+val stop : t -> unit
+(** Crash-fault injection: the replica stops sending and receiving. *)
+
+val id : t -> int
+val config : t -> Config.t
+val view : t -> int
+val is_primary : t -> bool
+val active : t -> bool
+val next_seqno : t -> int
+val last_prepared : t -> int
+val last_committed : t -> int
+val ledger : t -> Iaccf_ledger.Ledger.t
+val store : t -> Iaccf_kv.Store.t
+val stats : t -> stats
+val gov_index : t -> int
+val pending_requests : t -> int
+
+val checkpoint_at : t -> int -> Iaccf_kv.Checkpoint.t option
+(** The checkpoint taken at a given sequence number, if retained. *)
+
+val build_receipt : t -> seqno:int -> tx_position:int option -> Receipt.t option
+(** Assemble a receipt for a committed batch from stored evidence:
+    [tx_position] selects a transaction in the batch, [None] makes a
+    batch-subject receipt (used for the governance sub-ledger). *)
+
+val gov_receipts : t -> Receipt.t list
+(** Receipts of the governance sub-ledger, ascending (§5.2). *)
+
+val batch_package : t -> seqno:int -> Wire.batch_package option
+(** State-transfer package for a stored batch. *)
+
+val preload_state : t -> (string * string) list -> unit
+(** Install application state that is modelled as part of the genesis
+    (bench setup); must be called before any batch executes. *)
+
+val inject_view_change : t -> unit
+(** Force this replica to suspect the primary now (tests). *)
+
+val join : t -> from:int -> unit
+(** A replica added by reconfiguration fetches the ledger from an existing
+    replica, replays it, and activates once it appears in the current
+    configuration (§5.1). *)
+
+val join_snapshot : t -> from:int -> unit
+(** Checkpoint-based bootstrap (§3.4): fetch the latest recorded checkpoint
+    plus the ledger, verify the Merkle chain and checkpoint signatures
+    without re-executing the prefix, and replay only the tail. *)
+
+val store_version : t -> int
+(** Transactions executed locally (resets on checkpoint installation);
+    lets tests confirm a snapshot join skipped re-execution. *)

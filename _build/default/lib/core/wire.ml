@@ -1,0 +1,57 @@
+module Message = Iaccf_types.Message
+module Request = Iaccf_types.Request
+module D = Iaccf_crypto.Digest32
+
+type batch_package = {
+  bp_pp : Message.pre_prepare;
+  bp_requests : Request.t list;
+  bp_ev_prepares : Message.prepare list;
+  bp_ev_nonces : (int * string) list;
+}
+
+type t =
+  | Request_msg of Request.t
+  | Pre_prepare_msg of { pp : Message.pre_prepare; batch : D.t list }
+  | Prepare_msg of Message.prepare
+  | Commit_msg of Message.commit
+  | Reply_msg of Message.reply
+  | Replyx_msg of Message.replyx
+  | View_change_msg of Message.view_change
+  | New_view_msg of { nv : Message.new_view; vcs : Message.view_change list }
+  | Fetch_missing of { fm_seqno : int }
+  | Batch_package_msg of batch_package
+  | Fetch_state of { fs_from_len : int }
+  | State_msg of { sm_from : int; sm_entries : Iaccf_ledger.Entry.t list; sm_view : int }
+  | Fetch_snapshot
+  | Snapshot_msg of {
+      sp_checkpoint : Iaccf_kv.Checkpoint.t;
+      sp_entries : Iaccf_ledger.Entry.t list;
+      sp_view : int;
+    }
+  | Replyx_request of { rr_seqno : int; rr_tx_hash : D.t }
+  | Gov_receipts_request of { gr_from_index : int }
+  | Gov_receipts_msg of Receipt.t list
+  | Ack_msg of { a_replica : int; a_digest : D.t; a_signature : string }
+
+let describe = function
+  | Request_msg r -> Printf.sprintf "request(%s)" r.Request.proc
+  | Pre_prepare_msg { pp; _ } ->
+      Printf.sprintf "pre-prepare(v=%d,s=%d)" pp.Message.view pp.Message.seqno
+  | Prepare_msg p -> Printf.sprintf "prepare(v=%d,s=%d,r=%d)" p.Message.p_view p.Message.p_seqno p.Message.p_replica
+  | Commit_msg c -> Printf.sprintf "commit(v=%d,s=%d,r=%d)" c.Message.c_view c.Message.c_seqno c.Message.c_replica
+  | Reply_msg r -> Printf.sprintf "reply(s=%d,r=%d)" r.Message.r_seqno r.Message.r_replica
+  | Replyx_msg x -> Printf.sprintf "replyx(s=%d)" x.Message.x_pp.Message.seqno
+  | View_change_msg vc -> Printf.sprintf "view-change(v=%d,r=%d)" vc.Message.vc_view vc.Message.vc_replica
+  | New_view_msg { nv; _ } -> Printf.sprintf "new-view(v=%d)" nv.Message.nv_view
+  | Fetch_missing { fm_seqno } -> Printf.sprintf "fetch-missing(s=%d)" fm_seqno
+  | Batch_package_msg bp -> Printf.sprintf "batch-package(s=%d)" bp.bp_pp.Message.seqno
+  | Fetch_state { fs_from_len } -> Printf.sprintf "fetch-state(from=%d)" fs_from_len
+  | State_msg { sm_entries; _ } -> Printf.sprintf "state(%d entries)" (List.length sm_entries)
+  | Fetch_snapshot -> "fetch-snapshot"
+  | Snapshot_msg { sp_entries; sp_checkpoint; _ } ->
+      Printf.sprintf "snapshot(cp=%d,%d entries)" sp_checkpoint.Iaccf_kv.Checkpoint.seqno
+        (List.length sp_entries)
+  | Replyx_request { rr_seqno; _ } -> Printf.sprintf "replyx-request(s=%d)" rr_seqno
+  | Gov_receipts_request { gr_from_index } -> Printf.sprintf "gov-receipts-request(from=%d)" gr_from_index
+  | Gov_receipts_msg rs -> Printf.sprintf "gov-receipts(%d)" (List.length rs)
+  | Ack_msg { a_replica; _ } -> Printf.sprintf "ack(r=%d)" a_replica

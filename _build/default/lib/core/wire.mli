@@ -1,0 +1,53 @@
+(** Messages exchanged over the simulated network.
+
+    [Batch_package] bundles everything a replica needs to adopt a batch it
+    missed: the pre-prepare, the requests in execution order, and the
+    commitment-evidence entries that precede the pre-prepare in the ledger.
+    It backs retransmission ([Fetch_missing]) and state transfer
+    ([Fetch_state]) for stragglers, new-view synchronisation, and joining
+    replicas (§3.4, §5.1). *)
+
+module Message = Iaccf_types.Message
+module Request = Iaccf_types.Request
+module D = Iaccf_crypto.Digest32
+
+type batch_package = {
+  bp_pp : Message.pre_prepare;
+  bp_requests : Request.t list;  (** execution order *)
+  bp_ev_prepares : Message.prepare list;  (** evidence for seqno - P *)
+  bp_ev_nonces : (int * string) list;
+}
+
+type t =
+  | Request_msg of Request.t
+  | Pre_prepare_msg of { pp : Message.pre_prepare; batch : D.t list }
+      (** [batch] is B, the request hashes in execution order *)
+  | Prepare_msg of Message.prepare
+  | Commit_msg of Message.commit
+  | Reply_msg of Message.reply
+  | Replyx_msg of Message.replyx
+  | View_change_msg of Message.view_change
+  | New_view_msg of { nv : Message.new_view; vcs : Message.view_change list }
+  | Fetch_missing of { fm_seqno : int }
+      (** ask for the batch package at a sequence number *)
+  | Batch_package_msg of batch_package
+  | Fetch_state of { fs_from_len : int }
+      (** ask for the ledger suffix starting at this entry index *)
+  | State_msg of { sm_from : int; sm_entries : Iaccf_ledger.Entry.t list; sm_view : int }
+      (** a ledger suffix (view changes included) plus the sender's view *)
+  | Fetch_snapshot
+      (** joining replica asks for a checkpoint-based bootstrap (§3.4) *)
+  | Snapshot_msg of {
+      sp_checkpoint : Iaccf_kv.Checkpoint.t;
+      sp_entries : Iaccf_ledger.Entry.t list;  (** the full ledger *)
+      sp_view : int;
+    }
+  | Replyx_request of { rr_seqno : int; rr_tx_hash : D.t }
+      (** client asks any replica for the receipt material of a committed
+          transaction (designated-replica failover, §3.3) *)
+  | Gov_receipts_request of { gr_from_index : int }
+  | Gov_receipts_msg of Receipt.t list
+  | Ack_msg of { a_replica : int; a_digest : D.t; a_signature : string }
+      (** PeerReview-variant acknowledgement (§6 baselines) *)
+
+val describe : t -> string

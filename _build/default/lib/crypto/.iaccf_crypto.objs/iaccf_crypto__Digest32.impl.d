@@ -1,0 +1,1 @@
+lib/crypto/digest32.ml: Format Iaccf_util Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/digest32.mli: Format

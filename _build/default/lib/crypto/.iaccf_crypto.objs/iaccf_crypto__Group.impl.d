@@ -1,0 +1,1 @@
+lib/crypto/group.ml: Array Bignum String

@@ -1,0 +1,1 @@
+lib/crypto/nonce.ml: Digest32 Hmac Iaccf_util Printf String

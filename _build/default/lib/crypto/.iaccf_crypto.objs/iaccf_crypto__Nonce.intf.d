@@ -1,0 +1,1 @@
+lib/crypto/nonce.mli: Digest32 Iaccf_util

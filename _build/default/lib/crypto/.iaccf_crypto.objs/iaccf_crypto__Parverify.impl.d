@@ -1,0 +1,1 @@
+lib/crypto/parverify.ml: Array Atomic Condition Domain Fun List Mutex Queue Schnorr

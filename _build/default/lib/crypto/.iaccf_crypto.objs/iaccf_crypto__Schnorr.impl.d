@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Bignum Format Group Hmac Iaccf_util Sha256 String

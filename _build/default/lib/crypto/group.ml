@@ -1,0 +1,75 @@
+let p =
+  Bignum.sub (Bignum.shift_left Bignum.one 255) (Bignum.of_int 19)
+
+let n = Bignum.sub p Bignum.one
+let g = Bignum.of_int 2
+
+let reduce x =
+  (* x mod (2^255 - 19): fold the high part down as hi*19 + lo until the
+     value fits in 255 bits, then a final conditional subtract. The fold
+     converges in two iterations for inputs up to 510 bits. *)
+  let x = ref x in
+  while Bignum.bit_length !x > 255 do
+    let hi = Bignum.shift_right !x 255 in
+    let lo = Bignum.mask_bits !x 255 in
+    x := Bignum.add (Bignum.mul_small hi 19) lo
+  done;
+  while Bignum.compare !x p >= 0 do
+    x := Bignum.sub !x p
+  done;
+  !x
+
+let mul a b = reduce (Bignum.mul a b)
+
+let pow b e =
+  let result = ref Bignum.one and base = ref (reduce b) in
+  let nbits = Bignum.bit_length e in
+  for i = 0 to nbits - 1 do
+    if Bignum.test_bit e i then result := mul !result !base;
+    if i < nbits - 1 then base := mul !base !base
+  done;
+  !result
+
+(* Fixed-base table: g^(2^i) for i in [0, 256). Computed eagerly so that
+   domains can verify signatures concurrently without racing on a lazy. *)
+let g_table =
+  let table = Array.make 256 g in
+  for i = 1 to 255 do
+    table.(i) <- mul table.(i - 1) table.(i - 1)
+  done;
+  table
+
+let pow_g e =
+  let table = g_table in
+  let acc = ref Bignum.one in
+  for i = 0 to Bignum.bit_length e - 1 do
+    if Bignum.test_bit e i then acc := mul !acc table.(i)
+  done;
+  !acc
+
+(* Shamir's trick: one shared squaring chain for both exponents. *)
+let dual_pow_g a ~base b =
+  let base = reduce base in
+  let g_base = mul g base in
+  let nbits = max (Bignum.bit_length a) (Bignum.bit_length b) in
+  let acc = ref Bignum.one in
+  for i = nbits - 1 downto 0 do
+    acc := mul !acc !acc;
+    (match (Bignum.test_bit a i, Bignum.test_bit b i) with
+    | true, true -> acc := mul !acc g_base
+    | true, false -> acc := mul !acc g
+    | false, true -> acc := mul !acc base
+    | false, false -> ())
+  done;
+  !acc
+
+let scalar_of_bytes s = Bignum.rem (Bignum.of_bytes_be s) n
+
+let element_of_bytes s =
+  if String.length s <> 32 then None
+  else begin
+    let v = Bignum.of_bytes_be s in
+    if Bignum.is_zero v || Bignum.compare v p >= 0 then None else Some v
+  end
+
+let element_to_bytes v = Bignum.to_bytes_be_fixed 32 v

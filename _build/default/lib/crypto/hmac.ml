@@ -1,0 +1,26 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let b = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  Bytes.unsafe_to_string b
+
+let xor_with pad key =
+  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor pad))
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_concat [ xor_with 0x36 key; msg ] in
+  Sha256.digest_concat [ xor_with 0x5c key; inner ]
+
+let verify ~key msg ~mac:expected =
+  let actual = mac ~key msg in
+  if String.length actual <> String.length expected then false
+  else begin
+    let diff = ref 0 in
+    String.iteri
+      (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+      actual;
+    !diff = 0
+  end

@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used for authenticated replica-to-replica channels (the paper sends all
+    messages over authenticated connections, §3.4) and for deterministic
+    signing nonces (RFC 6979 style). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 of [msg] under [key]. *)
+
+val verify : key:string -> string -> mac:string -> bool
+(** Constant-time comparison of [mac] against [mac ~key msg]. *)

@@ -1,0 +1,87 @@
+type job = { j_pk : Schnorr.public_key; j_digest : string; j_signature : string }
+
+let run_job j = Schnorr.verify j.j_pk j.j_digest ~signature:j.j_signature
+
+(* A small persistent worker pool: spawning a domain per batch costs more
+   than a signature, so workers live for the process lifetime and pull
+   closures from a shared queue. *)
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    has_work : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable workers : unit Domain.t list;
+  }
+
+  let the_pool = {
+    mutex = Mutex.create ();
+    has_work = Condition.create ();
+    queue = Queue.create ();
+    workers = [];
+  }
+
+  let worker_loop () =
+    let t = the_pool in
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.queue do
+        Condition.wait t.has_work t.mutex
+      done;
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ();
+      loop ()
+    in
+    loop ()
+
+  let ensure_workers n =
+    let t = the_pool in
+    Mutex.lock t.mutex;
+    let missing = n - List.length t.workers in
+    if missing > 0 then
+      for _ = 1 to missing do
+        t.workers <- Domain.spawn worker_loop :: t.workers
+      done;
+    Mutex.unlock t.mutex
+
+  let submit task =
+    let t = the_pool in
+    Mutex.lock t.mutex;
+    Queue.push task t.queue;
+    Condition.signal t.has_work;
+    Mutex.unlock t.mutex
+end
+
+let default_domains () = min 4 (max 1 (Domain.recommended_domain_count () - 1))
+
+let verify_batch_results ?domains jobs =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let n = List.length jobs in
+  if domains <= 1 || n < 4 then List.map run_job jobs
+  else begin
+    Pool.ensure_workers domains;
+    let arr = Array.of_list jobs in
+    let results = Array.make n false in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let done_cv = Condition.create () in
+    Array.iteri
+      (fun i j ->
+        Pool.submit (fun () ->
+            results.(i) <- run_job j;
+            if Atomic.fetch_and_add remaining (-1) = 1 then begin
+              Mutex.lock done_mutex;
+              Condition.broadcast done_cv;
+              Mutex.unlock done_mutex
+            end))
+      arr;
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cv done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.to_list results
+  end
+
+let verify_batch ?domains jobs =
+  List.for_all Fun.id (verify_batch_results ?domains jobs)

@@ -1,0 +1,20 @@
+(** Parallel signature verification (§3.4).
+
+    The paper parallelizes verification of replica and client signatures to
+    improve throughput and scalability; this is the same facility on OCaml 5
+    domains. Verification is pure, so parallelism cannot affect protocol
+    determinism — only wall-clock time. *)
+
+type job = {
+  j_pk : Schnorr.public_key;
+  j_digest : string;  (** 32 bytes *)
+  j_signature : string;
+}
+
+val verify_batch : ?domains:int -> job list -> bool
+(** [true] iff every signature verifies. [domains] defaults to the
+    recommended domain count (capped at 4); with 0 or 1, verification runs
+    sequentially. *)
+
+val verify_batch_results : ?domains:int -> job list -> bool list
+(** Per-job results, in order. *)

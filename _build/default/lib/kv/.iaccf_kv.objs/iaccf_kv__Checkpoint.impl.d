@@ -1,0 +1,1 @@
+lib/kv/checkpoint.ml: Hamt Iaccf_crypto Iaccf_util

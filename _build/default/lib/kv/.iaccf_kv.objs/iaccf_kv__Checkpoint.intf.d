@@ -1,0 +1,1 @@
+lib/kv/checkpoint.mli: Hamt Iaccf_crypto

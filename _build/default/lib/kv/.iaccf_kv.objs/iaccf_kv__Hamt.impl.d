@@ -1,0 +1,1 @@
+lib/kv/hamt.ml: Array Char List Option String

@@ -1,0 +1,1 @@
+lib/kv/store.ml: Hamt Hashtbl Iaccf_crypto Iaccf_util List String

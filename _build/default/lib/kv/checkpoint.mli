@@ -1,0 +1,23 @@
+(** Key-value store checkpoints (§3.4).
+
+    A checkpoint serializes the committed map at a sequence number; its
+    digest [d_C] is recorded in a later checkpoint transaction so replicas,
+    clients, and auditors agree on the state without exchanging it. Auditors
+    load a checkpoint to replay a ledger fragment (Alg. 4, replayLedger). *)
+
+type t = {
+  seqno : int;  (** sequence number the checkpoint was taken at *)
+  state : Hamt.t;
+}
+
+val make : seqno:int -> Hamt.t -> t
+
+val digest : t -> Iaccf_crypto.Digest32.t
+(** Canonical digest: the sorted-fold digest of [state] bound to [seqno]. *)
+
+val serialize : t -> string
+val deserialize : string -> t
+(** @raise Iaccf_util.Codec.Decode_error on malformed input. *)
+
+val genesis : t
+(** The empty checkpoint at sequence number 0. *)

@@ -1,0 +1,58 @@
+(** Strictly-serializable transactional key-value store with per-transaction
+    roll-back (§2 of the paper).
+
+    Transactions execute one at a time against the current map; each commit
+    records a snapshot plus the transaction's write set, so any suffix of
+    committed transactions can be rolled back (needed when a speculatively
+    executed batch fails to prepare, Appx. A, Lemma 1). The write-set hash is
+    part of the result [o] stored in the ledger, letting auditors compare
+    replayed execution against recorded execution without replaying the
+    reads. *)
+
+type t
+
+type tx
+(** An open transaction handle. *)
+
+val create : unit -> t
+val of_map : Hamt.t -> t
+
+val map : t -> Hamt.t
+(** Current committed state. *)
+
+val version : t -> int
+(** Number of committed transactions since creation / last [reset]. *)
+
+val preload : t -> Hamt.t -> unit
+(** Replace the state wholesale before any transaction has committed —
+    bench/test setup that models app state present at genesis.
+    @raise Invalid_argument once transactions have run. *)
+
+val begin_tx : t -> tx
+(** @raise Invalid_argument if a transaction is already open. *)
+
+val get : tx -> string -> string option
+val put : tx -> string -> string -> unit
+val delete : tx -> string -> unit
+
+val commit : tx -> Iaccf_crypto.Digest32.t
+(** Commit the transaction; the result is the write-set hash: the digest of
+    the sorted (key, value-or-tombstone) pairs written. *)
+
+val abort : tx -> unit
+
+val reset_to : t -> Hamt.t -> unit
+(** Replace the state wholesale (checkpoint installation during replica
+    bootstrap); discards the roll-back log and resets the version to 0. *)
+
+val rollback : t -> int -> unit
+(** [rollback t version] restores the state as of the given committed
+    version. @raise Invalid_argument if the version is ahead of the present
+    or has been pruned. *)
+
+val prune_rollback_log : t -> keep:int -> unit
+(** Drop roll-back ability for all but the last [keep] versions. *)
+
+val state_digest : t -> Iaccf_crypto.Digest32.t
+(** Canonical digest of the full committed state (sorted fold), used for
+    checkpoints [d_C]. *)

@@ -1,0 +1,1 @@
+lib/ledger/entry.ml: Format Iaccf_crypto Iaccf_types Iaccf_util List String

@@ -1,0 +1,1 @@
+lib/ledger/ledger.ml: Entry Iaccf_crypto Iaccf_merkle Iaccf_types Iaccf_util List String

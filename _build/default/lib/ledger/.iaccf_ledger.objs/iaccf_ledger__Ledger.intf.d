@@ -1,0 +1,1 @@
+lib/ledger/ledger.mli: Entry Iaccf_crypto Iaccf_types

@@ -1,0 +1,114 @@
+module Vec = Iaccf_util.Vec
+module Codec = Iaccf_util.Codec
+module Tree = Iaccf_merkle.Tree
+module D = Iaccf_crypto.Digest32
+
+type slot = { entry : Entry.t; m_size_after : int; bytes : int }
+
+type t = {
+  slots : slot Vec.t;
+  tree : Tree.t;
+  mutable byte_total : int;
+}
+
+let push t entry =
+  let bytes = Entry.size_bytes entry in
+  if Entry.in_merkle_tree entry then Tree.append t.tree (Entry.leaf_digest entry);
+  Vec.push t.slots { entry; m_size_after = Tree.size t.tree; bytes };
+  t.byte_total <- t.byte_total + bytes;
+  Vec.length t.slots - 1
+
+let create genesis =
+  let t = { slots = Vec.create (); tree = Tree.create (); byte_total = 0 } in
+  ignore (push t (Entry.Genesis genesis));
+  t
+
+let of_entries entries =
+  match entries with
+  | Entry.Genesis _ :: _ ->
+      let t = { slots = Vec.create (); tree = Tree.create (); byte_total = 0 } in
+      List.iter (fun e -> ignore (push t e)) entries;
+      t
+  | _ -> invalid_arg "Ledger.of_entries: first entry must be the genesis"
+
+let genesis t =
+  match (Vec.get t.slots 0).entry with
+  | Entry.Genesis g -> g
+  | _ -> assert false
+
+let length t = Vec.length t.slots
+let get t i = (Vec.get t.slots i).entry
+let append = push
+let m_root t = Tree.root t.tree
+let m_size t = Tree.size t.tree
+
+let truncate t n =
+  if n < 1 then invalid_arg "Ledger.truncate: cannot drop the genesis";
+  if n < Vec.length t.slots then begin
+    let m_size = (Vec.get t.slots (n - 1)).m_size_after in
+    for i = n to Vec.length t.slots - 1 do
+      t.byte_total <- t.byte_total - (Vec.get t.slots i).bytes
+    done;
+    Vec.truncate t.slots n;
+    Tree.truncate t.tree m_size
+  end
+
+let iteri f t = Vec.iteri (fun i slot -> f i slot.entry) t.slots
+
+let entries t ?(from = 0) ?until () =
+  let until = match until with None -> length t | Some u -> min u (length t) in
+  let rec go i acc =
+    if i < from then acc else go (i - 1) ((i, get t i) :: acc)
+  in
+  go (until - 1) []
+
+let m_root_at t i =
+  if i <= 0 then Tree.empty_root
+  else begin
+    let m_size = (Vec.get t.slots (i - 1)).m_size_after in
+    (* Recompute over a truncated copy: used by auditors, not the fast path. *)
+    let tree = Tree.copy t.tree in
+    Tree.truncate tree m_size;
+    Tree.root tree
+  end
+
+let find_pre_prepare t ~seqno =
+  let best = ref None in
+  iteri
+    (fun i entry ->
+      match entry with
+      | Entry.Pre_prepare pp when pp.Iaccf_types.Message.seqno = seqno -> (
+          match !best with
+          | Some (_, prev) when prev.Iaccf_types.Message.view >= pp.Iaccf_types.Message.view -> ()
+          | _ -> best := Some (i, pp))
+      | _ -> ())
+    t;
+  !best
+
+let is_governance_proc proc =
+  String.length proc >= 4 && String.sub proc 0 4 = "gov/"
+
+let governance_indices t =
+  let acc = ref [] in
+  iteri
+    (fun i entry ->
+      match entry with
+      | Entry.Genesis _ -> acc := i :: !acc
+      | Entry.Tx tx when is_governance_proc tx.Iaccf_types.Batch.request.Iaccf_types.Request.proc ->
+          acc := i :: !acc
+      | _ -> ())
+    t;
+  List.rev !acc
+
+let serialize t =
+  Codec.encode (fun w ->
+      Codec.W.list w
+        (fun (_, e) -> Codec.W.bytes w (Entry.serialize e))
+        (entries t ()))
+
+let deserialize s =
+  Codec.decode s (fun r ->
+      let raw = Codec.R.list r Codec.R.bytes in
+      of_entries (List.map Entry.deserialize raw))
+
+let total_bytes t = t.byte_total

@@ -1,0 +1,45 @@
+(** The append-only ledger with its binding Merkle tree M (§2, Fig. 3).
+
+    Every appended entry gets a ledger index; entries for which
+    {!Entry.in_merkle_tree} holds also become leaves of M in order. The tree
+    root before appending a pre-prepare is the [m_root] the primary signs,
+    committing it to the entire ledger prefix. [truncate] rolls back both
+    the entry log and M, supporting batch roll-back and view changes. *)
+
+type t
+
+val create : Iaccf_types.Genesis.t -> t
+(** Fresh ledger holding only the genesis entry at index 0. *)
+
+val of_entries : Entry.t list -> t
+(** Rebuild a ledger (e.g. a received fragment treated as a full ledger
+    prefix) from raw entries. *)
+
+val genesis : t -> Iaccf_types.Genesis.t
+val length : t -> int
+val get : t -> int -> Entry.t
+val append : t -> Entry.t -> int
+val m_root : t -> Iaccf_crypto.Digest32.t
+val m_size : t -> int
+val truncate : t -> int -> unit
+val iteri : (int -> Entry.t -> unit) -> t -> unit
+val entries : t -> ?from:int -> ?until:int -> unit -> (int * Entry.t) list
+(** Inclusive [from], exclusive [until]; defaults cover the whole ledger. *)
+
+val m_root_at : t -> int -> Iaccf_crypto.Digest32.t
+(** [m_root_at t i] is M's root over the M-bound entries among the first [i]
+    ledger entries — i.e. the root the primary signed in the pre-prepare at
+    index [i]. *)
+
+val find_pre_prepare : t -> seqno:int -> (int * Iaccf_types.Message.pre_prepare) option
+(** Highest-view pre-prepare for [seqno], with its ledger index. *)
+
+val governance_indices : t -> int list
+(** Ledger indices of governance transactions (genesis and transactions
+    whose procedure is in the reserved "gov/" namespace), ascending. *)
+
+val serialize : t -> string
+val deserialize : string -> t
+
+val total_bytes : t -> int
+(** Sum of serialized entry sizes (ledger growth metric). *)

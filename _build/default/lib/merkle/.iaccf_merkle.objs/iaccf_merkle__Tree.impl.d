@@ -1,0 +1,1 @@
+lib/merkle/tree.ml: Array Iaccf_crypto Iaccf_util List Option

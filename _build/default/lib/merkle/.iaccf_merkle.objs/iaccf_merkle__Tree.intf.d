@@ -1,0 +1,1 @@
+lib/merkle/tree.mli: Iaccf_crypto

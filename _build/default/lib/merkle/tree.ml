@@ -1,0 +1,125 @@
+module D = Iaccf_crypto.Digest32
+module Sha256 = Iaccf_crypto.Sha256
+module Vec = Iaccf_util.Vec
+
+let empty_root = D.of_string ""
+let leaf_hash d = D.of_raw (Sha256.digest ("\x00" ^ D.to_raw d))
+let node_hash l r = D.of_raw (Sha256.digest_concat [ "\x01"; D.to_raw l; D.to_raw r ])
+
+(* Leaves are stored verbatim. levels.(0) holds the leaf hashes and
+   levels.(k) the interior nodes of height k over complete, 2^k-aligned
+   subtrees, maintained incrementally. The RFC 6962 root folds the
+   incomplete right spine over these cached peaks, so [append], [root] and
+   [truncate] are all O(log n); nodes are only ever dropped from the right,
+   which is exactly the roll-back L-PBFT needs (Appx. A, Lemma 1). *)
+type t = { leaves : D.t Vec.t; mutable levels : D.t Vec.t array }
+
+let create () = { leaves = Vec.create (); levels = [| Vec.create () |] }
+let size t = Vec.length t.leaves
+
+let level t k =
+  while k >= Array.length t.levels do
+    t.levels <-
+      Array.append t.levels (Array.init (Array.length t.levels) (fun _ -> Vec.create ()))
+  done;
+  t.levels.(k)
+
+let append t d =
+  Vec.push t.leaves d;
+  Vec.push (level t 0) (leaf_hash d);
+  (* Cascade: whenever level k gains a complete pair, emit its parent. *)
+  let k = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let cur = level t !k and parent = level t (!k + 1) in
+    if Vec.length cur = 2 * (Vec.length parent + 1) then begin
+      let n = Vec.length cur in
+      Vec.push parent (node_hash (Vec.get cur (n - 2)) (Vec.get cur (n - 1)));
+      incr k
+    end
+    else continue := false
+  done
+
+let append_data t s = append t (D.of_string s)
+let leaf t i = Vec.get t.leaves i
+
+let truncate t n =
+  Vec.truncate t.leaves n;
+  let m = ref n in
+  let k = ref 0 in
+  while !k < Array.length t.levels do
+    Vec.truncate t.levels.(!k) !m;
+    m := !m / 2;
+    incr k
+  done
+
+(* Largest power of two strictly less than n (n >= 2). *)
+let split_point n =
+  let k = ref 1 in
+  while !k * 2 < n do
+    k := !k * 2
+  done;
+  !k
+
+(* RFC 6962 MTH over leaves lo..lo+len-1, using the level cache for
+   complete aligned power-of-two subtrees. *)
+let rec subtree_root t lo len =
+  if len = 1 then Vec.get t.levels.(0) lo
+  else begin
+    let k = split_point len in
+    if len = 2 * k && lo mod len = 0 then begin
+      (* Complete aligned subtree: look up the cached node if present. *)
+      let h = ref 0 and l = ref len in
+      while !l > 1 do
+        incr h;
+        l := !l / 2
+      done;
+      if !h < Array.length t.levels && lo / len < Vec.length t.levels.(!h) then
+        Vec.get t.levels.(!h) (lo / len)
+      else node_hash (subtree_root t lo k) (subtree_root t (lo + k) k)
+    end
+    else node_hash (subtree_root t lo k) (subtree_root t (lo + k) (len - k))
+  end
+
+let root t = if size t = 0 then empty_root else subtree_root t 0 (size t)
+
+let rec subtree_path t lo len i =
+  if len = 1 then []
+  else begin
+    let k = split_point len in
+    if i < k then subtree_path t lo k i @ [ subtree_root t (lo + k) (len - k) ]
+    else subtree_path t (lo + k) (len - k) (i - k) @ [ subtree_root t lo k ]
+  end
+
+let path t i =
+  if i < 0 || i >= size t then invalid_arg "Merkle.Tree.path: index out of range";
+  subtree_path t 0 (size t) i
+
+let verify_path ~leaf ~index ~size ~path ~root =
+  if index < 0 || index >= size then false
+  else begin
+    (* Replay the recursion that produced the path, bottom-up. *)
+    let rec go index size path =
+      if size = 1 then if path = [] then Some (leaf_hash leaf) else None
+      else begin
+        let k = split_point size in
+        match List.rev path with
+        | [] -> None
+        | sibling :: rest ->
+            let rest = List.rev rest in
+            if index < k then
+              Option.map (fun h -> node_hash h sibling) (go index k rest)
+            else
+              Option.map (fun h -> node_hash sibling h) (go (index - k) (size - k) rest)
+      end
+    in
+    match go index size path with None -> false | Some h -> D.equal h root
+  end
+
+let root_of_leaves leaves =
+  let t = create () in
+  List.iter (append t) leaves;
+  root t
+
+let copy t =
+  { leaves = Vec.copy t.leaves; levels = Array.map Vec.copy t.levels }

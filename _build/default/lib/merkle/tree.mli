@@ -1,0 +1,61 @@
+(** Append-only Merkle tree over 32-byte leaf digests.
+
+    L-PBFT maintains one tree [M] over all ledger entries and one per-batch
+    tree [G] over the batch's transaction entries (§3.1, Fig. 3). Both are
+    instances of this module.
+
+    The hashing scheme is RFC 6962's Merkle Tree Hash: leaves are hashed with
+    a [0x00] prefix and interior nodes with a [0x01] prefix (domain
+    separation prevents leaf/node confusion attacks); an [n]-leaf tree splits
+    at the largest power of two smaller than [n]. Roots and audit paths are
+    therefore a pure function of the leaf sequence, which is what lets
+    receipts be checked by anyone.
+
+    Appends are O(log n) amortized. [truncate] supports roll-back of
+    speculatively executed batches (Appx. A, Lemma 1): nodes are only ever
+    removed from the right. *)
+
+type t
+
+val create : unit -> t
+
+val empty_root : Iaccf_crypto.Digest32.t
+(** Root of the zero-leaf tree (hash of the empty string, per RFC 6962). *)
+
+val size : t -> int
+val append : t -> Iaccf_crypto.Digest32.t -> unit
+
+val append_data : t -> string -> unit
+(** [append_data t s] appends the leaf digest of raw data [s]. *)
+
+val root : t -> Iaccf_crypto.Digest32.t
+
+val leaf : t -> int -> Iaccf_crypto.Digest32.t
+(** The i-th leaf digest (as appended, before leaf-hashing). *)
+
+val truncate : t -> int -> unit
+(** [truncate t n] rolls the tree back to its first [n] leaves. *)
+
+val path : t -> int -> Iaccf_crypto.Digest32.t list
+(** [path t i] is the audit path for leaf [i]: the sibling digests from the
+    leaf to the root ([S] in the paper's receipts).
+    @raise Invalid_argument if [i] is out of range. *)
+
+val verify_path :
+  leaf:Iaccf_crypto.Digest32.t ->
+  index:int ->
+  size:int ->
+  path:Iaccf_crypto.Digest32.t list ->
+  root:Iaccf_crypto.Digest32.t ->
+  bool
+(** Recompute the root from a leaf digest and its audit path; [true] iff it
+    matches [root]. Pure function: used by clients and auditors that do not
+    hold the tree. *)
+
+val leaf_hash : Iaccf_crypto.Digest32.t -> Iaccf_crypto.Digest32.t
+val node_hash : Iaccf_crypto.Digest32.t -> Iaccf_crypto.Digest32.t -> Iaccf_crypto.Digest32.t
+
+val root_of_leaves : Iaccf_crypto.Digest32.t list -> Iaccf_crypto.Digest32.t
+(** Root of a tree over the given leaves, without building a [t]. *)
+
+val copy : t -> t

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Hashtbl Iaccf_util Latency List Sched

@@ -1,0 +1,30 @@
+module Rng = Iaccf_util.Rng
+
+type t = { base : src:int -> dst:int -> float; jitter_frac : float; rng : Rng.t option }
+
+let dedicated_cluster rng =
+  { base = (fun ~src:_ ~dst:_ -> 0.05); jitter_frac = 0.2; rng = Some rng }
+
+let lan rng = { base = (fun ~src:_ ~dst:_ -> 0.25); jitter_frac = 0.2; rng = Some rng }
+
+(* One-way inter-region delays (ms), symmetric: East <-> West2 ~ 34,
+   East <-> SouthCentral ~ 17, West2 <-> SouthCentral ~ 25. *)
+let wan_matrix =
+  [| [| 0.15; 34.0; 17.0 |]; [| 34.0; 0.15; 25.0 |]; [| 17.0; 25.0; 0.15 |] |]
+
+let wan rng =
+  {
+    base = (fun ~src ~dst -> wan_matrix.(src mod 3).(dst mod 3));
+    jitter_frac = 0.05;
+    rng = Some rng;
+  }
+
+let constant ms = { base = (fun ~src:_ ~dst:_ -> ms); jitter_frac = 0.0; rng = None }
+
+let sample t ~src ~dst =
+  let base = t.base ~src ~dst in
+  match t.rng with
+  | None -> base
+  | Some rng -> base *. (1.0 +. Rng.float rng t.jitter_frac)
+
+let nominal_rtt t ~src ~dst = t.base ~src ~dst +. t.base ~src:dst ~dst:src

@@ -1,0 +1,25 @@
+(** Link latency models for the three testbeds of §6.
+
+    Latencies are one-way, in milliseconds, with seeded jitter. The WAN
+    model places nodes round-robin across three regions with the paper's
+    Azure geography (US East / US West 2 / US South Central). *)
+
+type t
+
+val dedicated_cluster : Iaccf_util.Rng.t -> t
+(** 40 Gbps cluster: ~0.05 ms one-way. *)
+
+val lan : Iaccf_util.Rng.t -> t
+(** Azure LAN: ~0.25 ms one-way. *)
+
+val wan : Iaccf_util.Rng.t -> t
+(** Three Azure regions: ~30-35 ms one-way between regions, LAN within. *)
+
+val constant : float -> t
+(** Fixed one-way latency, no jitter (unit tests). *)
+
+val sample : t -> src:int -> dst:int -> float
+(** One-way delay for a message from node [src] to node [dst]. *)
+
+val nominal_rtt : t -> src:int -> dst:int -> float
+(** Jitter-free round-trip estimate (for latency model reporting). *)

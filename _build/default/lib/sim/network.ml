@@ -1,0 +1,64 @@
+module Rng = Iaccf_util.Rng
+
+type 'msg t = {
+  sched : Sched.t;
+  latency : Latency.t;
+  drop_rng : Rng.t option;
+  handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
+  mutable drop_probability : float;
+  mutable cuts : (int * int) list; (* unordered pairs with severed links *)
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create ~sched ~latency ?drop_rng () =
+  {
+    sched;
+    latency;
+    drop_rng;
+    handlers = Hashtbl.create 16;
+    drop_probability = 0.0;
+    cuts = [];
+    sent = 0;
+    delivered = 0;
+  }
+
+let register t id handler = Hashtbl.replace t.handlers id handler
+let unregister t id = Hashtbl.remove t.handlers id
+
+let cut t a b =
+  List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) t.cuts
+
+let dropped t ~src ~dst =
+  cut t src dst
+  ||
+  match t.drop_rng with
+  | Some rng when t.drop_probability > 0.0 -> Rng.float rng 1.0 < t.drop_probability
+  | _ -> false
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  if not (dropped t ~src ~dst) then begin
+    let delay = Latency.sample t.latency ~src ~dst in
+    ignore
+      (Sched.schedule t.sched ~delay (fun () ->
+           match Hashtbl.find_opt t.handlers dst with
+           | None -> ()
+           | Some handler ->
+               t.delivered <- t.delivered + 1;
+               handler ~src msg))
+  end
+
+let broadcast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let set_drop_probability t p =
+  if p > 0.0 && t.drop_rng = None then
+    invalid_arg "Network.set_drop_probability: no drop_rng supplied";
+  t.drop_probability <- p
+
+let partition t group1 group2 =
+  List.iter (fun a -> List.iter (fun b -> t.cuts <- (a, b) :: t.cuts) group2) group1
+
+let heal t = t.cuts <- []
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered

@@ -1,0 +1,36 @@
+(** Simulated message-passing network.
+
+    Delivers opaque ['msg] values between registered nodes with modelled
+    latency, optional drops, and partitions. Channels are authenticated in
+    the real system (§3.4); here the simulator itself guarantees the [src]
+    it reports, and Byzantine behaviour is modelled at the node level by
+    sending protocol messages with forged *contents* (signatures still fail
+    unless the key is held). *)
+
+type 'msg t
+
+val create :
+  sched:Sched.t -> latency:Latency.t -> ?drop_rng:Iaccf_util.Rng.t -> unit -> 'msg t
+
+val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** Attach a node's message handler. Re-registering replaces the handler. *)
+
+val unregister : 'msg t -> int -> unit
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Queue delivery; dropped silently if [dst] is unregistered, partitioned
+    from [src], or hit by the drop probability. *)
+
+val broadcast : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
+
+val set_drop_probability : 'msg t -> float -> unit
+(** Uniform drop probability in [0,1]; requires [drop_rng]. *)
+
+val partition : 'msg t -> int list -> int list -> unit
+(** Cut links between the two groups (both directions). *)
+
+val heal : 'msg t -> unit
+(** Remove all partitions. *)
+
+val messages_sent : 'msg t -> int
+val messages_delivered : 'msg t -> int

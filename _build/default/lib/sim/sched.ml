@@ -1,0 +1,54 @@
+module Key = struct
+  type t = float * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end
+
+module Q = Map.Make (Key)
+
+type t = {
+  mutable now : float;
+  mutable queue : (unit -> unit) Q.t;
+  mutable next_seq : int;
+}
+
+type cancel = { sched : t; key : Key.t }
+
+let create () = { now = 0.0; queue = Q.empty; next_seq = 0 }
+let now t = t.now
+
+let schedule t ~delay action =
+  let delay = Float.max 0.0 delay in
+  let key = (t.now +. delay, t.next_seq) in
+  t.next_seq <- t.next_seq + 1;
+  t.queue <- Q.add key action t.queue;
+  { sched = t; key }
+
+let cancel c = c.sched.queue <- Q.remove c.key c.sched.queue
+
+let step t =
+  match Q.min_binding_opt t.queue with
+  | None -> false
+  | Some (((time, _) as key), action) ->
+      t.queue <- Q.remove key t.queue;
+      t.now <- Float.max t.now time;
+      action ();
+      true
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let continue () =
+    (match max_events with Some m when !fired >= m -> false | _ -> true)
+    &&
+    match Q.min_binding_opt t.queue with
+    | None -> false
+    | Some ((time, _), _) -> (
+        match until with Some u when time > u -> false | _ -> true)
+  in
+  while continue () do
+    ignore (step t);
+    incr fired
+  done
+
+let pending t = Q.cardinal t.queue

@@ -1,0 +1,30 @@
+(** Discrete-event scheduler with a virtual clock (milliseconds).
+
+    All replicas, clients, and the network share one scheduler, so a whole
+    cluster runs deterministically in-process. Events at equal timestamps
+    fire in scheduling order. *)
+
+type t
+
+type cancel
+(** Handle to cancel a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> cancel
+(** Run the action [delay] ms from now (clamped to >= 0). *)
+
+val cancel : cancel -> unit
+(** Cancelling an already-fired event is a no-op. *)
+
+val step : t -> bool
+(** Fire the next event; [false] if the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fire events until the queue empties, virtual time passes [until], or
+    [max_events] have fired. *)
+
+val pending : t -> int

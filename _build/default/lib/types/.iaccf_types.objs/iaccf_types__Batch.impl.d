@@ -1,0 +1,1 @@
+lib/types/batch.ml: Format Iaccf_crypto Iaccf_merkle Iaccf_util List Request

@@ -1,0 +1,1 @@
+lib/types/batch.mli: Format Iaccf_crypto Iaccf_util Request

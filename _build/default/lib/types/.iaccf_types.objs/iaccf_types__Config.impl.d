@@ -1,0 +1,1 @@
+lib/types/config.ml: Format Iaccf_crypto Iaccf_util List Option Printf String

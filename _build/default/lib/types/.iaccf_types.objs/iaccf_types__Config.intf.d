@@ -1,0 +1,1 @@
+lib/types/config.mli: Format Iaccf_crypto Iaccf_util

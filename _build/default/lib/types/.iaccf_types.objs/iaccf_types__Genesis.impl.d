@@ -1,0 +1,1 @@
+lib/types/genesis.ml: Config Iaccf_crypto Iaccf_util

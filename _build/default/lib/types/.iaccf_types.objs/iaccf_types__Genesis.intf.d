@@ -1,0 +1,1 @@
+lib/types/genesis.mli: Config Iaccf_crypto

@@ -1,0 +1,1 @@
+lib/types/message.ml: Batch Config Format Iaccf_crypto Iaccf_util String

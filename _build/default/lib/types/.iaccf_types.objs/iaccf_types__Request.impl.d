@@ -1,0 +1,1 @@
+lib/types/request.ml: Format Iaccf_crypto Iaccf_util

@@ -1,0 +1,1 @@
+lib/types/request.mli: Format Iaccf_crypto Iaccf_util

@@ -1,0 +1,21 @@
+module Codec = Iaccf_util.Codec
+
+type t = { initial_config : Config.t; label : string }
+
+let make ?(label = "iaccf-service") initial_config =
+  if initial_config.Config.config_no <> 0 then
+    invalid_arg "Genesis.make: initial configuration must have number 0";
+  { initial_config; label }
+
+let serialize t =
+  Codec.encode (fun w ->
+      Codec.W.bytes w t.label;
+      Config.encode w t.initial_config)
+
+let deserialize s =
+  Codec.decode s (fun r ->
+      let label = Codec.R.bytes r in
+      let initial_config = Config.decode r in
+      { initial_config; label })
+
+let hash t = Iaccf_crypto.Digest32.of_string (serialize t)

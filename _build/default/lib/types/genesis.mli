@@ -1,0 +1,14 @@
+(** The genesis transaction [gt] (§2).
+
+    Defines the initial members and replicas; its hash is the service name
+    and is embedded in every client request so requests cannot be replayed
+    against a different service. *)
+
+type t = { initial_config : Config.t; label : string }
+
+val make : ?label:string -> Config.t -> t
+val serialize : t -> string
+val deserialize : string -> t
+
+val hash : t -> Iaccf_crypto.Digest32.t
+(** [H(gt)], the service name. *)

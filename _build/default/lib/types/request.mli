@@ -1,0 +1,51 @@
+(** Client transaction requests (Alg. 1, line 1):
+    [t = <request, a, c, H(gt), m_i>_sigma_c].
+
+    [a] is the stored procedure name plus arguments, [c] the client's public
+    key, [H(gt)] the service name, and [m_i] the minimum ledger index before
+    which the request must not execute — clients set it above the largest
+    index they have a receipt for, capturing real-time ordering dependencies
+    (Appx. B, Theorem 2). [client_seqno] distinguishes retransmissions of
+    semantically identical requests. *)
+
+type t = {
+  proc : string;
+  args : string;
+  client_pk : Iaccf_crypto.Schnorr.public_key;
+  service : Iaccf_crypto.Digest32.t;  (** H(gt) *)
+  min_index : int;  (** m_i *)
+  client_seqno : int;
+  signature : string;
+}
+
+val signing_payload :
+  proc:string ->
+  args:string ->
+  client_pk:Iaccf_crypto.Schnorr.public_key ->
+  service:Iaccf_crypto.Digest32.t ->
+  min_index:int ->
+  client_seqno:int ->
+  Iaccf_crypto.Digest32.t
+
+val make :
+  sk:Iaccf_crypto.Schnorr.secret_key ->
+  client_pk:Iaccf_crypto.Schnorr.public_key ->
+  service:Iaccf_crypto.Digest32.t ->
+  ?min_index:int ->
+  ?client_seqno:int ->
+  proc:string ->
+  args:string ->
+  unit ->
+  t
+
+val verify : t -> service:Iaccf_crypto.Digest32.t -> bool
+(** Signature valid and addressed to this service. *)
+
+val hash : t -> Iaccf_crypto.Digest32.t
+(** Request digest, the handle used in pre-prepare batch lists [B]. *)
+
+val encode : Iaccf_util.Codec.W.t -> t -> unit
+val decode : Iaccf_util.Codec.R.t -> t
+val serialize : t -> string
+val deserialize : string -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Bytes Char Int64 List

@@ -1,0 +1,57 @@
+type t = int64
+
+let empty = 0L
+let max_replicas = 64
+
+let check i =
+  if i < 0 || i >= max_replicas then invalid_arg "Bitmap: replica id out of range"
+
+let bit i = Int64.shift_left 1L i
+
+let add i t =
+  check i;
+  Int64.logor t (bit i)
+
+let remove i t =
+  check i;
+  Int64.logand t (Int64.lognot (bit i))
+
+let mem i t =
+  check i;
+  Int64.logand t (bit i) <> 0L
+
+let cardinal t =
+  let n = ref 0 in
+  for i = 0 to max_replicas - 1 do
+    if Int64.logand t (bit i) <> 0L then incr n
+  done;
+  !n
+
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+
+let to_list t =
+  let rec loop i acc =
+    if i < 0 then acc
+    else loop (i - 1) (if Int64.logand t (bit i) <> 0L then i :: acc else acc)
+  in
+  loop (max_replicas - 1) []
+
+let inter = Int64.logand
+let union = Int64.logor
+let equal = Int64.equal
+
+let encode t =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 t;
+  Bytes.unsafe_to_string b
+
+let decode s =
+  if String.length s <> 8 then invalid_arg "Bitmap.decode: expected 8 bytes";
+  Bytes.get_int64_be (Bytes.of_string s) 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (to_list t)

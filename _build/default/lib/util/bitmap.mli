@@ -1,0 +1,29 @@
+(** Fixed-width replica bitmaps.
+
+    L-PBFT protocol messages record which replicas contributed evidence in an
+    8-byte bitmap ([E_{s-P}], [E_vc], [E_s] in the paper), supporting up to
+    64 replicas. *)
+
+type t
+
+val empty : t
+val max_replicas : int
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val cardinal : t -> int
+val of_list : int list -> t
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val equal : t -> t -> bool
+val encode : t -> string
+(** 8-byte big-endian encoding. *)
+
+val decode : string -> t
+(** @raise Invalid_argument on a string that is not 8 bytes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of [s]. *)
+
+val decode : string -> string
+(** [decode h] is the byte string whose hexadecimal rendering is [h].
+    Accepts upper- and lowercase digits.
+    @raise Invalid_argument if [h] has odd length or a non-hex character. *)
+
+val is_hex : string -> bool
+(** [is_hex h] is [true] iff [h] is a valid even-length hex string. *)

@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest Bank Format Fun Iaccf_app Iaccf_core Iaccf_crypto Iaccf_kv Iaccf_types Iaccf_util List Option QCheck QCheck_alcotest Result Smallbank

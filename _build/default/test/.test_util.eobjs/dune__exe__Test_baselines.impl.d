@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Fabric Hotstuff Iaccf_baselines Iaccf_sim Iaccf_util Pompe Printf

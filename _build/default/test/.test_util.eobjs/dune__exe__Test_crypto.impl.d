@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bignum Char Digest32 Group Hmac Iaccf_crypto Iaccf_util List Nonce Option Parverify Printf QCheck QCheck_alcotest Schnorr Sha256 String

@@ -1,0 +1,1 @@
+test/test_governance.ml: Alcotest Client Cluster Govchain Iaccf_core Iaccf_ledger Iaccf_types List Option Printf Replica Result String

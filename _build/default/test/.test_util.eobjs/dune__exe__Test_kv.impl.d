@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Checkpoint Fun Gen Hamt Iaccf_crypto Iaccf_kv List Map Printf QCheck QCheck_alcotest Store String

@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest Entry Format Iaccf_crypto Iaccf_ledger Iaccf_merkle Iaccf_types Iaccf_util Ledger List Printf

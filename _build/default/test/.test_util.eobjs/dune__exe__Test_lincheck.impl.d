@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest App Client Cluster Enforcer Forge Format Iaccf_core Iaccf_crypto Iaccf_sim Iaccf_types Lincheck List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Fun Gen Iaccf_crypto Iaccf_merkle List Printf QCheck QCheck_alcotest Tree

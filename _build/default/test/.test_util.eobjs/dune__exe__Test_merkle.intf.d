@@ -1,0 +1,1 @@
+test/test_merkle.mli:

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest App Client Cluster Iaccf_core Iaccf_crypto Iaccf_kv Iaccf_ledger Iaccf_sim Iaccf_types List Printf Receipt Replica Result Variant

@@ -1,0 +1,1 @@
+test/test_receipt.ml: Alcotest App Client Cluster Forge Govchain Iaccf_core Iaccf_crypto Iaccf_types Iaccf_util List Option Receipt Replica Result String

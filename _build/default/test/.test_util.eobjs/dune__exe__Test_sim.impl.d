@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Iaccf_sim Iaccf_util Latency List Network Printf Sched

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Batch Config Format Fun Gen Genesis Iaccf_crypto Iaccf_merkle Iaccf_types Iaccf_util List Message Printf QCheck QCheck_alcotest Request Result String

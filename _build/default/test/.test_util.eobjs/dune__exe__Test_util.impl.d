@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitmap Codec Fun Hex Iaccf_util List QCheck QCheck_alcotest Rng String Vec

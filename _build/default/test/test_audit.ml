@@ -1,0 +1,631 @@
+(* Auditing tests (Alg. 4, Appx. B): honest ledgers audit clean; every
+   misbehavior class yields a uPoM blaming at least f+1 replicas, even with
+   all replicas colluding (via the Forge attack harness). *)
+
+open Iaccf_core
+module Config = Iaccf_types.Config
+module Genesis = Iaccf_types.Genesis
+module Request = Iaccf_types.Request
+module Batch = Iaccf_types.Batch
+module Ledger = Iaccf_ledger.Ledger
+module Entry = Iaccf_ledger.Entry
+module Bitmap = Iaccf_util.Bitmap
+module D = Iaccf_crypto.Digest32
+module Schnorr = Iaccf_crypto.Schnorr
+
+let check = Alcotest.check
+
+(* A quorum-of-keys playground built from a 4-replica cluster's identity. *)
+type world = {
+  w_cluster : Cluster.t;
+  w_genesis : Genesis.t;
+  w_app : App.t;
+  w_sks : (int * Schnorr.secret_key) list;
+  w_client_sk : Schnorr.secret_key;
+  w_client_pk : Schnorr.public_key;
+}
+
+let make_world ?(n = 4) () =
+  let cluster = Cluster.make ~n () in
+  let genesis = Cluster.genesis cluster in
+  let app = App.create Cluster.counter_app_procs in
+  let sks = List.init n (fun i -> (i, Cluster.replica_sk cluster i)) in
+  let client_sk, client_pk = Schnorr.keypair_of_seed "audit-client" in
+  {
+    w_cluster = cluster;
+    w_genesis = genesis;
+    w_app = app;
+    w_sks = sks;
+    w_client_sk = client_sk;
+    w_client_pk = client_pk;
+  }
+
+let request w ?(min_index = 0) ?(client_seqno = 0) proc args =
+  Request.make ~sk:w.w_client_sk ~client_pk:w.w_client_pk
+    ~service:(Genesis.hash w.w_genesis) ~min_index ~client_seqno ~proc ~args ()
+
+let make_forge ?(pipeline = 2) ?(checkpoint_interval = 100) w =
+  Forge.create ~genesis:w.w_genesis ~sks:w.w_sks ~app:w.w_app ~pipeline
+    ~checkpoint_interval
+
+let make_auditor ?(pipeline = 2) ?(checkpoint_interval = 100) w =
+  Audit.create ~genesis:w.w_genesis ~app:w.w_app ~pipeline ~checkpoint_interval
+
+let expect_blame ~min_f1 result =
+  match result with
+  | Ok () -> Alcotest.fail "expected a verdict, audit came back clean"
+  | Error (v : Audit.verdict) ->
+      check Alcotest.bool
+        (Printf.sprintf "blames >= %d replicas (got %d)" min_f1
+           (Bitmap.cardinal v.Audit.v_blamed_replicas))
+        true
+        (Bitmap.cardinal v.Audit.v_blamed_replicas >= min_f1);
+      v
+
+(* --- clean audits --- *)
+
+let test_forged_honest_ledger_audits_clean () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let s1 =
+    Forge.add_batch forge [ request w ~client_seqno:0 "counter/add" "5" ]
+  in
+  let _ =
+    Forge.add_batch forge [ request w ~client_seqno:1 "counter/add" "7" ]
+  in
+  let receipt = Forge.make_receipt forge ~seqno:s1 ~tx_position:(Some 0) in
+  let auditor = make_auditor w in
+  match
+    Audit.audit auditor ~receipts:[ receipt ] ~ledger:(Forge.ledger forge)
+      ~responder:0 ()
+  with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "clean audit failed: %s" (Format.asprintf "%a" Audit.pp_verdict v)
+
+let test_real_cluster_ledger_audits_clean () =
+  (* The strict well-formedness scan must accept a ledger produced by the
+     actual replica implementation. *)
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  let receipts = ref [] in
+  for i = 1 to 12 do
+    Client.submit client ~proc:"counter/add" ~args:(string_of_int i)
+      ~on_complete:(fun oc -> receipts := oc.Client.oc_receipt :: !receipts)
+      ()
+  done;
+  let ok = Cluster.run_until cluster (fun () -> List.length !receipts = 12) in
+  check Alcotest.bool "cluster ran" true ok;
+  Cluster.run cluster ~ms:100.0;
+  let r0 = Cluster.replica cluster 0 in
+  (* Use the committed prefix: drop any trailing speculative entries. *)
+  let ledger = Replica.ledger r0 in
+  let auditor =
+    Audit.create ~genesis:(Cluster.genesis cluster)
+      ~app:(App.create Cluster.counter_app_procs)
+      ~pipeline:(Cluster.params cluster).Replica.pipeline
+      ~checkpoint_interval:(Cluster.params cluster).Replica.checkpoint_interval
+  in
+  match Audit.audit auditor ~receipts:!receipts ~ledger ~responder:0 () with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "real ledger failed audit: %s"
+        (Format.asprintf "%a" Audit.pp_verdict v)
+
+(* --- wrong execution (all replicas collude on a bad result) --- *)
+
+let test_wrong_execution_detected () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let victim = request w ~client_seqno:0 "counter/add" "5" in
+  let forged_output = App.output_ok "999999" in
+  let s =
+    Forge.add_batch forge
+      ~execute_override:(fun req _ ->
+        if req.Request.client_seqno = 0 then
+          Some (forged_output, D.of_string "forged-write-set")
+        else None)
+      [ victim ]
+  in
+  (* The client's receipt is consistent with the forged ledger: the fraud
+     is only visible by re-executing. *)
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  let auditor = make_auditor w in
+  let v =
+    expect_blame ~min_f1:2
+      (Audit.audit auditor ~receipts:[ receipt ] ~ledger:(Forge.ledger forge)
+         ~responder:0 ())
+  in
+  (match v.Audit.v_upom with
+  | Audit.Wrong_execution _ -> ()
+  | u -> Alcotest.failf "expected wrong-execution, got %s" (Format.asprintf "%a" Audit.pp_upom u));
+  check Alcotest.bool "members blamed" true (v.Audit.v_blamed_members <> [])
+
+(* --- ledger rewrite: receipt not in ledger (Lemma 5, same view) --- *)
+
+let test_rewritten_history_detected () =
+  let w = make_world () in
+  (* World A: the honest history; the client keeps its receipt. *)
+  let forge_a = make_forge w in
+  let s =
+    Forge.add_batch forge_a [ request w ~client_seqno:0 "counter/add" "5" ]
+  in
+  let receipt = Forge.make_receipt forge_a ~seqno:s ~tx_position:(Some 0) in
+  (* World B: the colluding replicas rewrite history without that tx. *)
+  let forge_b = make_forge w in
+  let _ =
+    Forge.add_batch forge_b [ request w ~client_seqno:9 "counter/add" "1" ]
+  in
+  let auditor = make_auditor w in
+  let v =
+    expect_blame ~min_f1:2
+      (Audit.audit auditor ~receipts:[ receipt ] ~ledger:(Forge.ledger forge_b)
+         ~responder:0 ())
+  in
+  match v.Audit.v_upom with
+  | Audit.Receipt_not_in_ledger { rn_case = `Same_view; _ } -> ()
+  | u -> Alcotest.failf "expected same-view receipt mismatch, got %s" (Format.asprintf "%a" Audit.pp_upom u)
+
+(* --- cross-view blame (Lemma 5, cases v_l > v_r and v_l < v_r) --- *)
+
+let test_ledger_view_higher_detected () =
+  (* The colluders erase history with a forged view change and rebuild a
+     different batch at the receipt's slot in view 1; the view-change
+     messages that deny preparing the batch convict them. *)
+  let w = make_world () in
+  let forge = make_forge w in
+  let s = Forge.add_batch forge [ request w ~client_seqno:0 "counter/add" "5" ] in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  (* Same forge continues: rewrite via view change. *)
+  let forge2 = make_forge w in
+  Forge.add_view_change forge2;
+  let _ = Forge.add_batch forge2 [ request w ~client_seqno:7 "counter/add" "9" ] in
+  let auditor = make_auditor w in
+  let v =
+    expect_blame ~min_f1:2
+      (Audit.audit auditor ~receipts:[ receipt ] ~ledger:(Forge.ledger forge2)
+         ~responder:0 ())
+  in
+  match v.Audit.v_upom with
+  | Audit.Receipt_not_in_ledger { rn_case = `Ledger_view_higher; _ } -> ()
+  | u ->
+      Alcotest.failf "expected ledger-view-higher, got %s"
+        (Format.asprintf "%a" Audit.pp_upom u)
+
+let test_receipt_view_higher_detected () =
+  (* The receipt was minted in view 1 (after a forged view change), but the
+     responder's ledger shows a view-0 batch at that slot, plus view-change
+     messages for view 1 in which nobody reported preparing the receipt's
+    batch. *)
+  let w = make_world () in
+  (* Receipt world: empty-history view change, then the batch in view 1. *)
+  let forge_r = make_forge w in
+  Forge.add_view_change forge_r;
+  let s = Forge.add_batch forge_r [ request w ~client_seqno:0 "counter/add" "5" ] in
+  let receipt = Forge.make_receipt forge_r ~seqno:s ~tx_position:(Some 0) in
+  (* Ledger world: a different view-0 batch at the slot, and the same
+     "nothing prepared" view change for view 1 afterwards. *)
+  let forge_l = make_forge w in
+  let _ = Forge.add_batch forge_l [ request w ~client_seqno:9 "counter/add" "1" ] in
+  Forge.add_view_change forge_l;
+  let auditor = make_auditor w in
+  let v =
+    expect_blame ~min_f1:2
+      (Audit.audit auditor ~receipts:[ receipt ] ~ledger:(Forge.ledger forge_l)
+         ~responder:0 ())
+  in
+  match v.Audit.v_upom with
+  | Audit.Receipt_not_in_ledger { rn_case = `Receipt_view_higher; _ } -> ()
+  | u ->
+      Alcotest.failf "expected receipt-view-higher, got %s"
+        (Format.asprintf "%a" Audit.pp_upom u)
+
+(* --- tied receipts --- *)
+
+let test_tied_receipts_detected () =
+  let w = make_world () in
+  let forge_a = make_forge w in
+  let forge_b = make_forge w in
+  let sa = Forge.add_batch forge_a [ request w ~client_seqno:0 "counter/add" "5" ] in
+  let sb = Forge.add_batch forge_b [ request w ~client_seqno:1 "counter/add" "6" ] in
+  let ra = Forge.make_receipt forge_a ~seqno:sa ~tx_position:(Some 0) in
+  let rb = Forge.make_receipt forge_b ~seqno:sb ~tx_position:(Some 0) in
+  let auditor = make_auditor w in
+  let v =
+    expect_blame ~min_f1:2
+      (Audit.audit auditor ~receipts:[ ra; rb ] ~ledger:(Forge.ledger forge_a)
+         ~responder:0 ())
+  in
+  match v.Audit.v_upom with
+  | Audit.Tied_receipts _ -> ()
+  | u -> Alcotest.failf "expected tied receipts, got %s" (Format.asprintf "%a" Audit.pp_upom u)
+
+(* --- invalid receipts --- *)
+
+let test_tampered_receipt_rejected () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let s = Forge.add_batch forge [ request w "counter/add" "5" ] in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  let tampered = Forge.tamper_tx_output receipt ~output:(App.output_ok "1000000") in
+  let auditor = make_auditor w in
+  match
+    Audit.audit auditor ~receipts:[ tampered ] ~ledger:(Forge.ledger forge)
+      ~responder:0 ()
+  with
+  | Error { Audit.v_upom = Audit.Invalid_receipt _; _ } -> ()
+  | Error v -> Alcotest.failf "unexpected verdict %s" (Format.asprintf "%a" Audit.pp_verdict v)
+  | Ok () -> Alcotest.fail "tampered receipt accepted"
+
+(* --- malformed ledgers --- *)
+
+let rebuild_without ledger pred =
+  let entries =
+    List.filter_map
+      (fun (i, e) -> if pred i e then None else Some e)
+      (Ledger.entries ledger ())
+  in
+  Ledger.of_entries entries
+
+let test_missing_evidence_is_malformed () =
+  let w = make_world () in
+  let forge = make_forge w in
+  for i = 0 to 4 do
+    ignore (Forge.add_batch forge [ request w ~client_seqno:i "counter/add" "1" ])
+  done;
+  let broken =
+    rebuild_without (Forge.ledger forge) (fun _ e ->
+        match e with Entry.Prepare_evidence _ | Entry.Nonce_evidence _ -> true | _ -> false)
+  in
+  let auditor = make_auditor w in
+  match Audit.audit auditor ~receipts:[] ~ledger:broken ~responder:3 () with
+  | Error { Audit.v_upom = Audit.Malformed_ledger { ml_responder = 3; _ }; _ } -> ()
+  | Error v -> Alcotest.failf "unexpected verdict %s" (Format.asprintf "%a" Audit.pp_verdict v)
+  | Ok () -> Alcotest.fail "malformed ledger accepted"
+
+let test_dropped_tx_breaks_g_root () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let s =
+    Forge.add_batch forge
+      [ request w ~client_seqno:0 "counter/add" "1"; request w ~client_seqno:1 "counter/add" "2" ]
+  in
+  ignore s;
+  (* Drop one transaction entry: indices and g_root no longer line up. *)
+  let dropped = ref false in
+  let broken =
+    rebuild_without (Forge.ledger forge) (fun _ e ->
+        match e with
+        | Entry.Tx _ when not !dropped ->
+            dropped := true;
+            true
+        | _ -> false)
+  in
+  let auditor = make_auditor w in
+  match Audit.audit auditor ~receipts:[] ~ledger:broken ~responder:1 () with
+  | Error { Audit.v_upom = Audit.Malformed_ledger _; _ } -> ()
+  | Error v -> Alcotest.failf "unexpected verdict %s" (Format.asprintf "%a" Audit.pp_verdict v)
+  | Ok () -> Alcotest.fail "ledger with dropped tx accepted"
+
+(* --- checkpoints --- *)
+
+let test_audit_from_checkpoint () =
+  let w = make_world () in
+  let forge = make_forge ~checkpoint_interval:5 w in
+  for i = 0 to 19 do
+    ignore (Forge.add_batch forge [ request w ~client_seqno:i "counter/add" "1" ])
+  done;
+  let cp =
+    match Forge.checkpoint_at forge 10 with
+    | Some cp -> cp
+    | None -> Alcotest.fail "no checkpoint at 10"
+  in
+  let auditor = make_auditor ~checkpoint_interval:5 w in
+  (match
+     Audit.audit auditor ~receipts:[] ~ledger:(Forge.ledger forge) ~checkpoint:cp
+       ~responder:0 ()
+   with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "checkpoint audit failed: %s" (Format.asprintf "%a" Audit.pp_verdict v));
+  (* A checkpoint whose digest the ledger never recorded is rejected. *)
+  let bogus = Iaccf_kv.Checkpoint.make ~seqno:10 (Iaccf_kv.Hamt.of_list [ ("x", "y") ]) in
+  match
+    Audit.audit auditor ~receipts:[] ~ledger:(Forge.ledger forge) ~checkpoint:bogus
+      ~responder:0 ()
+  with
+  | Error { Audit.v_upom = Audit.Malformed_ledger _; _ } -> ()
+  | Error v -> Alcotest.failf "unexpected verdict %s" (Format.asprintf "%a" Audit.pp_verdict v)
+  | Ok () -> Alcotest.fail "bogus checkpoint accepted"
+
+let test_wrong_execution_after_checkpoint () =
+  let w = make_world () in
+  let forge = make_forge ~checkpoint_interval:5 w in
+  for i = 0 to 11 do
+    ignore (Forge.add_batch forge [ request w ~client_seqno:i "counter/add" "1" ])
+  done;
+  let s =
+    Forge.add_batch forge
+      ~execute_override:(fun _ _ -> Some (App.output_ok "fake", D.of_string "fake"))
+      [ request w ~client_seqno:99 "counter/add" "1" ]
+  in
+  ignore s;
+  let cp = Option.get (Forge.checkpoint_at forge 10) in
+  let auditor = make_auditor ~checkpoint_interval:5 w in
+  let v =
+    expect_blame ~min_f1:2
+      (Audit.audit auditor ~receipts:[] ~ledger:(Forge.ledger forge) ~checkpoint:cp
+         ~responder:0 ())
+  in
+  match v.Audit.v_upom with
+  | Audit.Wrong_execution _ -> ()
+  | u -> Alcotest.failf "expected wrong execution, got %s" (Format.asprintf "%a" Audit.pp_upom u)
+
+(* --- governance forks (Lemma 7) --- *)
+
+let test_governance_fork_detected () =
+  let w = make_world () in
+  let forge_a = make_forge w in
+  let forge_b = make_forge w in
+  (* Two colluding histories end configuration 0 differently. *)
+  ignore (Forge.add_batch forge_a [ request w ~client_seqno:0 "counter/add" "1" ]);
+  ignore (Forge.add_batch forge_b [ request w ~client_seqno:5 "counter/add" "9" ]);
+  let sa =
+    Forge.add_special_batch forge_a
+      (Batch.End_of_config { phase = 2; committed_root = Ledger.m_root (Forge.ledger forge_a) })
+  in
+  let sb =
+    Forge.add_special_batch forge_b
+      (Batch.End_of_config { phase = 2; committed_root = Ledger.m_root (Forge.ledger forge_b) })
+  in
+  let ra = Forge.make_receipt forge_a ~seqno:sa ~tx_position:None in
+  let rb = Forge.make_receipt forge_b ~seqno:sb ~tx_position:None in
+  let auditor = make_auditor w in
+  match Audit.add_gov_receipts auditor [ ra; rb ] with
+  | Error v -> (
+      match v.Audit.v_upom with
+      | Audit.Governance_fork _ ->
+          check Alcotest.bool "blames >= f+1" true
+            (Bitmap.cardinal v.Audit.v_blamed_replicas >= 2)
+      | u -> Alcotest.failf "expected governance fork, got %s" (Format.asprintf "%a" Audit.pp_upom u))
+  | Ok () -> Alcotest.fail "fork not detected"
+
+(* --- enforcer --- *)
+
+let test_enforcer_punishes_on_upom () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let s =
+    Forge.add_batch forge
+      ~execute_override:(fun _ _ -> Some (App.output_ok "fake", D.of_string "fake"))
+      [ request w "counter/add" "5" ]
+  in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  let enforcer =
+    Enforcer.create ~genesis:w.w_genesis ~app:w.w_app ~pipeline:2
+      ~checkpoint_interval:100
+  in
+  let provider _ =
+    Some { Enforcer.resp_ledger = Forge.ledger forge; resp_checkpoint = None }
+  in
+  match Enforcer.investigate enforcer ~receipts:[ receipt ] ~gov_receipts:[] ~provider with
+  | Enforcer.Members_punished { punished; _ } ->
+      check Alcotest.bool "members punished" true (punished <> []);
+      check Alcotest.bool "recorded" true (Enforcer.punished_members enforcer <> [])
+  | _ -> Alcotest.fail "expected punishment"
+
+let test_enforcer_punishes_unresponsive () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let s = Forge.add_batch forge [ request w "counter/add" "5" ] in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  let enforcer =
+    Enforcer.create ~genesis:w.w_genesis ~app:w.w_app ~pipeline:2
+      ~checkpoint_interval:100
+  in
+  match
+    Enforcer.investigate enforcer ~receipts:[ receipt ] ~gov_receipts:[]
+      ~provider:(fun _ -> None)
+  with
+  | Enforcer.Unresponsive_punished { replicas; punished } ->
+      check Alcotest.bool "at least quorum replicas" true (List.length replicas >= 3);
+      check Alcotest.bool "members punished" true (punished <> [])
+  | _ -> Alcotest.fail "expected unresponsive punishment"
+
+let test_enforcer_clean_audit_no_punishment () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let s = Forge.add_batch forge [ request w "counter/add" "5" ] in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  let enforcer =
+    Enforcer.create ~genesis:w.w_genesis ~app:w.w_app ~pipeline:2
+      ~checkpoint_interval:100
+  in
+  let provider _ =
+    Some { Enforcer.resp_ledger = Forge.ledger forge; resp_checkpoint = None }
+  in
+  match Enforcer.investigate enforcer ~receipts:[ receipt ] ~gov_receipts:[] ~provider with
+  | Enforcer.No_misbehavior ->
+      check Alcotest.(list string) "no punishments" [] (Enforcer.punished_members enforcer)
+  | _ -> Alcotest.fail "expected clean outcome"
+
+let test_enforcer_rejects_false_upom () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let s = Forge.add_batch forge [ request w "counter/add" "5" ] in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  let enforcer =
+    Enforcer.create ~genesis:w.w_genesis ~app:w.w_app ~pipeline:2
+      ~checkpoint_interval:100
+  in
+  (* A lying auditor claims wrong execution against an honest ledger. *)
+  let fake_verdict =
+    {
+      Audit.v_upom =
+        Audit.Wrong_execution { we_index = 3; we_seqno = s; we_reason = "lie" };
+      v_blamed_replicas = Bitmap.of_list [ 0; 1 ];
+      v_blamed_members = [ "member-0" ];
+    }
+  in
+  match
+    Enforcer.verify_upom enforcer ~verdict:fake_verdict ~receipts:[ receipt ]
+      ~gov_receipts:[]
+      ~response:{ Enforcer.resp_ledger = Forge.ledger forge; resp_checkpoint = None }
+      ~responder:0
+  with
+  | Enforcer.Auditor_punished _ -> ()
+  | _ -> Alcotest.fail "false uPoM accepted"
+
+(* --- fuzzing: random structural mutations of a valid ledger must yield a
+   verdict (or an unchanged ledger), and must never crash the auditor. --- *)
+
+let fuzz_world =
+  lazy
+    (let w = make_world () in
+     let forge = make_forge ~checkpoint_interval:5 w in
+     for i = 0 to 14 do
+       ignore (Forge.add_batch forge [ request w ~client_seqno:i "counter/add" "1" ])
+     done;
+     (w, Forge.ledger forge))
+
+let mutate_ledger rng entries =
+  let n = List.length entries in
+  let pos = 1 + Iaccf_util.Rng.int rng (n - 1) in
+  match Iaccf_util.Rng.int rng 4 with
+  | 0 -> (* delete *) List.filteri (fun i _ -> i <> pos) entries
+  | 1 -> (* duplicate *)
+      List.concat (List.mapi (fun i e -> if i = pos then [ e; e ] else [ e ]) entries)
+  | 2 -> (* swap adjacent *)
+      let arr = Array.of_list entries in
+      if pos + 1 < n then begin
+        let tmp = arr.(pos) in
+        arr.(pos) <- arr.(pos + 1);
+        arr.(pos + 1) <- tmp
+      end;
+      Array.to_list arr
+  | _ -> (* truncate *) List.filteri (fun i _ -> i < pos) entries
+
+let prop_mutated_ledger_never_audits_clean =
+  QCheck.Test.make ~name:"mutated ledgers never audit clean" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let w, ledger = Lazy.force fuzz_world in
+      let rng = Iaccf_util.Rng.create seed in
+      let entries = List.map snd (Ledger.entries ledger ()) in
+      let mutated = mutate_ledger rng entries in
+      if List.map Entry.serialize mutated = List.map Entry.serialize entries then true
+      else begin
+        match Ledger.of_entries mutated with
+        | exception Invalid_argument _ -> true (* genesis displaced: rejected *)
+        | broken -> (
+            let auditor = make_auditor ~checkpoint_interval:5 w in
+            match Audit.audit auditor ~receipts:[] ~ledger:broken ~responder:0 () with
+            | Error _ -> true
+            | Ok () ->
+                (* A pure truncation at a batch boundary is still a valid,
+                   shorter ledger — that is fine. Anything else is not. *)
+                List.length mutated < List.length entries)
+      end)
+
+let prop_corrupt_bytes_never_crash =
+  QCheck.Test.make ~name:"bit-flipped serialized ledgers never crash" ~count:60
+    QCheck.(pair (int_bound 100000) (int_bound 100000))
+    (fun (pos_seed, byte_seed) ->
+      let w, ledger = Lazy.force fuzz_world in
+      let raw = Ledger.serialize ledger in
+      let pos = pos_seed mod String.length raw in
+      let corrupted =
+        String.mapi
+          (fun i c -> if i = pos then Char.chr (byte_seed land 0xff) else c)
+          raw
+      in
+      QCheck.assume (corrupted <> raw);
+      match Ledger.deserialize corrupted with
+      | exception Iaccf_util.Codec.Decode_error _ -> true
+      | exception Invalid_argument _ -> true
+      | broken -> (
+          let auditor = make_auditor ~checkpoint_interval:5 w in
+          match Audit.audit auditor ~receipts:[] ~ledger:broken ~responder:0 () with
+          | Ok () | Error _ -> true))
+
+
+(* --- liveness monitoring (§2 future-work defence) --- *)
+
+let test_liveness_watch_cleared_by_receipt () =
+  let w = make_world () in
+  let forge = make_forge w in
+  let req = request w "counter/add" "5" in
+  let s = Forge.add_batch forge [ req ] in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  let sched = Iaccf_sim.Sched.create () in
+  let enforcer =
+    Enforcer.create ~genesis:w.w_genesis ~app:w.w_app ~pipeline:2 ~checkpoint_interval:100
+  in
+  Enforcer.watch enforcer ~sched ~request:req
+    ~config:w.w_genesis.Genesis.initial_config ~deadline_ms:1000.0;
+  Enforcer.notify_receipt enforcer receipt;
+  Iaccf_sim.Sched.run sched;
+  check Alcotest.int "no violation" 0 (List.length (Enforcer.liveness_violations enforcer));
+  check Alcotest.(list string) "nobody punished" [] (Enforcer.punished_members enforcer)
+
+let test_liveness_deadline_punishes () =
+  let w = make_world () in
+  let req = request w "counter/add" "5" in
+  let sched = Iaccf_sim.Sched.create () in
+  let enforcer =
+    Enforcer.create ~genesis:w.w_genesis ~app:w.w_app ~pipeline:2 ~checkpoint_interval:100
+  in
+  Enforcer.watch enforcer ~sched ~request:req
+    ~config:w.w_genesis.Genesis.initial_config ~deadline_ms:1000.0;
+  Iaccf_sim.Sched.run sched;
+  check Alcotest.int "violation recorded" 1
+    (List.length (Enforcer.liveness_violations enforcer));
+  check Alcotest.bool "members punished" true (Enforcer.punished_members enforcer <> [])
+
+let () =
+  Alcotest.run "iaccf_audit"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "forged honest ledger" `Quick
+            test_forged_honest_ledger_audits_clean;
+          Alcotest.test_case "real cluster ledger" `Quick
+            test_real_cluster_ledger_audits_clean;
+        ] );
+      ( "misbehavior",
+        [
+          Alcotest.test_case "wrong execution" `Quick test_wrong_execution_detected;
+          Alcotest.test_case "rewritten history" `Quick test_rewritten_history_detected;
+          Alcotest.test_case "ledger view higher" `Quick test_ledger_view_higher_detected;
+          Alcotest.test_case "receipt view higher" `Quick test_receipt_view_higher_detected;
+          Alcotest.test_case "tied receipts" `Quick test_tied_receipts_detected;
+          Alcotest.test_case "tampered receipt" `Quick test_tampered_receipt_rejected;
+          Alcotest.test_case "missing evidence" `Quick test_missing_evidence_is_malformed;
+          Alcotest.test_case "dropped tx" `Quick test_dropped_tx_breaks_g_root;
+          Alcotest.test_case "governance fork" `Quick test_governance_fork_detected;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "audit from checkpoint" `Quick test_audit_from_checkpoint;
+          Alcotest.test_case "fraud after checkpoint" `Quick
+            test_wrong_execution_after_checkpoint;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_mutated_ledger_never_audits_clean;
+          QCheck_alcotest.to_alcotest prop_corrupt_bytes_never_crash;
+        ] );
+      ( "enforcer",
+        [
+          Alcotest.test_case "liveness watch cleared" `Quick
+            test_liveness_watch_cleared_by_receipt;
+          Alcotest.test_case "liveness deadline punishes" `Quick
+            test_liveness_deadline_punishes;
+          Alcotest.test_case "punishes on uPoM" `Quick test_enforcer_punishes_on_upom;
+          Alcotest.test_case "punishes unresponsive" `Quick
+            test_enforcer_punishes_unresponsive;
+          Alcotest.test_case "clean run unpunished" `Quick
+            test_enforcer_clean_audit_no_punishment;
+          Alcotest.test_case "rejects false uPoM" `Quick test_enforcer_rejects_false_upom;
+        ] );
+    ]
+

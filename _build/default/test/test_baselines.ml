@@ -1,0 +1,128 @@
+(* Baseline tests: HotStuff and Fabric make progress in the simulator and
+   exhibit the expected message/latency shapes. *)
+
+open Iaccf_baselines
+module Sched = Iaccf_sim.Sched
+module Network = Iaccf_sim.Network
+module Latency = Iaccf_sim.Latency
+module Rng = Iaccf_util.Rng
+
+let check = Alcotest.check
+
+let hs_world ?(n = 4) ?(latency = Latency.constant 1.0) () =
+  let sched = Sched.create () in
+  let network = Network.create ~sched ~latency () in
+  let cluster = Hotstuff.spawn ~n ~sched ~network ~seed:7 () in
+  (sched, network, cluster)
+
+let test_hotstuff_commits () =
+  let sched, network, cluster = hs_world () in
+  let client = Hotstuff.client cluster ~address:100 ~sched ~network in
+  let done_count = ref 0 in
+  for i = 1 to 10 do
+    Hotstuff.submit client
+      ~payload:(Printf.sprintf "cmd-%d" i)
+      ~on_complete:(fun ~latency_ms:_ -> incr done_count)
+  done;
+  Sched.run ~until:60_000.0 sched;
+  check Alcotest.int "all commands completed" 10 !done_count;
+  check Alcotest.bool "commits recorded" true (Hotstuff.committed_commands cluster >= 10)
+
+let test_hotstuff_seven_replicas () =
+  let sched, network, cluster = hs_world ~n:7 () in
+  let client = Hotstuff.client cluster ~address:100 ~sched ~network in
+  let done_count = ref 0 in
+  for i = 1 to 5 do
+    Hotstuff.submit client
+      ~payload:(Printf.sprintf "c%d" i)
+      ~on_complete:(fun ~latency_ms:_ -> incr done_count)
+  done;
+  Sched.run ~until:60_000.0 sched;
+  check Alcotest.int "completed" 5 !done_count
+
+let test_hotstuff_latency_is_multiple_rtts () =
+  (* With 10 ms one-way links, a command needs ~4+ round trips: proposal,
+     three vote/QC rounds, and the reply (Tab. 2's 4.5 RTT shape). *)
+  let sched, network, cluster = hs_world ~latency:(Latency.constant 10.0) () in
+  let client = Hotstuff.client cluster ~address:100 ~sched ~network in
+  let lat = ref 0.0 in
+  Hotstuff.submit client ~payload:"x" ~on_complete:(fun ~latency_ms -> lat := latency_ms);
+  Sched.run ~until:60_000.0 sched;
+  check Alcotest.bool
+    (Printf.sprintf "latency %f covers >= 4 RTTs" !lat)
+    true
+    (!lat >= 4.0 *. 20.0);
+  check Alcotest.bool "but not absurdly many" true (!lat <= 12.0 *. 20.0)
+
+let test_hotstuff_signature_work () =
+  let sched, network, cluster = hs_world () in
+  let client = Hotstuff.client cluster ~address:100 ~sched ~network in
+  let done_count = ref 0 in
+  for i = 1 to 5 do
+    Hotstuff.submit client
+      ~payload:(Printf.sprintf "c%d" i)
+      ~on_complete:(fun ~latency_ms:_ -> incr done_count)
+  done;
+  Sched.run ~until:60_000.0 sched;
+  check Alcotest.bool "votes were signed" true (Hotstuff.signatures_made cluster > 0);
+  check Alcotest.bool "QCs were verified" true (Hotstuff.signatures_verified cluster > 0)
+
+let fabric_world ?(peers = 4) () =
+  let sched = Sched.create () in
+  let network = Network.create ~sched ~latency:(Latency.constant 1.0) () in
+  let cluster = Fabric.spawn ~peers ~endorsement_policy:2 ~sched ~network ~seed:9 () in
+  (sched, network, cluster)
+
+let test_fabric_commits () =
+  let sched, network, cluster = fabric_world () in
+  let client = Fabric.client cluster ~address:100 ~sched ~network in
+  let done_count = ref 0 in
+  for i = 1 to 10 do
+    Fabric.submit client
+      ~payload:(Printf.sprintf "tx-%d" i)
+      ~on_complete:(fun ~latency_ms:_ -> incr done_count)
+  done;
+  Sched.run ~until:60_000.0 sched;
+  check Alcotest.int "all committed" 10 !done_count;
+  check Alcotest.bool "peers applied" true (Fabric.committed cluster >= 10)
+
+let test_fabric_per_tx_signatures () =
+  (* The execute-order-validate model signs per transaction per endorser
+     and validates on every peer: >= policy signatures and >= policy *
+     peers verifications for the batch of 10 (§6.1's cost analysis). *)
+  let sched, network, cluster = fabric_world () in
+  let client = Fabric.client cluster ~address:100 ~sched ~network in
+  let done_count = ref 0 in
+  for i = 1 to 10 do
+    Fabric.submit client
+      ~payload:(Printf.sprintf "tx-%d" i)
+      ~on_complete:(fun ~latency_ms:_ -> incr done_count)
+  done;
+  Sched.run ~until:60_000.0 sched;
+  check Alcotest.bool "endorsement signatures" true (Fabric.signatures_made cluster >= 10 * 2);
+  check Alcotest.bool "validation verifies" true
+    (Fabric.signatures_verified cluster >= 10 * 2 * 4)
+
+let test_pompe_model_runs () =
+  let r = Pompe.run ~n:4 ~commands:50 ~batch:10 in
+  check Alcotest.int "commands" 50 r.Pompe.r_commands;
+  check Alcotest.bool "did crypto work" true (r.Pompe.r_signatures > 50 * 3);
+  check Alcotest.bool "throughput positive" true (r.Pompe.r_throughput > 0.0)
+
+let () =
+  Alcotest.run "iaccf_baselines"
+    [
+      ( "hotstuff",
+        [
+          Alcotest.test_case "commits" `Quick test_hotstuff_commits;
+          Alcotest.test_case "seven replicas" `Quick test_hotstuff_seven_replicas;
+          Alcotest.test_case "4.5 RTT latency" `Quick test_hotstuff_latency_is_multiple_rtts;
+          Alcotest.test_case "signature work" `Quick test_hotstuff_signature_work;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "commits" `Quick test_fabric_commits;
+          Alcotest.test_case "per-tx signatures" `Quick test_fabric_per_tx_signatures;
+        ] );
+      ( "pompe", [ Alcotest.test_case "model runs" `Quick test_pompe_model_runs ] );
+    ]

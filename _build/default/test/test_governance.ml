@@ -1,0 +1,294 @@
+(* Reconfiguration tests (§5): referenda through gov/propose + gov/vote,
+   end/start-of-configuration batches, replica addition and removal, the
+   governance sub-ledger, and receipt verification across configurations. *)
+
+open Iaccf_core
+module Config = Iaccf_types.Config
+module Genesis = Iaccf_types.Genesis
+module Batch = Iaccf_types.Batch
+module Message = Iaccf_types.Message
+module Ledger = Iaccf_ledger.Ledger
+module Entry = Iaccf_ledger.Entry
+
+let check = Alcotest.check
+
+let submit_gov cluster client proc args =
+  let result = ref None in
+  Client.submit client ~proc ~args
+    ~on_complete:(fun oc -> result := Some oc)
+    ();
+  let ok = Cluster.run_until cluster (fun () -> !result <> None) in
+  if not ok then begin
+    let states =
+      String.concat " "
+        (List.map
+           (fun r ->
+             Printf.sprintf "[%d:act=%b v=%d s=%d lc=%d pend=%d]" (Replica.id r)
+               (Replica.active r) (Replica.view r) (Replica.next_seqno r)
+               (Replica.last_committed r) (Replica.pending_requests r))
+           (Cluster.replicas cluster))
+    in
+    Alcotest.failf "tx %s(%s) timed out (in-flight %d, failed-verify %d) %s" proc
+      args (Client.in_flight client) (Client.failed_verifications client) states
+  end;
+  Option.get !result
+
+(* Run a full referendum installing [next]; returns the proposal outcome. *)
+let pass_referendum cluster next =
+  let members = Cluster.members cluster in
+  let proposer = Cluster.add_member_client cluster (List.hd members) in
+  let oc = submit_gov cluster proposer "gov/propose" (Config.serialize next) in
+  let id =
+    match oc.Client.oc_output with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "propose failed: %s" e
+  in
+  let threshold = 3 in
+  List.iteri
+    (fun i m ->
+      if i < threshold then begin
+        let voter = Cluster.add_member_client cluster m in
+        let oc = submit_gov cluster voter "gov/vote" id in
+        match oc.Client.oc_output with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "vote %d failed: %s" i e
+      end)
+    members;
+  id
+
+let wait_config cluster ~config_no ~on =
+  Cluster.run_until cluster ~timeout_ms:120_000.0 (fun () ->
+      List.for_all
+        (fun id -> (Replica.config (Cluster.replica cluster id)).Config.config_no = config_no)
+        on)
+
+let test_remove_replica () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  (* Some pre-referendum traffic. *)
+  ignore (submit_gov cluster client "counter/add" "5");
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let next = Cluster.make_next_config cluster ~remove_replicas:[ 3 ] ~base () in
+  ignore (pass_referendum cluster next);
+  let ok = wait_config cluster ~config_no:1 ~on:[ 0; 1; 2 ] in
+  check Alcotest.bool "survivors reach config 1" true ok;
+  check Alcotest.int "N is now 3" 3
+    (Config.n_replicas (Replica.config (Cluster.replica cluster 0)));
+  (* Retired replica is no longer active. *)
+  Cluster.run cluster ~ms:1000.0;
+  check Alcotest.bool "replica 3 retired" false
+    (Replica.active (Cluster.replica cluster 3));
+  (* Service keeps working in the new configuration. *)
+  let oc = submit_gov cluster client "counter/add" "7" in
+  check Alcotest.(result string string) "post-reconfig tx" (Ok "12") oc.Client.oc_output
+
+let test_add_replica () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_gov cluster client "counter/add" "1");
+  (* Spawn the future replica now; it stays passive. *)
+  let r4 = Cluster.spawn_replica cluster ~id:4 in
+  check Alcotest.bool "not yet active" false (Replica.active r4);
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let next = Cluster.make_next_config cluster ~add_replicas:[ 4 ] ~base () in
+  ignore (pass_referendum cluster next);
+  let ok = wait_config cluster ~config_no:1 ~on:[ 0; 1; 2; 3 ] in
+  check Alcotest.bool "old replicas reach config 1" true ok;
+  (* The new replica fetches the ledger and joins (§5.1). *)
+  Replica.join r4 ~from:0;
+  let caught_up =
+    Cluster.run_until cluster ~timeout_ms:120_000.0 (fun () ->
+        Replica.active r4
+        && Replica.last_committed r4 >= Replica.last_committed (Cluster.replica cluster 0) - 4)
+  in
+  (if not caught_up then begin
+     let r0 = Cluster.replica cluster 0 in
+     Alcotest.failf "join failed: r4 act=%b s=%d lc=%d cfg=%d v=%d | r0 s=%d lc=%d v=%d act=%b"
+       (Replica.active r4) (Replica.next_seqno r4) (Replica.last_committed r4)
+       (Replica.config r4).Config.config_no (Replica.view r4)
+       (Replica.next_seqno r0) (Replica.last_committed r0) (Replica.view r0)
+       (Replica.active r0)
+   end);
+  check Alcotest.bool "new replica joined" true caught_up;
+  check Alcotest.int "new replica in config 1" 1
+    (Replica.config r4).Config.config_no;
+  (* And the service now needs 5-replica quorums; traffic still flows. *)
+  let oc = submit_gov cluster client "counter/add" "2" in
+  check Alcotest.(result string string) "post-add tx" (Ok "3") oc.Client.oc_output
+
+let test_ledger_records_config_batches () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_gov cluster client "counter/add" "1");
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let next = Cluster.make_next_config cluster ~remove_replicas:[ 3 ] ~base () in
+  ignore (pass_referendum cluster next);
+  ignore (wait_config cluster ~config_no:1 ~on:[ 0; 1; 2 ]);
+  ignore (submit_gov cluster client "counter/add" "1");
+  let p = (Cluster.params cluster).Replica.pipeline in
+  let eoc = ref 0 and soc = ref 0 and cps = ref 0 in
+  Ledger.iteri
+    (fun _ e ->
+      match e with
+      | Entry.Pre_prepare pp -> (
+          match pp.Message.kind with
+          | Batch.End_of_config _ -> incr eoc
+          | Batch.Start_of_config _ -> incr soc
+          | Batch.Checkpoint _ -> incr cps
+          | Batch.Regular -> ())
+      | _ -> ())
+    (Replica.ledger (Cluster.replica cluster 0));
+  check Alcotest.int "2P end-of-config batches" (2 * p) !eoc;
+  check Alcotest.int "P start-of-config batches" p !soc;
+  check Alcotest.bool "config-start checkpoint recorded" true (!cps >= 1)
+
+let test_gov_receipts_collected () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_gov cluster client "counter/add" "1");
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let next = Cluster.make_next_config cluster ~remove_replicas:[ 3 ] ~base () in
+  ignore (pass_referendum cluster next);
+  ignore (wait_config cluster ~config_no:1 ~on:[ 0; 1; 2 ]);
+  Cluster.run cluster ~ms:2000.0;
+  let receipts = Replica.gov_receipts (Cluster.replica cluster 0) in
+  (* propose + 3 votes + P-th end-of-config batch. *)
+  check Alcotest.bool
+    (Printf.sprintf "at least 5 governance receipts (got %d)" (List.length receipts))
+    true
+    (List.length receipts >= 5);
+  (* The chain verifies from genesis and yields the new configuration. *)
+  let chain =
+    Govchain.create (Cluster.genesis cluster)
+      ~pipeline:(Cluster.params cluster).Replica.pipeline
+  in
+  (match Govchain.sync_from chain receipts with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "gov chain rejected: %s" e);
+  check Alcotest.int "chain reaches config 1" 1
+    (Govchain.latest_config chain).Config.config_no
+
+let test_client_verifies_across_reconfig () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_gov cluster client "counter/add" "1");
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let next = Cluster.make_next_config cluster ~remove_replicas:[ 3 ] ~base () in
+  ignore (pass_referendum cluster next);
+  ignore (wait_config cluster ~config_no:1 ~on:[ 0; 1; 2 ]);
+  (* A *fresh* client (knowing only the genesis) submits after the change:
+     verification requires fetching the governance sub-ledger (§5.2). *)
+  let fresh = Cluster.add_client cluster () in
+  let result = ref None in
+  Client.submit fresh ~proc:"counter/add" ~args:"10"
+    ~on_complete:(fun oc -> result := Some oc)
+    ();
+  let ok = Cluster.run_until cluster ~timeout_ms:120_000.0 (fun () -> !result <> None) in
+  check Alcotest.bool "fresh client completed" true ok;
+  check Alcotest.int "its chain reached config 1" 1
+    (Govchain.latest_config (Client.govchain fresh)).Config.config_no;
+  check Alcotest.int "no failed verifications" 0 (Client.failed_verifications fresh)
+
+let test_non_member_cannot_govern () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let next = Cluster.make_next_config cluster ~remove_replicas:[ 3 ] ~base () in
+  let oc = submit_gov cluster client "gov/propose" (Config.serialize next) in
+  check Alcotest.bool "rejected" true (Result.is_error oc.Client.oc_output)
+
+let test_vote_bookkeeping () =
+  let cluster = Cluster.make ~n:4 () in
+  let members = Cluster.members cluster in
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let next = Cluster.make_next_config cluster ~remove_replicas:[ 3 ] ~base () in
+  let m0 = Cluster.add_member_client cluster (List.nth members 0) in
+  let m1 = Cluster.add_member_client cluster (List.nth members 1) in
+  let oc = submit_gov cluster m0 "gov/propose" (Config.serialize next) in
+  let id = Result.get_ok oc.Client.oc_output in
+  (* Double vote rejected; double proposal votes counted once. *)
+  let v1 = submit_gov cluster m1 "gov/vote" id in
+  check Alcotest.(result string string) "first vote" (Ok "voted:1/3") v1.Client.oc_output;
+  let v2 = submit_gov cluster m1 "gov/vote" id in
+  check Alcotest.bool "double vote rejected" true (Result.is_error v2.Client.oc_output);
+  let v3 = submit_gov cluster m1 "gov/vote" "no-such-proposal" in
+  check Alcotest.bool "unknown proposal rejected" true (Result.is_error v3.Client.oc_output)
+
+
+let test_remove_primary () =
+  (* Removing the view-0 primary: the new configuration's primary mapping
+     changes (ids are stable, so view 0 of config 1 maps to replica 1). *)
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_gov cluster client "counter/add" "3");
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let next = Cluster.make_next_config cluster ~remove_replicas:[ 0 ] ~base () in
+  ignore (pass_referendum cluster next);
+  let ok = wait_config cluster ~config_no:1 ~on:[ 1; 2; 3 ] in
+  check Alcotest.bool "survivors reach config 1" true ok;
+  Cluster.run cluster ~ms:2000.0;
+  check Alcotest.bool "old primary retired" false
+    (Replica.active (Cluster.replica cluster 0));
+  (* Service continues under the new primary set. *)
+  let oc = submit_gov cluster client "counter/add" "4" in
+  check Alcotest.(result string string) "tx under new primaries" (Ok "7")
+    oc.Client.oc_output
+
+let test_two_reconfigurations () =
+  (* 4 -> 5 (add replica 4) -> 4 (remove replica 1): the governance
+     sub-ledger chains two configuration changes and a fresh client still
+     verifies end-to-end. *)
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_gov cluster client "counter/add" "1");
+  let r4 = Cluster.spawn_replica cluster ~id:4 in
+  let base = (Cluster.genesis cluster).Genesis.initial_config in
+  let cfg1 = Cluster.make_next_config cluster ~add_replicas:[ 4 ] ~base () in
+  ignore (pass_referendum cluster cfg1);
+  let ok = wait_config cluster ~config_no:1 ~on:[ 0; 1; 2; 3 ] in
+  check Alcotest.bool "config 1" true ok;
+  Replica.join r4 ~from:0;
+  let ok =
+    Cluster.run_until cluster ~timeout_ms:120_000.0 (fun () -> Replica.active r4)
+  in
+  check Alcotest.bool "replica 4 joined" true ok;
+  (* Second referendum on top of configuration 1. *)
+  let cfg2 = Cluster.make_next_config cluster ~remove_replicas:[ 1 ] ~base:cfg1 () in
+  ignore (pass_referendum cluster cfg2);
+  let ok = wait_config cluster ~config_no:2 ~on:[ 0; 2; 3; 4 ] in
+  check Alcotest.bool "config 2" true ok;
+  Cluster.run cluster ~ms:2000.0;
+  check Alcotest.bool "replica 1 retired" false
+    (Replica.active (Cluster.replica cluster 1));
+  (* Fresh client: must chain receipts across BOTH reconfigurations. *)
+  let fresh = Cluster.add_client cluster () in
+  let oc = submit_gov cluster fresh "counter/add" "10" in
+  check Alcotest.bool "tx verified" true (Result.is_ok oc.Client.oc_output);
+  check Alcotest.int "fresh chain reaches config 2" 2
+    (Govchain.latest_config (Client.govchain fresh)).Config.config_no;
+  check Alcotest.int "no failed verifications" 0 (Client.failed_verifications fresh)
+
+let () =
+  Alcotest.run "iaccf_governance"
+    [
+      ( "reconfiguration",
+        [
+          Alcotest.test_case "remove replica" `Quick test_remove_replica;
+          Alcotest.test_case "add replica" `Quick test_add_replica;
+          Alcotest.test_case "config batches in ledger" `Quick
+            test_ledger_records_config_batches;
+          Alcotest.test_case "remove primary" `Quick test_remove_primary;
+          Alcotest.test_case "two reconfigurations" `Quick test_two_reconfigurations;
+        ] );
+      ( "governance sub-ledger",
+        [
+          Alcotest.test_case "receipts collected" `Quick test_gov_receipts_collected;
+          Alcotest.test_case "client verifies across reconfig" `Quick
+            test_client_verifies_across_reconfig;
+        ] );
+      ( "voting",
+        [
+          Alcotest.test_case "non-member rejected" `Quick test_non_member_cannot_govern;
+          Alcotest.test_case "vote bookkeeping" `Quick test_vote_bookkeeping;
+        ] );
+    ]

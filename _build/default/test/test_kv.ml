@@ -1,0 +1,276 @@
+open Iaccf_kv
+module D = Iaccf_crypto.Digest32
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let digest_testable = Alcotest.testable D.pp_full D.equal
+
+(* --- HAMT --- *)
+
+let test_hamt_basic () =
+  let m = Hamt.(empty |> add "a" "1" |> add "b" "2") in
+  check Alcotest.(option string) "find a" (Some "1") (Hamt.find "a" m);
+  check Alcotest.(option string) "find b" (Some "2") (Hamt.find "b" m);
+  check Alcotest.(option string) "find c" None (Hamt.find "c" m);
+  check Alcotest.int "cardinal" 2 (Hamt.cardinal m)
+
+let test_hamt_overwrite () =
+  let m = Hamt.(empty |> add "k" "v1" |> add "k" "v2") in
+  check Alcotest.(option string) "overwrites" (Some "v2") (Hamt.find "k" m);
+  check Alcotest.int "cardinal unchanged" 1 (Hamt.cardinal m)
+
+let test_hamt_remove () =
+  let m = Hamt.(empty |> add "a" "1" |> add "b" "2" |> remove "a") in
+  check Alcotest.(option string) "removed" None (Hamt.find "a" m);
+  check Alcotest.(option string) "kept" (Some "2") (Hamt.find "b" m);
+  check Alcotest.int "cardinal" 1 (Hamt.cardinal m);
+  let m2 = Hamt.remove "missing" m in
+  check Alcotest.int "remove missing noop" 1 (Hamt.cardinal m2)
+
+let test_hamt_persistence () =
+  let m1 = Hamt.(empty |> add "k" "old") in
+  let m2 = Hamt.add "k" "new" m1 in
+  check Alcotest.(option string) "old version intact" (Some "old") (Hamt.find "k" m1);
+  check Alcotest.(option string) "new version" (Some "new") (Hamt.find "k" m2)
+
+let test_hamt_sorted_fold () =
+  let m = Hamt.of_list [ ("c", "3"); ("a", "1"); ("b", "2") ] in
+  check
+    Alcotest.(list (pair string string))
+    "sorted"
+    [ ("a", "1"); ("b", "2"); ("c", "3") ]
+    (Hamt.to_sorted_list m)
+
+let test_hamt_many_keys () =
+  let n = 5000 in
+  let m =
+    List.fold_left
+      (fun m i -> Hamt.add (Printf.sprintf "key-%05d" i) (string_of_int i) m)
+      Hamt.empty (List.init n Fun.id)
+  in
+  check Alcotest.int "cardinal" n (Hamt.cardinal m);
+  check Alcotest.(option string) "spot check" (Some "4321")
+    (Hamt.find "key-04321" m);
+  let m =
+    List.fold_left
+      (fun m i -> Hamt.remove (Printf.sprintf "key-%05d" i) m)
+      m
+      (List.init (n / 2) (fun i -> 2 * i))
+  in
+  check Alcotest.int "after removals" (n / 2) (Hamt.cardinal m);
+  check Alcotest.(option string) "even gone" None (Hamt.find "key-00042" m);
+  check Alcotest.(option string) "odd kept" (Some "43") (Hamt.find "key-00043" m)
+
+module SMap = Map.Make (String)
+
+let apply_ops_hamt ops =
+  List.fold_left
+    (fun m -> function
+      | `Add (k, v) -> Hamt.add k v m
+      | `Remove k -> Hamt.remove k m)
+    Hamt.empty ops
+
+let apply_ops_map ops =
+  List.fold_left
+    (fun m -> function
+      | `Add (k, v) -> SMap.add k v m
+      | `Remove k -> SMap.remove k m)
+    SMap.empty ops
+
+let arb_ops =
+  let open QCheck in
+  let key = Gen.map (Printf.sprintf "k%d") (Gen.int_bound 40) in
+  let op =
+    Gen.frequency
+      [
+        (3, Gen.map2 (fun k v -> `Add (k, Printf.sprintf "v%d" v)) key (Gen.int_bound 100));
+        (1, Gen.map (fun k -> `Remove k) key);
+      ]
+  in
+  make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | `Add (k, v) -> Printf.sprintf "+%s=%s" k v
+             | `Remove k -> Printf.sprintf "-%s" k)
+           ops))
+    (Gen.list_size (Gen.int_range 0 200) op)
+
+let prop_hamt_matches_map =
+  QCheck.Test.make ~name:"HAMT matches Map oracle" ~count:200 arb_ops (fun ops ->
+      let h = apply_ops_hamt ops and m = apply_ops_map ops in
+      Hamt.to_sorted_list h = SMap.bindings m
+      && Hamt.cardinal h = SMap.cardinal m)
+
+let prop_hamt_find_matches_map =
+  QCheck.Test.make ~name:"find matches Map oracle" ~count:200 arb_ops (fun ops ->
+      let h = apply_ops_hamt ops and m = apply_ops_map ops in
+      List.for_all
+        (fun i ->
+          let k = Printf.sprintf "k%d" i in
+          Hamt.find k h = SMap.find_opt k m)
+        (List.init 41 Fun.id))
+
+(* --- Store --- *)
+
+let test_store_tx_commit () =
+  let s = Store.create () in
+  let tx = Store.begin_tx s in
+  Store.put tx "alice" "100";
+  Store.put tx "bob" "50";
+  let _ = Store.commit tx in
+  check Alcotest.(option string) "committed" (Some "100") (Hamt.find "alice" (Store.map s));
+  check Alcotest.int "version" 1 (Store.version s)
+
+let test_store_tx_abort () =
+  let s = Store.create () in
+  let tx = Store.begin_tx s in
+  Store.put tx "alice" "100";
+  Store.abort tx;
+  check Alcotest.bool "not committed" true (Hamt.is_empty (Store.map s));
+  check Alcotest.int "version" 0 (Store.version s)
+
+let test_store_reads_own_writes () =
+  let s = Store.create () in
+  let tx = Store.begin_tx s in
+  Store.put tx "k" "v";
+  check Alcotest.(option string) "reads own write" (Some "v") (Store.get tx "k");
+  Store.delete tx "k";
+  check Alcotest.(option string) "reads own delete" None (Store.get tx "k");
+  Store.abort tx
+
+let test_store_single_open_tx () =
+  let s = Store.create () in
+  let tx = Store.begin_tx s in
+  Alcotest.check_raises "second tx"
+    (Invalid_argument "Store.begin_tx: transaction already open") (fun () ->
+      ignore (Store.begin_tx s));
+  Store.abort tx
+
+let test_store_rollback () =
+  let s = Store.create () in
+  let run k v =
+    let tx = Store.begin_tx s in
+    Store.put tx k v;
+    ignore (Store.commit tx)
+  in
+  run "a" "1";
+  run "b" "2";
+  run "c" "3";
+  Store.rollback s 1;
+  check Alcotest.(option string) "a kept" (Some "1") (Hamt.find "a" (Store.map s));
+  check Alcotest.(option string) "b rolled back" None (Hamt.find "b" (Store.map s));
+  check Alcotest.int "version" 1 (Store.version s);
+  (* Re-execute from there. *)
+  run "b" "2'";
+  check Alcotest.(option string) "re-executed" (Some "2'") (Hamt.find "b" (Store.map s))
+
+let test_store_rollback_errors () =
+  let s = Store.create () in
+  Alcotest.check_raises "future" (Invalid_argument "Store.rollback: version in the future")
+    (fun () -> Store.rollback s 5);
+  let tx = Store.begin_tx s in
+  Store.put tx "x" "1";
+  ignore (Store.commit tx);
+  Store.prune_rollback_log s ~keep:0;
+  Alcotest.check_raises "pruned" (Invalid_argument "Store.rollback: version pruned")
+    (fun () -> Store.rollback s 0)
+
+let test_write_set_hash_deterministic () =
+  let run () =
+    let s = Store.create () in
+    let tx = Store.begin_tx s in
+    Store.put tx "b" "2";
+    Store.put tx "a" "1";
+    Store.commit tx
+  in
+  check digest_testable "same writes, same hash" (run ()) (run ());
+  (* Write order must not matter; only final values per key. *)
+  let s = Store.create () in
+  let tx = Store.begin_tx s in
+  Store.put tx "a" "0";
+  Store.put tx "a" "1";
+  Store.put tx "b" "2";
+  check digest_testable "last write wins" (run ()) (Store.commit tx)
+
+let test_write_set_hash_differs () =
+  let run v =
+    let s = Store.create () in
+    let tx = Store.begin_tx s in
+    Store.put tx "a" v;
+    Store.commit tx
+  in
+  check Alcotest.bool "different writes differ" false (D.equal (run "1") (run "2"))
+
+let test_state_digest () =
+  let s1 = Store.of_map (Hamt.of_list [ ("a", "1"); ("b", "2") ]) in
+  let s2 = Store.of_map (Hamt.of_list [ ("b", "2"); ("a", "1") ]) in
+  check digest_testable "insertion order irrelevant" (Store.state_digest s1)
+    (Store.state_digest s2);
+  let s3 = Store.of_map (Hamt.of_list [ ("a", "1"); ("b", "3") ]) in
+  check Alcotest.bool "value change detected" false
+    (D.equal (Store.state_digest s1) (Store.state_digest s3))
+
+(* --- Checkpoint --- *)
+
+let test_checkpoint_roundtrip () =
+  let cp = Checkpoint.make ~seqno:100 (Hamt.of_list [ ("k", "v"); ("x", "y") ]) in
+  let cp' = Checkpoint.deserialize (Checkpoint.serialize cp) in
+  check Alcotest.int "seqno" 100 cp'.Checkpoint.seqno;
+  check digest_testable "digest stable" (Checkpoint.digest cp) (Checkpoint.digest cp')
+
+let test_checkpoint_digest_binds_seqno () =
+  let state = Hamt.of_list [ ("k", "v") ] in
+  let a = Checkpoint.digest (Checkpoint.make ~seqno:1 state) in
+  let b = Checkpoint.digest (Checkpoint.make ~seqno:2 state) in
+  check Alcotest.bool "seqno bound" false (D.equal a b)
+
+let test_checkpoint_genesis () =
+  check Alcotest.int "genesis seqno" 0 Checkpoint.genesis.Checkpoint.seqno;
+  check Alcotest.bool "genesis empty" true (Hamt.is_empty Checkpoint.genesis.Checkpoint.state)
+
+let prop_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"checkpoint serialize roundtrip" ~count:100
+    QCheck.(list (pair small_string small_string))
+    (fun kvs ->
+      let cp = Checkpoint.make ~seqno:7 (Hamt.of_list kvs) in
+      let cp' = Checkpoint.deserialize (Checkpoint.serialize cp) in
+      D.equal (Checkpoint.digest cp) (Checkpoint.digest cp')
+      && Hamt.equal cp.Checkpoint.state cp'.Checkpoint.state)
+
+let () =
+  Alcotest.run "iaccf_kv"
+    [
+      ( "hamt",
+        [
+          Alcotest.test_case "basic" `Quick test_hamt_basic;
+          Alcotest.test_case "overwrite" `Quick test_hamt_overwrite;
+          Alcotest.test_case "remove" `Quick test_hamt_remove;
+          Alcotest.test_case "persistence" `Quick test_hamt_persistence;
+          Alcotest.test_case "sorted fold" `Quick test_hamt_sorted_fold;
+          Alcotest.test_case "many keys" `Quick test_hamt_many_keys;
+          qtest prop_hamt_matches_map;
+          qtest prop_hamt_find_matches_map;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "commit" `Quick test_store_tx_commit;
+          Alcotest.test_case "abort" `Quick test_store_tx_abort;
+          Alcotest.test_case "reads own writes" `Quick test_store_reads_own_writes;
+          Alcotest.test_case "single open tx" `Quick test_store_single_open_tx;
+          Alcotest.test_case "rollback" `Quick test_store_rollback;
+          Alcotest.test_case "rollback errors" `Quick test_store_rollback_errors;
+          Alcotest.test_case "write-set hash deterministic" `Quick
+            test_write_set_hash_deterministic;
+          Alcotest.test_case "write-set hash differs" `Quick test_write_set_hash_differs;
+          Alcotest.test_case "state digest" `Quick test_state_digest;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "binds seqno" `Quick test_checkpoint_digest_binds_seqno;
+          Alcotest.test_case "genesis" `Quick test_checkpoint_genesis;
+          qtest prop_checkpoint_roundtrip;
+        ] );
+    ]

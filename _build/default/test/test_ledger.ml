@@ -1,0 +1,218 @@
+(* Ledger tests: entry codecs, Merkle binding, truncation, prefix roots,
+   governance indices, and serialization. *)
+
+open Iaccf_ledger
+module Tree = Iaccf_merkle.Tree
+module D = Iaccf_crypto.Digest32
+module Schnorr = Iaccf_crypto.Schnorr
+module Request = Iaccf_types.Request
+module Batch = Iaccf_types.Batch
+module Genesis = Iaccf_types.Genesis
+module Config = Iaccf_types.Config
+module Message = Iaccf_types.Message
+module Bitmap = Iaccf_util.Bitmap
+
+let check = Alcotest.check
+let digest_testable = Alcotest.testable D.pp_full D.equal
+
+let genesis =
+  let members =
+    List.init 4 (fun i ->
+        let _, pk = Schnorr.keypair_of_seed (Printf.sprintf "lm%d" i) in
+        { Config.member_name = Printf.sprintf "lm%d" i; member_pk = pk })
+  in
+  let base =
+    {
+      Config.config_no = 0;
+      members;
+      replicas = [];
+      vote_threshold = 1;
+    }
+  in
+  let replicas =
+    List.init 4 (fun i ->
+        let _, pk = Schnorr.keypair_of_seed (Printf.sprintf "lr%d" i) in
+        let msk, _ = Schnorr.keypair_of_seed (Printf.sprintf "lm%d" i) in
+        {
+          Config.replica_id = i;
+          operator = Printf.sprintf "lm%d" i;
+          replica_pk = pk;
+          endorsement =
+            Schnorr.sign msk
+              (D.to_raw (Config.endorsement_payload base ~replica_id:i ~pk));
+        })
+  in
+  Genesis.make { base with Config.replicas }
+
+let sample_request ?(seqno = 0) ?(proc = "p") () =
+  let sk, pk = Schnorr.keypair_of_seed "ledger-client" in
+  Request.make ~sk ~client_pk:pk ~service:(Genesis.hash genesis)
+    ~client_seqno:seqno ~proc ~args:"a" ()
+
+let tx_entry ?(index = 2) ?(proc = "p") ?(seqno = 0) () =
+  Entry.Tx
+    {
+      Batch.request = sample_request ~seqno ~proc ();
+      index;
+      result = { Batch.output = "o"; write_set_hash = D.of_string "w" };
+    }
+
+let sample_pp ?(seqno = 1) () =
+  let sk, _ = Schnorr.keypair_of_seed "lr0" in
+  Entry.Pre_prepare
+    {
+      Message.view = 0;
+      seqno;
+      m_root = D.of_string "m";
+      g_root = D.of_string "g";
+      nonce_com = D.of_string "n";
+      ev_bitmap = Bitmap.empty;
+      gov_index = 0;
+      cp_digest = D.of_string "c";
+      kind = Batch.Regular;
+      primary = 0;
+      signature = Schnorr.sign sk (D.to_raw (D.of_string "whatever"));
+    }
+
+let test_create_has_genesis () =
+  let l = Ledger.create genesis in
+  check Alcotest.int "one entry" 1 (Ledger.length l);
+  match Ledger.get l 0 with
+  | Entry.Genesis g ->
+      check digest_testable "same genesis" (Genesis.hash genesis) (Genesis.hash g)
+  | _ -> Alcotest.fail "expected genesis"
+
+let test_append_and_merkle_binding () =
+  let l = Ledger.create genesis in
+  let r0 = Ledger.m_root l in
+  let i1 = Ledger.append l (sample_pp ()) in
+  check Alcotest.int "index" 1 i1;
+  let r1 = Ledger.m_root l in
+  check Alcotest.bool "root changed for M-bound entry" false (D.equal r0 r1);
+  (* Tx entries are NOT leaves of M: the root must not change. *)
+  let _ = Ledger.append l (tx_entry ()) in
+  check digest_testable "tx entry not in M" r1 (Ledger.m_root l)
+
+let test_m_root_at_prefix () =
+  let l = Ledger.create genesis in
+  let r_after_genesis = Ledger.m_root l in
+  ignore (Ledger.append l (sample_pp ()));
+  ignore (Ledger.append l (tx_entry ()));
+  ignore (Ledger.append l (sample_pp ~seqno:2 ()));
+  check digest_testable "prefix 1" r_after_genesis (Ledger.m_root_at l 1);
+  (* prefix 2 and 3 both contain the pp and then the tx (not M-bound). *)
+  check digest_testable "tx does not change prefix root" (Ledger.m_root_at l 2)
+    (Ledger.m_root_at l 3)
+
+let test_truncate_restores_root () =
+  let l = Ledger.create genesis in
+  ignore (Ledger.append l (sample_pp ()));
+  let root = Ledger.m_root l in
+  let len = Ledger.length l in
+  let bytes = Ledger.total_bytes l in
+  ignore (Ledger.append l (tx_entry ()));
+  ignore (Ledger.append l (sample_pp ~seqno:2 ()));
+  Ledger.truncate l len;
+  check digest_testable "root restored" root (Ledger.m_root l);
+  check Alcotest.int "bytes restored" bytes (Ledger.total_bytes l);
+  Alcotest.check_raises "cannot drop genesis"
+    (Invalid_argument "Ledger.truncate: cannot drop the genesis") (fun () ->
+      Ledger.truncate l 0)
+
+let test_serialize_roundtrip () =
+  let l = Ledger.create genesis in
+  ignore (Ledger.append l (sample_pp ()));
+  ignore (Ledger.append l (tx_entry ()));
+  let l' = Ledger.deserialize (Ledger.serialize l) in
+  check Alcotest.int "length" (Ledger.length l) (Ledger.length l');
+  check digest_testable "root" (Ledger.m_root l) (Ledger.m_root l')
+
+let test_governance_indices () =
+  let l = Ledger.create genesis in
+  ignore (Ledger.append l (sample_pp ()));
+  ignore (Ledger.append l (tx_entry ~index:2 ~proc:"counter/add" ()));
+  ignore (Ledger.append l (tx_entry ~index:3 ~proc:"gov/vote" ~seqno:1 ()));
+  ignore (Ledger.append l (tx_entry ~index:4 ~proc:"gov/propose" ~seqno:2 ()));
+  check Alcotest.(list int) "genesis + gov txs" [ 0; 3; 4 ] (Ledger.governance_indices l)
+
+let test_find_pre_prepare_highest_view () =
+  let l = Ledger.create genesis in
+  ignore (Ledger.append l (sample_pp ~seqno:1 ()));
+  (match Ledger.find_pre_prepare l ~seqno:1 with
+  | Some (_, pp) -> check Alcotest.int "found" 1 pp.Message.seqno
+  | None -> Alcotest.fail "missing");
+  check Alcotest.bool "absent seqno" true (Ledger.find_pre_prepare l ~seqno:9 = None)
+
+let test_entries_range () =
+  let l = Ledger.create genesis in
+  ignore (Ledger.append l (sample_pp ()));
+  ignore (Ledger.append l (tx_entry ()));
+  let all = Ledger.entries l () in
+  check Alcotest.int "all" 3 (List.length all);
+  let mid = Ledger.entries l ~from:1 ~until:2 () in
+  check Alcotest.int "range" 1 (List.length mid);
+  check Alcotest.int "indices carried" 1 (fst (List.hd mid))
+
+let test_entry_codec_all_variants () =
+  let vcs =
+    [
+      {
+        Message.vc_view = 1;
+        vc_replica = 2;
+        vc_last_prepared = [];
+        vc_signature = "sig";
+      };
+    ]
+  in
+  let nv =
+    {
+      Message.nv_view = 1;
+      nv_m_root = D.of_string "m";
+      nv_vc_bitmap = Bitmap.of_list [ 1; 2 ];
+      nv_vc_hash = D.of_string "h";
+      nv_primary = 1;
+      nv_signature = "s";
+    }
+  in
+  let entries =
+    [
+      Entry.Genesis genesis;
+      sample_pp ();
+      tx_entry ();
+      Entry.Prepare_evidence { pe_view = 0; pe_seqno = 1; pe_prepares = [] };
+      Entry.Nonce_evidence { ne_view = 0; ne_seqno = 1; ne_nonces = [ (0, "n") ] };
+      Entry.View_change_set vcs;
+      Entry.New_view nv;
+    ]
+  in
+  List.iter
+    (fun e ->
+      let enc = Entry.serialize e in
+      let e' = Entry.deserialize enc in
+      check Alcotest.string
+        (Format.asprintf "%a" Entry.pp e)
+        enc (Entry.serialize e'))
+    entries
+
+let test_of_entries_requires_genesis () =
+  Alcotest.check_raises "genesis first"
+    (Invalid_argument "Ledger.of_entries: first entry must be the genesis")
+    (fun () -> ignore (Ledger.of_entries [ sample_pp () ]))
+
+let () =
+  Alcotest.run "iaccf_ledger"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "create" `Quick test_create_has_genesis;
+          Alcotest.test_case "merkle binding" `Quick test_append_and_merkle_binding;
+          Alcotest.test_case "prefix roots" `Quick test_m_root_at_prefix;
+          Alcotest.test_case "truncate" `Quick test_truncate_restores_root;
+          Alcotest.test_case "serialize" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "governance indices" `Quick test_governance_indices;
+          Alcotest.test_case "find pre-prepare" `Quick test_find_pre_prepare_highest_view;
+          Alcotest.test_case "entries range" `Quick test_entries_range;
+          Alcotest.test_case "entry codecs" `Quick test_entry_codec_all_variants;
+          Alcotest.test_case "of_entries genesis" `Quick test_of_entries_requires_genesis;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Linearizability-checking tests: the audit trigger of §4.1, plus a
+   whole-system property test — receipts from honest runs under random
+   message loss always pass the checker. *)
+
+open Iaccf_core
+module Genesis = Iaccf_types.Genesis
+module Request = Iaccf_types.Request
+module Network = Iaccf_sim.Network
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let counter_app () = App.create Cluster.counter_app_procs
+
+let world () =
+  let cluster = Cluster.make ~n:4 () in
+  let genesis = Cluster.genesis cluster in
+  let sks = List.init 4 (fun i -> (i, Cluster.replica_sk cluster i)) in
+  let forge =
+    Forge.create ~genesis ~sks ~app:(counter_app ()) ~pipeline:2
+      ~checkpoint_interval:1000
+  in
+  (cluster, genesis, forge)
+
+let request genesis ?(client_seqno = 0) ?(min_index = 0) proc args =
+  let sk, pk = Iaccf_crypto.Schnorr.keypair_of_seed "lin-client" in
+  Request.make ~sk ~client_pk:pk ~service:(Genesis.hash genesis) ~client_seqno
+    ~min_index ~proc ~args ()
+
+let test_consistent_receipts_pass () =
+  let _, genesis, forge = world () in
+  let s1 = Forge.add_batch forge [ request genesis ~client_seqno:0 "counter/add" "5" ] in
+  let s2 = Forge.add_batch forge [ request genesis ~client_seqno:1 "counter/add" "7" ] in
+  let receipts =
+    [
+      Forge.make_receipt forge ~seqno:s2 ~tx_position:(Some 0);
+      Forge.make_receipt forge ~seqno:s1 ~tx_position:(Some 0);
+    ]
+  in
+  match Lincheck.check ~app:(counter_app ()) ~genesis ~receipts with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "false positive: %s" (Format.asprintf "%a" Lincheck.pp_violation v)
+
+let test_forged_output_detected () =
+  (* All replicas sign a wrong result; the receipt set betrays them. *)
+  let _, genesis, forge = world () in
+  let s1 = Forge.add_batch forge [ request genesis ~client_seqno:0 "counter/add" "5" ] in
+  let s2 =
+    Forge.add_batch forge
+      ~execute_override:(fun _ _ ->
+        Some (App.output_ok "1000000", Iaccf_crypto.Digest32.of_string "fake"))
+      [ request genesis ~client_seqno:1 "counter/add" "7" ]
+  in
+  let receipts =
+    [
+      Forge.make_receipt forge ~seqno:s1 ~tx_position:(Some 0);
+      Forge.make_receipt forge ~seqno:s2 ~tx_position:(Some 0);
+    ]
+  in
+  match Lincheck.check ~app:(counter_app ()) ~genesis ~receipts with
+  | Error (Lincheck.Output_mismatch { v_expected; v_recorded; _ }) ->
+      check Alcotest.string "expected serial result" (App.output_ok "12") v_expected;
+      check Alcotest.string "recorded forgery" (App.output_ok "1000000") v_recorded
+  | Error v -> Alcotest.failf "wrong violation: %s" (Format.asprintf "%a" Lincheck.pp_violation v)
+  | Ok () -> Alcotest.fail "forged output not detected"
+
+let test_duplicate_slot_detected () =
+  (* Two colluding histories put different transactions at the same slot. *)
+  let cluster = Cluster.make ~n:4 () in
+  let genesis = Cluster.genesis cluster in
+  let sks = List.init 4 (fun i -> (i, Cluster.replica_sk cluster i)) in
+  let mk () =
+    Forge.create ~genesis ~sks ~app:(counter_app ()) ~pipeline:2
+      ~checkpoint_interval:1000
+  in
+  let fa = mk () and fb = mk () in
+  let sa = Forge.add_batch fa [ request genesis ~client_seqno:0 "counter/add" "5" ] in
+  let sb = Forge.add_batch fb [ request genesis ~client_seqno:1 "counter/add" "9" ] in
+  let receipts =
+    [
+      Forge.make_receipt fa ~seqno:sa ~tx_position:(Some 0);
+      Forge.make_receipt fb ~seqno:sb ~tx_position:(Some 0);
+    ]
+  in
+  match Lincheck.check ~app:(counter_app ()) ~genesis ~receipts with
+  | Error (Lincheck.Duplicate_slot _) -> ()
+  | Error v -> Alcotest.failf "wrong violation: %s" (Format.asprintf "%a" Lincheck.pp_violation v)
+  | Ok () -> Alcotest.fail "duplicate slot not detected"
+
+let test_detection_to_enforcement_pipeline () =
+  (* The full paper loop: detect (Lincheck) -> audit -> punish. *)
+  let _, genesis, forge = world () in
+  let s =
+    Forge.add_batch forge
+      ~execute_override:(fun _ _ ->
+        Some (App.output_ok "fake", Iaccf_crypto.Digest32.of_string "fake"))
+      [ request genesis "counter/add" "5" ]
+  in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  (match Lincheck.check ~app:(counter_app ()) ~genesis ~receipts:[ receipt ] with
+  | Error (Lincheck.Output_mismatch _) -> ()
+  | _ -> Alcotest.fail "violation not detected");
+  let enforcer =
+    Enforcer.create ~genesis ~app:(counter_app ()) ~pipeline:2 ~checkpoint_interval:1000
+  in
+  match
+    Enforcer.investigate enforcer ~receipts:[ receipt ] ~gov_receipts:[]
+      ~provider:(fun _ ->
+        Some { Enforcer.resp_ledger = Forge.ledger forge; resp_checkpoint = None })
+  with
+  | Enforcer.Members_punished { punished; _ } ->
+      check Alcotest.bool "punished" true (punished <> [])
+  | _ -> Alcotest.fail "expected punishment"
+
+(* Whole-system property: honest receipts collected under randomized message
+   loss are always linearizable. *)
+let prop_honest_receipts_linearizable =
+  QCheck.Test.make ~name:"honest receipts pass under random loss" ~count:6
+    QCheck.(pair (int_bound 1000) (int_bound 15))
+    (fun (seed, drop_pct) ->
+      let cluster = Cluster.make ~seed:(seed + 2) ~n:4 () in
+      Network.set_drop_probability (Cluster.network cluster) (float_of_int drop_pct /. 100.0);
+      let client = Cluster.add_client cluster () in
+      let receipts = ref [] in
+      let completed = ref 0 in
+      for i = 1 to 8 do
+        Client.submit client ~proc:"counter/add" ~args:(string_of_int i)
+          ~on_complete:(fun oc ->
+            receipts := oc.Client.oc_receipt :: !receipts;
+            incr completed)
+          ()
+      done;
+      let ok =
+        Cluster.run_until cluster ~timeout_ms:600_000.0 (fun () -> !completed = 8)
+      in
+      ok
+      && Lincheck.check ~app:(counter_app ())
+           ~genesis:(Cluster.genesis cluster)
+           ~receipts:!receipts
+         = Ok ())
+
+let () =
+  Alcotest.run "iaccf_lincheck"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "consistent receipts pass" `Quick test_consistent_receipts_pass;
+          Alcotest.test_case "forged output" `Quick test_forged_output_detected;
+          Alcotest.test_case "duplicate slot" `Quick test_duplicate_slot_detected;
+          Alcotest.test_case "detect->audit->punish" `Quick
+            test_detection_to_enforcement_pipeline;
+        ] );
+      ("properties", [ qtest prop_honest_receipts_linearizable ]);
+    ]

@@ -1,0 +1,278 @@
+(* End-to-end L-PBFT protocol tests: honest runs, receipts, checkpoints,
+   batching, pipelining, straggler catch-up, and view changes. *)
+
+open Iaccf_core
+module Config = Iaccf_types.Config
+module Message = Iaccf_types.Message
+module Ledger = Iaccf_ledger.Ledger
+module Entry = Iaccf_ledger.Entry
+module D = Iaccf_crypto.Digest32
+
+let check = Alcotest.check
+
+let submit_and_wait cluster client n =
+  let outcomes = ref [] in
+  for i = 1 to n do
+    Client.submit client ~proc:"counter/add" ~args:(string_of_int i)
+      ~on_complete:(fun oc -> outcomes := oc :: !outcomes)
+      ()
+  done;
+  let done_ = Cluster.run_until cluster (fun () -> List.length !outcomes = n) in
+  if not done_ then
+    Alcotest.failf "timed out: %d/%d completed" (List.length !outcomes) n;
+  List.rev !outcomes
+
+let test_single_transaction () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  match submit_and_wait cluster client 1 with
+  | [ oc ] ->
+      check Alcotest.(result string string) "output" (Ok "1") oc.Client.oc_output;
+      check Alcotest.bool "receipt index positive" true (oc.Client.oc_index > 0)
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_many_transactions_sequential_counter () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  let outcomes = submit_and_wait cluster client 30 in
+  check Alcotest.int "all completed" 30 (List.length outcomes);
+  (* The counter procedure returns the running sum: all adds applied in
+     some serial order, so the set of outputs is {1*?…} — with one client
+     submitting deltas 1..30, final counter = sum 1..30. *)
+  let kv = Replica.store (Cluster.replica cluster 0) in
+  check
+    Alcotest.(option string)
+    "final counter" (Some "465")
+    (Iaccf_kv.Hamt.find "counter" (Iaccf_kv.Store.map kv))
+
+let test_replicas_agree_on_ledger () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_and_wait cluster client 20);
+  Cluster.run cluster ~ms:200.0;
+  let roots =
+    List.map
+      (fun r ->
+        let l = Replica.ledger r in
+        (* Compare the committed prefix: truncate virtual differences by
+           comparing roots at the shortest ledger length. *)
+        (Ledger.length l, Ledger.m_root l))
+      (Cluster.replicas cluster)
+  in
+  let min_len = List.fold_left (fun acc (l, _) -> min acc l) max_int roots in
+  let prefix_roots =
+    List.map
+      (fun r -> D.to_hex (Ledger.m_root_at (Replica.ledger r) min_len))
+      (Cluster.replicas cluster)
+  in
+  match prefix_roots with
+  | first :: rest ->
+      List.iteri
+        (fun i r -> check Alcotest.string (Printf.sprintf "replica %d" (i + 1)) first r)
+        rest
+  | [] -> Alcotest.fail "no replicas"
+
+let test_receipts_verify_offline () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  let outcomes = submit_and_wait cluster client 5 in
+  let cfg = (Cluster.genesis cluster).Iaccf_types.Genesis.initial_config in
+  let service = Iaccf_types.Genesis.hash (Cluster.genesis cluster) in
+  List.iter
+    (fun oc ->
+      match Receipt.verify ~config:cfg ~service oc.Client.oc_receipt with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "receipt failed: %s" e)
+    outcomes
+
+let test_receipt_rejects_tampered_output () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  let outcomes = submit_and_wait cluster client 1 in
+  let oc = List.hd outcomes in
+  let receipt = oc.Client.oc_receipt in
+  let cfg = (Cluster.genesis cluster).Iaccf_types.Genesis.initial_config in
+  let service = Iaccf_types.Genesis.hash (Cluster.genesis cluster) in
+  match receipt.Receipt.subject with
+  | Receipt.Tx_subject s ->
+      let tampered_tx =
+        {
+          s.tx with
+          Iaccf_types.Batch.result =
+            { s.tx.Iaccf_types.Batch.result with Iaccf_types.Batch.output = App.output_ok "1000000" };
+        }
+      in
+      let tampered =
+        { receipt with Receipt.subject = Receipt.Tx_subject { s with tx = tampered_tx } }
+      in
+      check Alcotest.bool "tampered receipt rejected" true
+        (Result.is_error (Receipt.verify ~config:cfg ~service tampered))
+  | Receipt.Batch_subject -> Alcotest.fail "expected tx subject"
+
+let test_checkpoints_taken () =
+  let params =
+    { Replica.default_params with checkpoint_interval = 10; max_batch = 5 }
+  in
+  let cluster = Cluster.make ~n:4 ~params () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_and_wait cluster client 60);
+  Cluster.run cluster ~ms:500.0;
+  let r0 = Cluster.replica cluster 0 in
+  check Alcotest.bool "several checkpoints" true
+    ((Replica.stats r0).Replica.checkpoints_taken >= 1);
+  (* Checkpoint batches appear in the ledger. *)
+  let cp_batches = ref 0 in
+  Ledger.iteri
+    (fun _ e ->
+      match e with
+      | Entry.Pre_prepare pp -> (
+          match pp.Message.kind with
+          | Iaccf_types.Batch.Checkpoint _ -> incr cp_batches
+          | _ -> ())
+      | _ -> ())
+    (Replica.ledger r0);
+  check Alcotest.bool "checkpoint batches in ledger" true (!cp_batches >= 1)
+
+let test_multiple_clients () =
+  let cluster = Cluster.make ~n:4 () in
+  let c1 = Cluster.add_client cluster () in
+  let c2 = Cluster.add_client cluster () in
+  let total = ref 0 in
+  for _ = 1 to 10 do
+    Client.submit c1 ~proc:"counter/add" ~args:"1"
+      ~on_complete:(fun _ -> incr total)
+      ();
+    Client.submit c2 ~proc:"counter/add" ~args:"2"
+      ~on_complete:(fun _ -> incr total)
+      ()
+  done;
+  let ok = Cluster.run_until cluster (fun () -> !total = 20) in
+  check Alcotest.bool "all completed" true ok;
+  let kv = Replica.store (Cluster.replica cluster 0) in
+  check
+    Alcotest.(option string)
+    "final counter" (Some "30")
+    (Iaccf_kv.Hamt.find "counter" (Iaccf_kv.Store.map kv))
+
+let test_seven_replicas () =
+  let cluster = Cluster.make ~n:7 () in
+  let client = Cluster.add_client cluster () in
+  let outcomes = submit_and_wait cluster client 10 in
+  check Alcotest.int "completed" 10 (List.length outcomes);
+  (* N=7 -> f=2 -> quorum 5: receipts carry 4 prepare signatures. *)
+  let oc = List.hd outcomes in
+  check Alcotest.int "prepare sigs" 4
+    (List.length oc.Client.oc_receipt.Receipt.prepare_sigs)
+
+let test_view_change_on_primary_failure () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  (* Commit some work under view 0. *)
+  ignore (submit_and_wait cluster client 5);
+  (* Kill the primary (replica 0 in view 0). *)
+  Replica.stop (Cluster.replica cluster 0);
+  let completed_before = Client.completed client in
+  for i = 1 to 5 do
+    Client.submit client ~proc:"counter/add" ~args:(string_of_int (100 + i)) ()
+  done;
+  let ok =
+    Cluster.run_until cluster ~timeout_ms:120_000.0 (fun () ->
+        Client.completed client = completed_before + 5)
+  in
+  check Alcotest.bool "progress after view change" true ok;
+  let r1 = Cluster.replica cluster 1 in
+  check Alcotest.bool "view advanced" true (Replica.view r1 >= 1)
+
+let test_view_change_preserves_committed_state () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  ignore (submit_and_wait cluster client 10);
+  Replica.stop (Cluster.replica cluster 0);
+  let before = Client.completed client in
+  for _ = 1 to 5 do
+    Client.submit client ~proc:"counter/add" ~args:"1" ()
+  done;
+  let ok =
+    Cluster.run_until cluster ~timeout_ms:120_000.0 (fun () ->
+        Client.completed client = before + 5)
+  in
+  check Alcotest.bool "completed" true ok;
+  (* 1+2+..+10 = 55, plus 5 more = 60. *)
+  let kv = Replica.store (Cluster.replica cluster 1) in
+  check
+    Alcotest.(option string)
+    "counter survived view change" (Some "60")
+    (Iaccf_kv.Hamt.find "counter" (Iaccf_kv.Store.map kv))
+
+let test_straggler_catches_up () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  (* Partition replica 3 away from everyone. *)
+  let net = Cluster.network cluster in
+  Iaccf_sim.Network.partition net [ 3 ] [ 0; 1; 2; 100 ];
+  ignore (submit_and_wait cluster client 10);
+  Iaccf_sim.Network.heal net;
+  (* New traffic after healing reveals the gap; the straggler bulk-fetches. *)
+  ignore (submit_and_wait cluster client 3);
+  let r3 = Cluster.replica cluster 3 in
+  let target = Replica.last_committed (Cluster.replica cluster 0) - 1 in
+  let ok =
+    Cluster.run_until cluster ~timeout_ms:120_000.0 (fun () ->
+        Replica.last_committed r3 >= target)
+  in
+  check Alcotest.bool "straggler caught up" true ok
+
+let test_nonreceipt_variant_runs () =
+  let params =
+    { Replica.default_params with variant = Variant.no_receipt }
+  in
+  let cluster = Cluster.make ~n:4 ~params () in
+  let client = Cluster.add_client cluster ~verify_receipts:false () in
+  (* Without replyx the client never assembles receipts; measure commit. *)
+  for _ = 1 to 5 do
+    Client.submit client ~proc:"counter/add" ~args:"1" ()
+  done;
+  let r0 = Cluster.replica cluster 0 in
+  let ok =
+    Cluster.run_until cluster (fun () -> (Replica.stats r0).Replica.txs_committed >= 5)
+  in
+  check Alcotest.bool "commits without receipts" true ok
+
+let test_min_index_ordering () =
+  let cluster = Cluster.make ~n:4 () in
+  let client = Cluster.add_client cluster () in
+  let first = submit_and_wait cluster client 1 in
+  let idx1 = (List.hd first).Client.oc_index in
+  (* The client raises min_index past the first receipt; the second
+     transaction must land at a strictly larger index. *)
+  let second = submit_and_wait cluster client 1 in
+  let idx2 = (List.hd second).Client.oc_index in
+  check Alcotest.bool "indices increase" true (idx2 > idx1);
+  check Alcotest.bool "min_index advanced" true (Client.min_index client > idx1)
+
+let () =
+  Alcotest.run "iaccf_protocol"
+    [
+      ( "happy path",
+        [
+          Alcotest.test_case "single tx" `Quick test_single_transaction;
+          Alcotest.test_case "30 txs" `Quick test_many_transactions_sequential_counter;
+          Alcotest.test_case "ledger agreement" `Quick test_replicas_agree_on_ledger;
+          Alcotest.test_case "receipts verify offline" `Quick test_receipts_verify_offline;
+          Alcotest.test_case "tampered receipt rejected" `Quick
+            test_receipt_rejects_tampered_output;
+          Alcotest.test_case "checkpoints" `Quick test_checkpoints_taken;
+          Alcotest.test_case "multiple clients" `Quick test_multiple_clients;
+          Alcotest.test_case "seven replicas" `Quick test_seven_replicas;
+          Alcotest.test_case "min-index ordering" `Quick test_min_index_ordering;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "view change" `Quick test_view_change_on_primary_failure;
+          Alcotest.test_case "state survives view change" `Quick
+            test_view_change_preserves_committed_state;
+          Alcotest.test_case "straggler catch-up" `Quick test_straggler_catches_up;
+        ] );
+      ( "variants",
+        [ Alcotest.test_case "no-receipt variant" `Quick test_nonreceipt_variant_runs ] );
+    ]
