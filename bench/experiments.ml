@@ -357,3 +357,84 @@ let audit_bench () =
         (100.0 *. Float.abs ((per_replica /. audit_time) -. 1.0))
         (if audit_time < per_replica then "faster" else "slower"))
     [ (4, "f=1", 200); (13, "f=4", 60) ]
+
+(* ------------------------------------------------------------------ *)
+(* Durable storage: append throughput and recovery time vs segment     *)
+(* size and fsync policy (prerequisite for cold-start/scaling PRs)     *)
+
+module Store = Iaccf_storage.Store
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir label =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "iaccf-bench-%s-%d" label (Unix.getpid ()))
+  in
+  rm_rf path;
+  path
+
+let storage_bench ?(appends = 2000) () =
+  print_header
+    "Storage: append throughput and recovery vs segment size x fsync policy";
+  (* A realistic entry mix: SmallBank batches forged offline, cycled to
+     [appends] entries. *)
+  let genesis, forge = forge_world ~n:4 () in
+  List.iteri
+    (fun i _ ->
+      ignore
+        (Forge.add_batch forge
+           [
+             sb_request genesis ~client_seqno:i "sb/transfer"
+               (Smallbank.transfer_args ~src:0 ~dst:1 ~amount:1);
+           ]))
+    (List.init 50 Fun.id);
+  let source = Forge.ledger forge in
+  let pool = Array.init (Ledger.length source) (Ledger.get source) in
+  let entries = Array.init appends (fun i -> pool.(1 + (i mod (Array.length pool - 1)))) in
+  let policies =
+    [ ("fsync=never", Store.No_fsync);
+      ("fsync=64", Store.Fsync_interval 64);
+      ("fsync=always", Store.Fsync_always) ]
+  in
+  List.iter
+    (fun seg_kb ->
+      List.iter
+        (fun (pname, policy) ->
+          let dir = fresh_dir (Printf.sprintf "%dkb" seg_kb) in
+          let cfg =
+            {
+              (Store.default_config ~dir) with
+              Store.segment_bytes = seg_kb * 1024;
+              fsync = policy;
+            }
+          in
+          let store = Store.open_store cfg in
+          ignore (Store.append store pool.(0));
+          let t0 = Unix.gettimeofday () in
+          Array.iter (fun e -> ignore (Store.append store e)) entries;
+          Store.sync store;
+          let append_s = Unix.gettimeofday () -. t0 in
+          let bytes = Store.disk_bytes store in
+          let segs = Store.segments store in
+          Store.close store;
+          let t1 = Unix.gettimeofday () in
+          let reopened = Store.open_store cfg in
+          let recover_s = Unix.gettimeofday () -. t1 in
+          assert (Store.length reopened = appends + 1);
+          Store.close reopened;
+          rm_rf dir;
+          Printf.printf
+            "seg=%4dKB %-13s %6d appends  %9.0f entries/s  %6.2f MB/s  %3d segments  recovery %7.2f ms\n%!"
+            seg_kb pname appends
+            (float_of_int appends /. append_s)
+            (float_of_int bytes /. 1048576.0 /. append_s)
+            segs (1000.0 *. recover_s))
+        policies)
+    [ 64; 1024 ]

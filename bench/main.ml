@@ -3,7 +3,7 @@
    Bechamel micro-benchmark suite for the primitives.
 
    Usage:  main.exe [table1|fig4|table2|fig5|fig6|fig7|table3|
-                     receipts|governance|audit|micro|quick|all]        *)
+                     receipts|governance|audit|storage|micro|quick|all]        *)
 
 open Bechamel
 module Sha256 = Iaccf_crypto.Sha256
@@ -100,7 +100,8 @@ let quick () =
   Experiments.table3 ~total:60 ();
   Experiments.receipts_bench ();
   Experiments.governance_bench ();
-  Experiments.audit_bench ()
+  Experiments.audit_bench ();
+  Experiments.storage_bench ~appends:500 ()
 
 let all () =
   Experiments.table1 ();
@@ -113,6 +114,7 @@ let all () =
   Experiments.receipts_bench ();
   Experiments.governance_bench ();
   Experiments.audit_bench ();
+  Experiments.storage_bench ();
   run_micro ()
 
 let () =
@@ -128,11 +130,12 @@ let () =
   | "receipts" -> Experiments.receipts_bench ()
   | "governance" -> Experiments.governance_bench ()
   | "audit" -> Experiments.audit_bench ()
+  | "storage" -> Experiments.storage_bench ()
   | "micro" -> run_micro ()
   | "quick" -> quick ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S; expected table1|fig4|table2|fig5|fig6|fig7|table3|receipts|governance|audit|micro|quick|all\n"
+        "unknown experiment %S; expected table1|fig4|table2|fig5|fig6|fig7|table3|receipts|governance|audit|storage|micro|quick|all\n"
         other;
       exit 2

@@ -1,11 +1,15 @@
 (* iaccf — command-line driver for the IA-CCF reproduction.
 
-     iaccf run      simulate a cluster under SmallBank load
-     iaccf ledger   run a workload and dump the resulting ledger
-     iaccf audit    run the ledger-rewrite attack and audit it
-     iaccf keys     derive and print the deterministic key material
+     iaccf run             simulate a cluster under SmallBank load
+     iaccf ledger          run a workload and dump the resulting ledger
+     iaccf audit           run the ledger-rewrite attack and audit it
+     iaccf export-package  write a ledger package for offline audit
+     iaccf keys            derive and print the deterministic key material
 
-   All commands run the full system (real crypto, simulated network). *)
+   All commands run the full system (real crypto, simulated network).
+   [--persist DIR] makes every replica write its ledger through to a
+   durable segmented store; [audit --package FILE] audits evidence from
+   disk with no cluster in the process at all. *)
 
 open Cmdliner
 open Iaccf_core
@@ -16,6 +20,8 @@ module Latency = Iaccf_sim.Latency
 module Genesis = Iaccf_types.Genesis
 module Request = Iaccf_types.Request
 module Bitmap = Iaccf_util.Bitmap
+module Store = Iaccf_storage.Store
+module Package = Iaccf_storage.Package
 
 let replicas_arg =
   Arg.(value & opt int 4 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Number of replicas.")
@@ -35,13 +41,53 @@ let latency_arg =
     & opt model `Cluster
     & info [ "latency" ] ~docv:"MODEL" ~doc:"Network model: cluster, lan, or wan.")
 
+let persist_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "persist" ] ~docv:"DIR"
+        ~doc:
+          "Persist every replica's ledger to a durable segmented store under \
+           $(docv)/replica-<id>/.")
+
+let fsync_arg =
+  let policy =
+    Arg.enum [ ("none", `None); ("interval", `Interval); ("always", `Always) ]
+  in
+  Arg.(
+    value
+    & opt policy `Interval
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:"Durability policy for --persist: none, interval, or always.")
+
+let segment_kb_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "segment-kb" ] ~docv:"KB" ~doc:"Segment file size for --persist.")
+
+let persist_config ~persist ~fsync ~segment_kb =
+  Option.map
+    (fun dir ->
+      {
+        (Store.default_config ~dir) with
+        Store.segment_bytes = segment_kb * 1024;
+        fsync =
+          (match fsync with
+          | `None -> Store.No_fsync
+          | `Interval -> Store.Fsync_interval 64
+          | `Always -> Store.Fsync_always);
+      })
+    persist
+
 let latency_fn = function
   | `Cluster -> Latency.dedicated_cluster
   | `Lan -> Latency.lan
   | `Wan -> Latency.wan
 
-let make_cluster ~n ~seed ~latency =
-  Cluster.make ~seed ~n ~latency:(latency_fn latency) ~app:(Smallbank.app ()) ()
+let make_cluster ?persist ~n ~seed ~latency () =
+  Cluster.make ~seed ~n ~latency:(latency_fn latency) ~app:(Smallbank.app ())
+    ?persist ()
 
 let drive_smallbank cluster ~txs ~seed =
   let client = Cluster.add_client cluster () in
@@ -77,10 +123,12 @@ let drive_smallbank cluster ~txs ~seed =
   (client, List.rev !receipts)
 
 let run_cmd =
-  let run n txs seed latency =
+  let run n txs seed latency persist fsync segment_kb =
     let t0 = Unix.gettimeofday () in
-    let cluster = make_cluster ~n ~seed ~latency in
+    let persist = persist_config ~persist ~fsync ~segment_kb in
+    let cluster = make_cluster ?persist ~n ~seed ~latency () in
     let client, receipts = drive_smallbank cluster ~txs ~seed in
+    Cluster.sync_storage cluster;
     let wall = Unix.gettimeofday () -. t0 in
     let r0 = Cluster.replica cluster 0 in
     let st = Replica.stats r0 in
@@ -100,15 +148,23 @@ let run_cmd =
        List.fold_left ( +. ) 0.0 l /. float_of_int (max 1 (List.length l)));
     Printf.printf "ledger root:         %s\n"
       (Iaccf_crypto.Digest32.to_hex (Ledger.m_root (Replica.ledger r0)));
+    (match Cluster.storage cluster 0 with
+    | Some store ->
+        Printf.printf "persisted:           %d entries, %d segments, %d bytes (%s)\n"
+          (Store.length store) (Store.segments store) (Store.disk_bytes store)
+          (Store.config store).Store.dir
+    | None -> ());
     ignore receipts
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a simulated IA-CCF cluster under SmallBank load.")
-    Term.(const run $ replicas_arg $ txs_arg $ seed_arg $ latency_arg)
+    Term.(
+      const run $ replicas_arg $ txs_arg $ seed_arg $ latency_arg $ persist_arg
+      $ fsync_arg $ segment_kb_arg)
 
 let ledger_cmd =
   let run n txs seed =
-    let cluster = make_cluster ~n ~seed ~latency:`Cluster in
+    let cluster = make_cluster ~n ~seed ~latency:`Cluster () in
     let _ = drive_smallbank cluster ~txs ~seed in
     let r0 = Cluster.replica cluster 0 in
     Ledger.iteri
@@ -119,53 +175,144 @@ let ledger_cmd =
     (Cmd.info "ledger" ~doc:"Run a workload and dump every ledger entry.")
     Term.(const run $ replicas_arg $ txs_arg $ seed_arg)
 
+(* The ledger-rewrite attack: run an honest cluster so the client holds
+   receipts, then have every replica collude to rebuild a ledger without
+   the client's transactions. Returns the auditor's evidence. *)
+let rewrite_attack ~n ~seed =
+  let cluster = make_cluster ~n ~seed ~latency:`Cluster () in
+  let _, receipts = drive_smallbank cluster ~txs:20 ~seed in
+  let genesis = Cluster.genesis cluster in
+  Printf.printf "honest run complete: %d receipts held by the client\n"
+    (List.length receipts);
+  let sks = List.init n (fun i -> (i, Cluster.replica_sk cluster i)) in
+  let forge =
+    Forge.create ~genesis ~sks ~app:(Smallbank.app ()) ~pipeline:2
+      ~checkpoint_interval:1000
+  in
+  let csk, cpk = Iaccf_crypto.Schnorr.keypair_of_seed "cli-other" in
+  ignore
+    (Forge.add_batch forge
+       [
+         Request.make ~sk:csk ~client_pk:cpk ~service:(Genesis.hash genesis)
+           ~proc:"sb/create" ~args:"99,1,1" ();
+       ]);
+  print_endline "colluding replicas produced a rewritten ledger";
+  (genesis, receipts, Forge.ledger forge)
+
+let print_outcome = function
+  | Enforcer.Members_punished { punished; verdict } ->
+      Format.printf "uPoM: %a@." Audit.pp_upom verdict.Audit.v_upom;
+      Printf.printf "blamed replicas: %s\n"
+        (String.concat ","
+           (List.map string_of_int (Bitmap.to_list verdict.Audit.v_blamed_replicas)));
+      Printf.printf "punished members: %s\n" (String.concat "," punished)
+  | Enforcer.No_misbehavior -> print_endline "audit: no misbehavior detected"
+  | _ -> print_endline "unexpected outcome"
+
+let investigate ~genesis ~receipts ~ledger ~checkpoint =
+  let params = Replica.default_params in
+  let enforcer =
+    Enforcer.create ~genesis ~app:(Smallbank.app ())
+      ~pipeline:params.Replica.pipeline
+      ~checkpoint_interval:params.Replica.checkpoint_interval
+  in
+  Enforcer.investigate enforcer ~receipts ~gov_receipts:[]
+    ~provider:(fun _ ->
+      Some { Enforcer.resp_ledger = ledger; resp_checkpoint = checkpoint })
+
+let package_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "package" ] ~docv:"FILE"
+        ~doc:
+          "Audit a ledger package from disk (see export-package) instead of \
+           running the in-process attack scenario.")
+
 let audit_cmd =
-  let run n seed =
-    let cluster = make_cluster ~n ~seed ~latency:`Cluster in
-    let _, receipts = drive_smallbank cluster ~txs:20 ~seed in
-    let genesis = Cluster.genesis cluster in
-    Printf.printf "honest run complete: %d receipts held by the client\n"
-      (List.length receipts);
-    (* All replicas collude: rewrite history without the client's txs. *)
-    let sks = List.init n (fun i -> (i, Cluster.replica_sk cluster i)) in
-    let forge =
-      Forge.create ~genesis ~sks ~app:(Smallbank.app ()) ~pipeline:2
-        ~checkpoint_interval:1000
-    in
-    let csk, cpk = Iaccf_crypto.Schnorr.keypair_of_seed "cli-other" in
-    ignore
-      (Forge.add_batch forge
-         [
-           Request.make ~sk:csk ~client_pk:cpk ~service:(Genesis.hash genesis)
-             ~proc:"sb/create" ~args:"99,1,1" ();
-         ]);
-    print_endline "colluding replicas produced a rewritten ledger";
-    let enforcer =
-      Enforcer.create ~genesis ~app:(Smallbank.app ())
-        ~pipeline:(Cluster.params cluster).Replica.pipeline
-        ~checkpoint_interval:(Cluster.params cluster).Replica.checkpoint_interval
-    in
-    match
-      Enforcer.investigate enforcer ~receipts ~gov_receipts:[]
-        ~provider:(fun _ ->
-          Some { Enforcer.resp_ledger = Forge.ledger forge; resp_checkpoint = None })
-    with
-    | Enforcer.Members_punished { punished; verdict } ->
-        Format.printf "uPoM: %a@." Audit.pp_upom verdict.Audit.v_upom;
-        Printf.printf "blamed replicas: %s\n"
-          (String.concat ","
-             (List.map string_of_int (Bitmap.to_list verdict.Audit.v_blamed_replicas)));
-        Printf.printf "punished members: %s\n" (String.concat "," punished)
-    | _ -> print_endline "unexpected outcome"
+  let run n seed package =
+    match package with
+    | Some file ->
+        (* Offline path: every audit input comes from the package file. *)
+        let pkg = Package.read_file file in
+        let genesis = Package.genesis pkg in
+        let ledger = Package.to_ledger pkg in
+        let receipts = List.map Receipt.deserialize pkg.Package.pkg_receipts in
+        Printf.printf "package: %d entries, %d receipts, root %s\n"
+          (Ledger.length ledger) (List.length receipts)
+          (Iaccf_crypto.Digest32.to_hex pkg.Package.pkg_m_root);
+        print_outcome
+          (investigate ~genesis ~receipts ~ledger
+             ~checkpoint:pkg.Package.pkg_checkpoint)
+    | None ->
+        let genesis, receipts, forged = rewrite_attack ~n ~seed in
+        print_outcome (investigate ~genesis ~receipts ~ledger:forged ~checkpoint:None)
   in
   Cmd.v
     (Cmd.info "audit"
-       ~doc:"Demonstrate auditing: all replicas rewrite history; blame is assigned.")
-    Term.(const run $ replicas_arg $ seed_arg)
+       ~doc:
+         "Demonstrate auditing: all replicas rewrite history; blame is \
+          assigned. With --package, audit evidence from a file on disk.")
+    Term.(const run $ replicas_arg $ seed_arg $ package_arg)
+
+let export_package_cmd =
+  let run n txs seed out from =
+    match from with
+    | Some dir ->
+        (* Package a persisted store (produced by `run --persist`). *)
+        let store = Store.open_store (Store.default_config ~dir) in
+        let ri = Store.recovery store in
+        Printf.printf
+          "recovered %d entries from %d segments (%d torn frames, %d bytes dropped)\n"
+          ri.Store.ri_entries ri.Store.ri_segments ri.Store.ri_torn_frames
+          ri.Store.ri_torn_bytes;
+        let pkg = Package.of_store store in
+        Store.close store;
+        Package.write_file out pkg;
+        Printf.printf "wrote %s: %d entries, root %s\n" out
+          (List.length pkg.Package.pkg_entries)
+          (Iaccf_crypto.Digest32.to_hex pkg.Package.pkg_m_root)
+    | None ->
+        (* Attack bundle: the forged ledger plus the honest client's
+           receipts — exactly what an auditor would hold. *)
+        ignore txs;
+        let genesis, receipts, forged = rewrite_attack ~n ~seed in
+        ignore genesis;
+        let pkg =
+          Package.of_ledger ~receipts:(List.map Receipt.serialize receipts) forged
+        in
+        Package.write_file out pkg;
+        Printf.printf "wrote %s: %d entries, %d receipts, root %s\n" out
+          (List.length pkg.Package.pkg_entries)
+          (List.length pkg.Package.pkg_receipts)
+          (Iaccf_crypto.Digest32.to_hex pkg.Package.pkg_m_root)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "ledger.iapkg"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Package file to write.")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"DIR"
+          ~doc:
+            "Export a persisted replica store (e.g. DIR/replica-0 from `run \
+             --persist DIR`) instead of the attack scenario.")
+  in
+  Cmd.v
+    (Cmd.info "export-package"
+       ~doc:
+         "Write a single-file ledger package for offline audit: by default \
+          the ledger-rewrite attack bundle (forged ledger + honest receipts); \
+          with --from, the contents of a persisted store.")
+    Term.(const run $ replicas_arg $ txs_arg $ seed_arg $ out_arg $ from_arg)
 
 let keys_cmd =
   let run n seed =
-    let cluster = make_cluster ~n ~seed ~latency:`Cluster in
+    let cluster = make_cluster ~n ~seed ~latency:`Cluster () in
     let genesis = Cluster.genesis cluster in
     Printf.printf "service (H(gt)): %s\n"
       (Iaccf_crypto.Digest32.to_hex (Genesis.hash genesis));
@@ -186,4 +333,11 @@ let () =
     Cmd.info "iaccf" ~version:"1.0.0"
       ~doc:"IA-CCF: individual accountability for permissioned ledgers (NSDI 2022 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; ledger_cmd; audit_cmd; keys_cmd ]))
+  let group =
+    Cmd.group info [ run_cmd; ledger_cmd; audit_cmd; export_package_cmd; keys_cmd ]
+  in
+  exit
+    (try Cmd.eval ~catch:false group with
+    | Store.Storage_error msg | Package.Package_error msg ->
+        Printf.eprintf "iaccf: %s\n" msg;
+        1)

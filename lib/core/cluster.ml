@@ -23,12 +23,26 @@ type t = {
   genesis : Genesis.t;
   app : App.t;
   params : Replica.params;
+  persist : Iaccf_storage.Store.config option;
+      (* base config; each replica persists under [dir]/replica-<id> *)
   members : member_identity list;
   mutable replicas : (int * Replica.t) list;
   mutable clients : Client.t list;
   mutable next_client_addr : int;
   client_table : (string, int) Hashtbl.t; (* client pk bytes -> address *)
 }
+
+let replica_store persist id =
+  Option.map
+    (fun (cfg : Iaccf_storage.Store.config) ->
+      Iaccf_storage.Store.open_store
+        {
+          cfg with
+          Iaccf_storage.Store.dir =
+            Filename.concat cfg.Iaccf_storage.Store.dir
+              (Printf.sprintf "replica-%d" id);
+        })
+    persist
 
 let replica_seed seed id = Printf.sprintf "cluster-%d-replica-%d" seed id
 let replica_keys seed id = Schnorr.keypair_of_seed (replica_seed seed id)
@@ -91,7 +105,7 @@ let counter_app_procs =
   ]
 
 let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
-    ?(latency = Latency.dedicated_cluster) ?app ~n () =
+    ?(latency = Latency.dedicated_cluster) ?app ?persist ~n () =
   let n_members = Option.value n_members ~default:n in
   let rng = Rng.create seed in
   let members =
@@ -123,6 +137,7 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
       genesis;
       app;
       params;
+      persist;
       members;
       replicas = [];
       clients = [];
@@ -139,6 +154,7 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
         let r =
           Replica.create ~id ~sk ~genesis ~app ~params ~sched ~network
             ~client_address ~rng:(Rng.split rng)
+            ?storage:(replica_store persist id) ()
         in
         Replica.start r;
         (id, r))
@@ -154,6 +170,15 @@ let replica t id = List.assoc id t.replicas
 let members t = t.members
 let params t = t.params
 let replica_sk t id = fst (replica_keys t.seed id)
+let storage t id = Replica.storage (replica t id)
+
+let sync_storage t =
+  List.iter
+    (fun (_, r) ->
+      match Replica.storage r with
+      | Some s -> Iaccf_storage.Store.sync s
+      | None -> ())
+    t.replicas
 
 let add_client t ?(verify_receipts = true) ?(sign_requests = true) () =
   let address = t.next_client_addr in
@@ -220,6 +245,7 @@ let spawn_replica t ~id =
   let r =
     Replica.create ~id ~sk ~genesis:t.genesis ~app:t.app ~params:t.params
       ~sched:t.sched ~network:t.network ~client_address ~rng:(Rng.split t.rng)
+      ?storage:(replica_store t.persist id) ()
   in
   Replica.start r;
   t.replicas <- t.replicas @ [ (id, r) ];

@@ -28,12 +28,15 @@ val make :
   ?params:Replica.params ->
   ?latency:(Iaccf_util.Rng.t -> Iaccf_sim.Latency.t) ->
   ?app:App.t ->
+  ?persist:Iaccf_storage.Store.config ->
   n:int ->
   unit ->
   t
 (** [make ~n ()] builds a service with [n] replicas operated round-robin by
     [n_members] members (default [n]), using the counter app plus any
-    procedures of [app]. *)
+    procedures of [app]. With [persist], every replica's ledger is backed
+    by a durable segmented store under [persist.dir]/replica-<id> (the rest
+    of the config — segment size, fsync policy, cache — applies to each). *)
 
 val sched : t -> Iaccf_sim.Sched.t
 val network : t -> Wire.t Iaccf_sim.Network.t
@@ -45,6 +48,13 @@ val params : t -> Replica.params
 
 val replica_sk : t -> int -> Schnorr.secret_key
 (** Secret key of a replica — used by tests that forge Byzantine messages. *)
+
+val storage : t -> int -> Iaccf_storage.Store.t option
+(** A replica's durable ledger store, when the cluster persists. *)
+
+val sync_storage : t -> unit
+(** Force every replica's durable store to fsync and refresh its
+    root-of-trust file (e.g. before simulating a process exit). *)
 
 val add_client : t -> ?verify_receipts:bool -> ?sign_requests:bool -> unit -> Client.t
 

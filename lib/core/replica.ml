@@ -96,6 +96,7 @@ type t = {
   mutable phase : reconfig_phase;
   store : Store.t;
   ledger : Ledger.t;
+  storage : Iaccf_storage.Store.t option;  (* durable ledger backend *)
   requests : (string, Request.t) Hashtbl.t;
   mutable request_order : D.t list; (* request hashes, newest first *)
   executed_requests : (string, int) Hashtbl.t; (* hash -> ledger index *)
@@ -133,6 +134,7 @@ type t = {
 (* Small helpers                                                       *)
 
 let id t = t.rid
+let storage t = t.storage
 let config t = t.cfg
 let view t = t.view
 let next_seqno t = t.seqno
@@ -1932,7 +1934,8 @@ let on_message t ~src msg =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
-let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng =
+let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
+    ?storage () =
   if params.checkpoint_interval <= params.pipeline then
     invalid_arg "Replica.create: checkpoint interval must exceed the pipeline depth";
   let cfg = genesis.Genesis.initial_config in
@@ -1978,6 +1981,7 @@ let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng =
       phase = Normal;
       store;
       ledger = Ledger.create genesis;
+      storage;
       requests = Hashtbl.create 64;
       request_order = [];
       executed_requests = Hashtbl.create 64;
@@ -2002,6 +2006,9 @@ let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng =
     }
   in
   Hashtbl.replace t.checkpoints 0 (cp0, Checkpoint.digest cp0);
+  (match storage with
+  | Some s -> Iaccf_storage.Store.attach s t.ledger
+  | None -> ());
   Network.register network id (fun ~src msg -> on_message t ~src msg);
   t
 

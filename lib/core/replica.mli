@@ -46,10 +46,15 @@ val create :
   network:Wire.t Iaccf_sim.Network.t ->
   client_address:(Schnorr.public_key -> int option) ->
   rng:Iaccf_util.Rng.t ->
+  ?storage:Iaccf_storage.Store.t ->
+  unit ->
   t
 (** The replica registers itself on the network under address [id]. A
     replica whose [id] is not in the genesis configuration stays passive
-    until a reconfiguration activates it (it then fetches state, §5.1). *)
+    until a reconfiguration activates it (it then fetches state, §5.1).
+    When [storage] is given it becomes the ledger's write-through durable
+    backend: appends and view-change truncations reach disk in order
+    (backfilling any prefix the store is missing on attach). *)
 
 val start : t -> unit
 (** Arm timers and begin participating. *)
@@ -66,6 +71,7 @@ val next_seqno : t -> int
 val last_prepared : t -> int
 val last_committed : t -> int
 val ledger : t -> Iaccf_ledger.Ledger.t
+val storage : t -> Iaccf_storage.Store.t option
 val store : t -> Iaccf_kv.Store.t
 val stats : t -> stats
 val gov_index : t -> int

@@ -5,28 +5,42 @@ module D = Iaccf_crypto.Digest32
 
 type slot = { entry : Entry.t; m_size_after : int; bytes : int }
 
+type sink = {
+  sink_append : int -> Entry.t -> unit;
+  sink_truncate : int -> unit;
+}
+
 type t = {
   slots : slot Vec.t;
   tree : Tree.t;
   mutable byte_total : int;
+  mutable sink : sink option;
 }
+
+let set_sink t sink = t.sink <- sink
 
 let push t entry =
   let bytes = Entry.size_bytes entry in
   if Entry.in_merkle_tree entry then Tree.append t.tree (Entry.leaf_digest entry);
   Vec.push t.slots { entry; m_size_after = Tree.size t.tree; bytes };
   t.byte_total <- t.byte_total + bytes;
-  Vec.length t.slots - 1
+  let index = Vec.length t.slots - 1 in
+  (match t.sink with Some s -> s.sink_append index entry | None -> ());
+  index
 
 let create genesis =
-  let t = { slots = Vec.create (); tree = Tree.create (); byte_total = 0 } in
+  let t =
+    { slots = Vec.create (); tree = Tree.create (); byte_total = 0; sink = None }
+  in
   ignore (push t (Entry.Genesis genesis));
   t
 
 let of_entries entries =
   match entries with
   | Entry.Genesis _ :: _ ->
-      let t = { slots = Vec.create (); tree = Tree.create (); byte_total = 0 } in
+      let t =
+        { slots = Vec.create (); tree = Tree.create (); byte_total = 0; sink = None }
+      in
       List.iter (fun e -> ignore (push t e)) entries;
       t
   | _ -> invalid_arg "Ledger.of_entries: first entry must be the genesis"
@@ -50,7 +64,8 @@ let truncate t n =
       t.byte_total <- t.byte_total - (Vec.get t.slots i).bytes
     done;
     Vec.truncate t.slots n;
-    Tree.truncate t.tree m_size
+    Tree.truncate t.tree m_size;
+    match t.sink with Some s -> s.sink_truncate n | None -> ()
   end
 
 let iteri f t = Vec.iteri (fun i slot -> f i slot.entry) t.slots

@@ -8,8 +8,21 @@
 
 type t
 
+type sink = {
+  sink_append : int -> Entry.t -> unit;  (** called with the new index *)
+  sink_truncate : int -> unit;  (** called with the new length *)
+}
+(** A write-through backend (e.g. the durable segmented store): notified
+    after every successful [append] and every effective [truncate], in
+    order, so a persistent copy tracks the in-memory ledger exactly. *)
+
 val create : Iaccf_types.Genesis.t -> t
 (** Fresh ledger holding only the genesis entry at index 0. *)
+
+val set_sink : t -> sink option -> unit
+(** Attach or detach the write-through backend. Attaching does not replay
+    the existing prefix — the backend is expected to have been backfilled
+    (see [Storage.Store.attach]). *)
 
 val of_entries : Entry.t list -> t
 (** Rebuild a ledger (e.g. a received fragment treated as a full ledger

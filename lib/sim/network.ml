@@ -9,6 +9,9 @@ type 'msg t = {
   mutable cuts : (int * int) list; (* unordered pairs with severed links *)
   mutable sent : int;
   mutable delivered : int;
+  mutable dropped_cut : int; (* dropped on a severed link *)
+  mutable dropped_prob : int; (* dropped by the loss probability *)
+  mutable dropped_unregistered : int; (* arrived for an absent handler *)
 }
 
 let create ~sched ~latency ?drop_rng () =
@@ -21,6 +24,9 @@ let create ~sched ~latency ?drop_rng () =
     cuts = [];
     sent = 0;
     delivered = 0;
+    dropped_cut = 0;
+    dropped_prob = 0;
+    dropped_unregistered = 0;
   }
 
 let register t id handler = Hashtbl.replace t.handlers id handler
@@ -29,25 +35,31 @@ let unregister t id = Hashtbl.remove t.handlers id
 let cut t a b =
   List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) t.cuts
 
-let dropped t ~src ~dst =
-  cut t src dst
-  ||
-  match t.drop_rng with
-  | Some rng when t.drop_probability > 0.0 -> Rng.float rng 1.0 < t.drop_probability
-  | _ -> false
+(* [None] = deliver; otherwise why the message is lost. Cuts are checked
+   first: a severed link drops deterministically, before the loss draw. *)
+let drop_reason t ~src ~dst =
+  if cut t src dst then Some `Cut
+  else
+    match t.drop_rng with
+    | Some rng when t.drop_probability > 0.0 && Rng.float rng 1.0 < t.drop_probability
+      ->
+        Some `Prob
+    | _ -> None
 
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
-  if not (dropped t ~src ~dst) then begin
-    let delay = Latency.sample t.latency ~src ~dst in
-    ignore
-      (Sched.schedule t.sched ~delay (fun () ->
-           match Hashtbl.find_opt t.handlers dst with
-           | None -> ()
-           | Some handler ->
-               t.delivered <- t.delivered + 1;
-               handler ~src msg))
-  end
+  match drop_reason t ~src ~dst with
+  | Some `Cut -> t.dropped_cut <- t.dropped_cut + 1
+  | Some `Prob -> t.dropped_prob <- t.dropped_prob + 1
+  | None ->
+      let delay = Latency.sample t.latency ~src ~dst in
+      ignore
+        (Sched.schedule t.sched ~delay (fun () ->
+             match Hashtbl.find_opt t.handlers dst with
+             | None -> t.dropped_unregistered <- t.dropped_unregistered + 1
+             | Some handler ->
+                 t.delivered <- t.delivered + 1;
+                 handler ~src msg))
 
 let broadcast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
 
@@ -62,3 +74,8 @@ let partition t group1 group2 =
 let heal t = t.cuts <- []
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
+let messages_dropped_cut t = t.dropped_cut
+let messages_dropped_prob t = t.dropped_prob
+let messages_dropped_unregistered t = t.dropped_unregistered
+let messages_dropped t = t.dropped_cut + t.dropped_prob + t.dropped_unregistered
+let drop_rate t = if t.sent = 0 then 0.0 else float_of_int (messages_dropped t) /. float_of_int t.sent

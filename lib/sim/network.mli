@@ -34,3 +34,25 @@ val heal : 'msg t -> unit
 
 val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
+
+(** {1 Drop accounting}
+
+    Fault-injection experiments report loss rates from these: every sent
+    message is eventually counted as delivered or as exactly one kind of
+    drop (a message in flight is neither yet). *)
+
+val messages_dropped : 'msg t -> int
+(** Total drops: severed links + probabilistic loss + unregistered
+    destinations. *)
+
+val messages_dropped_cut : 'msg t -> int
+(** Dropped because the link was cut by {!partition}. *)
+
+val messages_dropped_prob : 'msg t -> int
+(** Dropped by the {!set_drop_probability} loss draw. *)
+
+val messages_dropped_unregistered : 'msg t -> int
+(** Arrived for a destination with no registered handler. *)
+
+val drop_rate : 'msg t -> float
+(** [messages_dropped / messages_sent]; 0 before any send. *)

@@ -39,15 +39,17 @@ let step t =
 let run ?until ?max_events t =
   let fired = ref 0 in
   let continue () =
-    (match max_events with Some m when !fired >= m -> false | _ -> true)
+    (match max_events with Some m -> !fired < m | None -> true)
     &&
-    match Q.min_binding_opt t.queue with
-    | None -> false
-    | Some ((time, _), _) -> (
-        match until with Some u when time > u -> false | _ -> true)
+    match until with
+    | None -> true
+    | Some u -> (
+        match Q.min_binding_opt t.queue with
+        | Some ((time, _), _) -> time <= u
+        | None -> true (* step will report the empty queue *))
   in
-  while continue () do
-    ignore (step t);
+  (* step's return value drives termination: fired counts actual events. *)
+  while continue () && step t do
     incr fired
   done
 

@@ -1,0 +1,123 @@
+module Entry = Iaccf_ledger.Entry
+module Ledger = Iaccf_ledger.Ledger
+module Checkpoint = Iaccf_kv.Checkpoint
+module Codec = Iaccf_util.Codec
+module Crc32 = Iaccf_util.Crc32
+module D = Iaccf_crypto.Digest32
+
+exception Package_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Package_error s)) fmt
+
+type t = {
+  pkg_entries : Entry.t list;
+  pkg_checkpoint : Checkpoint.t option;
+  pkg_receipts : string list;
+  pkg_m_root : D.t;
+  pkg_m_size : int;
+}
+
+let magic = "IAPKG1\n"
+let version = 1
+
+let of_ledger ?checkpoint ?(receipts = []) ledger =
+  {
+    pkg_entries = List.map snd (Ledger.entries ledger ());
+    pkg_checkpoint = checkpoint;
+    pkg_receipts = receipts;
+    pkg_m_root = Ledger.m_root ledger;
+    pkg_m_size = Ledger.m_size ledger;
+  }
+
+let of_store ?checkpoint ?(receipts = []) store =
+  {
+    pkg_entries = List.init (Store.length store) (Store.get store);
+    pkg_checkpoint = checkpoint;
+    pkg_receipts = receipts;
+    pkg_m_root = Store.m_root store;
+    pkg_m_size = Store.m_size store;
+  }
+
+let to_ledger t = Ledger.of_entries t.pkg_entries
+
+let genesis t =
+  match t.pkg_entries with
+  | Entry.Genesis g :: _ -> g
+  | _ -> fail "package does not start with a genesis entry"
+
+let serialize t =
+  let body =
+    Codec.encode (fun w ->
+        Codec.W.u8 w version;
+        Codec.W.list w (fun e -> Codec.W.bytes w (Entry.serialize e)) t.pkg_entries;
+        Codec.W.option w
+          (fun cp -> Codec.W.bytes w (Checkpoint.serialize cp))
+          t.pkg_checkpoint;
+        Codec.W.list w (Codec.W.bytes w) t.pkg_receipts;
+        Codec.W.raw w (D.to_raw t.pkg_m_root);
+        Codec.W.u64 w t.pkg_m_size)
+  in
+  Codec.encode (fun w ->
+      Codec.W.raw w magic;
+      Codec.W.u32 w (Crc32.digest body);
+      Codec.W.raw w body)
+
+let deserialize s =
+  let mlen = String.length magic in
+  if String.length s < mlen + 4 then fail "package too short";
+  if String.sub s 0 mlen <> magic then fail "bad package magic";
+  let body =
+    try
+      Codec.decode (String.sub s mlen (String.length s - mlen)) (fun r ->
+          let crc = Codec.R.u32 r in
+          let body = Codec.R.raw r (Codec.R.remaining r) in
+          if Crc32.digest body <> crc then
+            raise (Codec.Decode_error "package checksum mismatch");
+          body)
+    with Codec.Decode_error m -> fail "corrupt package: %s" m
+  in
+  let t =
+    try
+      Codec.decode body (fun r ->
+          let v = Codec.R.u8 r in
+          if v <> version then raise (Codec.Decode_error "unsupported package version");
+          let pkg_entries =
+            Codec.R.list r Codec.R.bytes |> List.map Entry.deserialize
+          in
+          let pkg_checkpoint =
+            Codec.R.option r Codec.R.bytes |> Option.map Checkpoint.deserialize
+          in
+          let pkg_receipts = Codec.R.list r Codec.R.bytes in
+          let pkg_m_root = D.of_raw (Codec.R.raw r D.size) in
+          let pkg_m_size = Codec.R.u64 r in
+          { pkg_entries; pkg_checkpoint; pkg_receipts; pkg_m_root; pkg_m_size })
+    with Codec.Decode_error m -> fail "corrupt package: %s" m
+  in
+  (* The embedded root is the package's self-authenticating claim: the
+     entries must reproduce it, or the bundle is rejected outright. *)
+  let ledger =
+    match t.pkg_entries with
+    | Entry.Genesis _ :: _ -> to_ledger t
+    | _ -> fail "package does not start with a genesis entry"
+  in
+  if Ledger.m_size ledger <> t.pkg_m_size then fail "package tree size mismatch";
+  if not (D.equal (Ledger.m_root ledger) t.pkg_m_root) then
+    fail "package entries do not reproduce the embedded Merkle root";
+  t
+
+let write_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (serialize t))
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      deserialize s
+  | exception Sys_error m -> fail "cannot read package: %s" m

@@ -1,0 +1,43 @@
+(** Ledger packages: the single-file audit bundle (§4, Alg. 4).
+
+    A package carries everything an offline auditor needs as inputs to
+    Alg. 4: the full entry sequence (genesis first), an optional checkpoint
+    to replay from, and the receipts under dispute (kept as opaque
+    serialized blobs so this layer stays below the protocol library). The
+    whole body is CRC-protected and the embedded Merkle root must match the
+    entries on import — a package that was truncated or tampered with in
+    transit is rejected, not audited. *)
+
+module Entry = Iaccf_ledger.Entry
+module Ledger = Iaccf_ledger.Ledger
+module Checkpoint = Iaccf_kv.Checkpoint
+module D = Iaccf_crypto.Digest32
+
+exception Package_error of string
+
+type t = {
+  pkg_entries : Entry.t list;  (** full ledger, genesis first *)
+  pkg_checkpoint : Checkpoint.t option;
+  pkg_receipts : string list;  (** serialized [Receipt.t] blobs *)
+  pkg_m_root : D.t;
+  pkg_m_size : int;
+}
+
+val of_ledger :
+  ?checkpoint:Checkpoint.t -> ?receipts:string list -> Ledger.t -> t
+
+val of_store : ?checkpoint:Checkpoint.t -> ?receipts:string list -> Store.t -> t
+(** Bundle a persisted store's recovered contents. *)
+
+val to_ledger : t -> Ledger.t
+(** Rebuild the in-memory ledger (root already verified on import). *)
+
+val genesis : t -> Iaccf_types.Genesis.t
+
+val serialize : t -> string
+val deserialize : string -> t
+(** @raise Package_error on bad magic, checksum, codec, or root mismatch. *)
+
+val write_file : string -> t -> unit
+val read_file : string -> t
+(** @raise Package_error also on unreadable files. *)

@@ -1,0 +1,430 @@
+module Entry = Iaccf_ledger.Entry
+module Ledger = Iaccf_ledger.Ledger
+module Tree = Iaccf_merkle.Tree
+module Codec = Iaccf_util.Codec
+module Vec = Iaccf_util.Vec
+module Lru = Iaccf_util.Lru
+module D = Iaccf_crypto.Digest32
+
+exception Storage_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Storage_error s)) fmt
+
+type fsync_policy = No_fsync | Fsync_always | Fsync_interval of int
+
+type config = {
+  dir : string;
+  segment_bytes : int;
+  fsync : fsync_policy;
+  cache_capacity : int;
+}
+
+let default_config ~dir =
+  { dir; segment_bytes = 1 lsl 20; fsync = Fsync_interval 64; cache_capacity = 256 }
+
+type recovery_info = {
+  ri_segments : int;
+  ri_entries : int;
+  ri_torn_frames : int;
+  ri_torn_bytes : int;
+  ri_root_verified : bool;
+}
+
+(* Where each entry lives: its segment (named by first index), the frame's
+   offset and on-disk length, and the Merkle tree size after it — the last
+   mirrors Ledger's slots so truncate can roll M back without re-reading. *)
+type slot = { s_seg : int; s_off : int; s_len : int; s_msize : int }
+
+type t = {
+  cfg : config;
+  slots : slot Vec.t;
+  tree : Tree.t;
+  cache : (int, Entry.t) Lru.t;
+  mutable tail_first : int;  (* first index of the open tail segment *)
+  mutable tail_fd : Unix.file_descr option;
+  mutable tail_size : int;
+  mutable seg_count : int;
+  mutable disk : int;
+  mutable unsynced : int;
+  mutable closed : bool;
+  mutable recovered : recovery_info;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Paths and raw file helpers                                          *)
+
+let seg_name first = Printf.sprintf "segment-%016d.iaccf" first
+let seg_path t first = Filename.concat t.cfg.dir (seg_name first)
+let root_path dir = Filename.concat dir "root.iaccf"
+
+let parse_seg_name name =
+  match String.length name = 30 && String.sub name 0 8 = "segment-"
+        && Filename.check_suffix name ".iaccf"
+  with
+  | true -> int_of_string_opt (String.sub name 8 16)
+  | false -> None
+  | exception _ -> None
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Root-of-trust file: the durably promised (length, Merkle root)      *)
+
+let root_magic = "IACCF-ROOT-v1"
+
+let encode_root ~length ~m_size ~(m_root : D.t) =
+  Codec.encode (fun w ->
+      Codec.W.bytes w root_magic;
+      Codec.W.u64 w length;
+      Codec.W.u64 w m_size;
+      Codec.W.raw w (D.to_raw m_root))
+
+let decode_root s =
+  match
+    Codec.decode s (fun r ->
+        let magic = Codec.R.bytes r in
+        if magic <> root_magic then raise (Codec.Decode_error "bad root magic");
+        let length = Codec.R.u64 r in
+        let m_size = Codec.R.u64 r in
+        let m_root = D.of_raw (Codec.R.raw r D.size) in
+        (length, m_size, m_root))
+  with
+  | v -> v
+  | exception Codec.Decode_error m -> fail "corrupt root-of-trust file: %s" m
+
+let write_root_file t =
+  let m_size = Tree.size t.tree in
+  let data = encode_root ~length:(Vec.length t.slots) ~m_size ~m_root:(Tree.root t.tree) in
+  let path = root_path t.cfg.dir in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+      write_all fd data;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir t.cfg.dir
+
+(* ------------------------------------------------------------------ *)
+(* Open + recovery                                                     *)
+
+let append_slot t ~seg ~off ~len entry =
+  if Entry.in_merkle_tree entry then Tree.append t.tree (Entry.leaf_digest entry);
+  Vec.push t.slots { s_seg = seg; s_off = off; s_len = len; s_msize = Tree.size t.tree };
+  t.disk <- t.disk + len
+
+(* Root the recovered prefix at [length] using the recorded tree sizes. *)
+let m_root_at_length t length =
+  if length = 0 then Tree.empty_root
+  else begin
+    let m_size = (Vec.get t.slots (length - 1)).s_msize in
+    if m_size = Tree.size t.tree then Tree.root t.tree
+    else begin
+      let tree = Tree.copy t.tree in
+      Tree.truncate tree m_size;
+      Tree.root tree
+    end
+  end
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map parse_seg_name
+  |> List.sort compare
+
+(* Scan one segment's bytes, appending recovered entries. [tail] enables
+   torn-frame truncation; interior damage is unrecoverable. Returns the
+   number of surviving bytes and the torn byte count (0 unless tail). *)
+let scan_segment t ~seg ~tail data =
+  let total = String.length data in
+  let rec go off =
+    match Frame.scan data ~pos:off with
+    | Frame.End_of_input -> (off, 0)
+    | Frame.Frame { payload; next } -> (
+        match Entry.deserialize payload with
+        | entry ->
+            append_slot t ~seg ~off ~len:(next - off) entry;
+            go next
+        | exception Codec.Decode_error m ->
+            if tail then (off, total - off)
+            else fail "segment %s: undecodable entry at offset %d: %s" (seg_name seg) off m)
+    | Frame.Torn { reason } ->
+        if tail then (off, total - off)
+        else fail "segment %s: torn frame at offset %d (%s) before the tail" (seg_name seg) off reason
+  in
+  go 0
+
+let open_tail_fd t ~first ~size =
+  let fd =
+    Unix.openfile (seg_path t first) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int size) Unix.SEEK_SET);
+  t.tail_fd <- Some fd;
+  t.tail_first <- first;
+  t.tail_size <- size
+
+let open_store cfg =
+  if cfg.segment_bytes < Frame.header_bytes + 1 then
+    invalid_arg "Store.open_store: segment_bytes too small";
+  mkdir_p cfg.dir;
+  let t =
+    {
+      cfg;
+      slots = Vec.create ();
+      tree = Tree.create ();
+      cache = Lru.create ~capacity:cfg.cache_capacity;
+      tail_first = 0;
+      tail_fd = None;
+      tail_size = 0;
+      seg_count = 0;
+      disk = 0;
+      unsynced = 0;
+      closed = false;
+      recovered =
+        {
+          ri_segments = 0;
+          ri_entries = 0;
+          ri_torn_frames = 0;
+          ri_torn_bytes = 0;
+          ri_root_verified = false;
+        };
+    }
+  in
+  let segs = list_segments cfg.dir in
+  let n_segs = List.length segs in
+  let torn_frames = ref 0 and torn_bytes = ref 0 in
+  List.iteri
+    (fun k seg ->
+      if seg <> Vec.length t.slots then
+        fail "segment %s: expected first index %d" (seg_name seg) (Vec.length t.slots);
+      let tail = k = n_segs - 1 in
+      let data = read_file (seg_path t seg) in
+      let survive, torn = scan_segment t ~seg ~tail data in
+      if torn > 0 then begin
+        incr torn_frames;
+        torn_bytes := !torn_bytes + torn;
+        (* Cut the damaged suffix so the file again ends on a frame edge. *)
+        let fd = Unix.openfile (seg_path t seg) [ Unix.O_WRONLY ] 0o644 in
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            Unix.LargeFile.ftruncate fd (Int64.of_int survive))
+      end)
+    segs;
+  (* A tail segment that lost every frame (crash during roll) is dropped. *)
+  let live_segs =
+    match Vec.last t.slots with
+    | None ->
+        List.iter (fun seg -> Sys.remove (seg_path t seg)) segs;
+        []
+    | Some last ->
+        let live, dead = List.partition (fun seg -> seg <= last.s_seg) segs in
+        List.iter (fun seg -> Sys.remove (seg_path t seg)) dead;
+        live
+  in
+  t.seg_count <- List.length live_segs;
+  (* Check the recovered prefix against the durable root-of-trust. *)
+  let root_verified =
+    if Sys.file_exists (root_path cfg.dir) then begin
+      let length, m_size, m_root = decode_root (read_file (root_path cfg.dir)) in
+      if length > Vec.length t.slots then
+        fail "recovered %d entries but the root-of-trust covers %d: durable data lost"
+          (Vec.length t.slots) length;
+      if length > 0 && (Vec.get t.slots (length - 1)).s_msize <> m_size then
+        fail "root-of-trust tree size mismatch at length %d" length;
+      if not (D.equal (m_root_at_length t length) m_root) then
+        fail "recovered Merkle root does not match the root-of-trust at length %d" length;
+      true
+    end
+    else false
+  in
+  (match Vec.last t.slots with
+  | Some last -> open_tail_fd t ~first:last.s_seg ~size:(last.s_off + last.s_len)
+  | None -> ());
+  t.recovered <-
+    {
+      ri_segments = n_segs;
+      ri_entries = Vec.length t.slots;
+      ri_torn_frames = !torn_frames;
+      ri_torn_bytes = !torn_bytes;
+      ri_root_verified = root_verified;
+    };
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let recovery t = t.recovered
+let config t = t.cfg
+let length t = Vec.length t.slots
+let segments t = t.seg_count
+let disk_bytes t = t.disk
+let m_root t = Tree.root t.tree
+let m_size t = Tree.size t.tree
+let cache_stats t = (Lru.hits t.cache, Lru.misses t.cache)
+
+let check_open t op = if t.closed then invalid_arg ("Store." ^ op ^ ": store is closed")
+
+(* ------------------------------------------------------------------ *)
+(* Append path                                                         *)
+
+let sync t =
+  check_open t "sync";
+  (match t.tail_fd with Some fd -> Unix.fsync fd | None -> ());
+  write_root_file t;
+  t.unsynced <- 0
+
+let roll_segment t =
+  (match t.tail_fd with
+  | Some fd ->
+      (* The finished segment is immutable from here on: make it durable
+         before anything lands in its successor. *)
+      Unix.fsync fd;
+      Unix.close fd
+  | None -> ());
+  t.tail_fd <- None;
+  open_tail_fd t ~first:(Vec.length t.slots) ~size:0;
+  t.seg_count <- t.seg_count + 1
+
+let append t entry =
+  check_open t "append";
+  let frame = Frame.encode (Entry.serialize entry) in
+  let len = String.length frame in
+  if t.tail_fd = None || (t.tail_size > 0 && t.tail_size + len > t.cfg.segment_bytes)
+  then roll_segment t;
+  let fd = Option.get t.tail_fd in
+  write_all fd frame;
+  let index = Vec.length t.slots in
+  append_slot t ~seg:t.tail_first ~off:t.tail_size ~len entry;
+  t.tail_size <- t.tail_size + len;
+  Lru.put t.cache index entry;
+  t.unsynced <- t.unsynced + 1;
+  (match t.cfg.fsync with
+  | Fsync_always -> sync t
+  | Fsync_interval n when t.unsynced >= n -> sync t
+  | Fsync_interval _ | No_fsync -> ());
+  index
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+
+let get t i =
+  check_open t "get";
+  if i < 0 || i >= Vec.length t.slots then invalid_arg "Store.get: index out of range";
+  match Lru.find t.cache i with
+  | Some e -> e
+  | None ->
+      let slot = Vec.get t.slots i in
+      let ic = open_in_bin (seg_path t slot.s_seg) in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            seek_in ic slot.s_off;
+            really_input_string ic slot.s_len)
+      in
+      let entry =
+        match Frame.scan raw ~pos:0 with
+        | Frame.Frame { payload; _ } -> Entry.deserialize payload
+        | Frame.Torn { reason } -> fail "entry %d: frame damaged on disk (%s)" i reason
+        | Frame.End_of_input -> assert false
+      in
+      Lru.put t.cache i entry;
+      entry
+
+(* ------------------------------------------------------------------ *)
+(* Truncation (view-change rollback)                                   *)
+
+let truncate t n =
+  check_open t "truncate";
+  if n < 1 then invalid_arg "Store.truncate: cannot drop the genesis";
+  if n < Vec.length t.slots then begin
+    let last = Vec.get t.slots (n - 1) in
+    let cut = last.s_off + last.s_len in
+    for i = n to Vec.length t.slots - 1 do
+      let s = Vec.get t.slots i in
+      t.disk <- t.disk - s.s_len;
+      Lru.remove t.cache i;
+      if s.s_seg <> last.s_seg && (i = n || (Vec.get t.slots (i - 1)).s_seg <> s.s_seg)
+      then begin
+        Sys.remove (seg_path t s.s_seg);
+        t.seg_count <- t.seg_count - 1
+      end
+    done;
+    Vec.truncate t.slots n;
+    Tree.truncate t.tree last.s_msize;
+    (match t.tail_fd with Some fd -> Unix.close fd | None -> ());
+    t.tail_fd <- None;
+    let fd = Unix.openfile (seg_path t last.s_seg) [ Unix.O_WRONLY ] 0o644 in
+    Unix.LargeFile.ftruncate fd (Int64.of_int cut);
+    ignore (Unix.LargeFile.lseek fd (Int64.of_int cut) Unix.SEEK_SET);
+    t.tail_fd <- Some fd;
+    t.tail_first <- last.s_seg;
+    t.tail_size <- cut;
+    (* A rollback is a deliberate history change: refresh the root-of-trust
+       now so a crash cannot resurrect the truncated suffix's promise. *)
+    sync t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let close t =
+  if not t.closed then begin
+    sync t;
+    (match t.tail_fd with Some fd -> Unix.close fd | None -> ());
+    t.tail_fd <- None;
+    t.closed <- true
+  end
+
+let crash t =
+  if not t.closed then begin
+    (match t.tail_fd with Some fd -> Unix.close fd | None -> ());
+    t.tail_fd <- None;
+    t.closed <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ledger integration                                                  *)
+
+let to_ledger t =
+  check_open t "to_ledger";
+  if Vec.length t.slots = 0 then fail "to_ledger: store is empty";
+  Ledger.of_entries (List.init (Vec.length t.slots) (get t))
+
+let attach t ledger =
+  check_open t "attach";
+  let ll = Ledger.length ledger in
+  if Vec.length t.slots > ll then truncate t ll;
+  let sl = Vec.length t.slots in
+  if sl > 0 && not (D.equal (Tree.root t.tree) (Ledger.m_root_at ledger sl)) then
+    fail "attach: persisted prefix diverges from the ledger (%d entries)" sl;
+  for i = sl to ll - 1 do
+    ignore (append t (Ledger.get ledger i))
+  done;
+  Ledger.set_sink ledger
+    (Some
+       {
+         Ledger.sink_append = (fun _ entry -> ignore (append t entry));
+         sink_truncate = (fun n -> truncate t n);
+       })

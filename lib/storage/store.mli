@@ -1,0 +1,101 @@
+(** Durable segmented ledger store (§3, §4: the ledger as a shippable
+    artifact).
+
+    Entries are appended as CRC-framed records (see {!Frame}) to fixed-size
+    segment files [segment-<first_index>.iaccf] under one directory, with an
+    in-memory offset index rebuilt on open. A separate root-of-trust file
+    [root.iaccf] records the Merkle root and length of the last synced
+    prefix; recovery scans the tail segment, truncates torn frames, replays
+    the surviving entries into the binding tree M, and refuses to open a
+    store whose durable root no longer matches — so a crash can only lose an
+    unsynced suffix, never silently corrupt history. *)
+
+module Entry = Iaccf_ledger.Entry
+module Ledger = Iaccf_ledger.Ledger
+module D = Iaccf_crypto.Digest32
+
+exception Storage_error of string
+(** Unrecoverable on-disk damage: corruption before the tail segment, a
+    recovered prefix shorter than the durable root-of-trust, or a Merkle
+    root mismatch against it. *)
+
+type fsync_policy =
+  | No_fsync  (** durability only on explicit [sync] / [close] *)
+  | Fsync_always  (** fsync + root-of-trust update after every append *)
+  | Fsync_interval of int  (** fsync + root update every [n] appends *)
+
+type config = {
+  dir : string;
+  segment_bytes : int;  (** roll segments once they exceed this many bytes *)
+  fsync : fsync_policy;
+  cache_capacity : int;  (** decoded-entry LRU slots for [get] *)
+}
+
+val default_config : dir:string -> config
+(** 1 MiB segments, [Fsync_interval 64], 256 cache slots. *)
+
+type recovery_info = {
+  ri_segments : int;  (** segment files found on open *)
+  ri_entries : int;  (** entries recovered *)
+  ri_torn_frames : int;  (** incomplete/corrupt tail frames truncated *)
+  ri_torn_bytes : int;  (** bytes discarded from the tail segment *)
+  ri_root_verified : bool;  (** a root-of-trust file existed and matched *)
+}
+
+type t
+
+val open_store : config -> t
+(** Open (creating the directory if needed) and recover. Fresh directories
+    start empty; existing ones are scanned, torn tail frames truncated, and
+    the rebuilt Merkle root checked against [root.iaccf].
+    @raise Storage_error as documented above. *)
+
+val recovery : t -> recovery_info
+val config : t -> config
+val length : t -> int
+val segments : t -> int
+(** Number of live segment files. *)
+
+val disk_bytes : t -> int
+(** Total framed bytes across live segments. *)
+
+val append : t -> Entry.t -> int
+(** Frame, write, and index one entry; returns its index. Applies the
+    configured fsync policy. *)
+
+val get : t -> int -> Entry.t
+(** Read (through the LRU cache) and decode the entry at an index. *)
+
+val m_root : t -> D.t
+val m_size : t -> int
+
+val truncate : t -> int -> unit
+(** Drop all entries at indices [>= n] (view-change rollback of an
+    uncommitted suffix, mirroring {!Ledger.truncate}): later segment files
+    are unlinked, the cut segment is file-truncated, and the Merkle tree is
+    rolled back. @raise Invalid_argument if [n < 1]. *)
+
+val sync : t -> unit
+(** fsync the tail segment and atomically rewrite the root-of-trust file
+    to cover the full current length. *)
+
+val close : t -> unit
+(** [sync] then release file descriptors. The store must not be used
+    afterwards. *)
+
+val crash : t -> unit
+(** Test hook: drop file descriptors {e without} syncing or updating the
+    root-of-trust file, simulating a process kill. *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the entry cache. *)
+
+val to_ledger : t -> Ledger.t
+(** Materialize the persisted entries as an in-memory ledger (recovery
+    cold-start and package export). *)
+
+val attach : t -> Ledger.t -> unit
+(** Make the store the write-through backend of a ledger: backfill the
+    store with any ledger suffix it is missing (truncating a longer store),
+    verify the Merkle roots agree, and install the {!Ledger.sink}.
+    @raise Storage_error if the store holds a conflicting prefix. *)

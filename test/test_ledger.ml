@@ -194,6 +194,157 @@ let test_entry_codec_all_variants () =
         enc (Entry.serialize e'))
     entries
 
+(* --- Seeded-Rng codec properties (every entry variant) --- *)
+
+module Rng = Iaccf_util.Rng
+
+let rng_digest rng = D.of_string (Rng.bytes rng 16)
+let rng_sig rng = Rng.bytes rng 64
+
+let rng_request rng =
+  let sk, pk = Schnorr.keypair_of_seed "ledger-client" in
+  Request.make ~sk ~client_pk:pk ~service:(Genesis.hash genesis)
+    ~min_index:(Rng.int rng 100) ~client_seqno:(Rng.int rng 1000)
+    ~proc:(Rng.pick rng [ "p"; "sb/transfer"; "gov/vote"; "" ])
+    ~args:(Rng.bytes rng (Rng.int rng 40))
+    ()
+
+let rng_kind rng =
+  match Rng.int rng 4 with
+  | 0 -> Batch.Regular
+  | 1 -> Batch.Checkpoint { cp_seqno = Rng.int rng 500; cp_digest = rng_digest rng }
+  | 2 ->
+      Batch.End_of_config
+        { phase = 1 + Rng.int rng 4; committed_root = rng_digest rng }
+  | _ -> Batch.Start_of_config { phase = 1 + Rng.int rng 2 }
+
+let rng_pre_prepare rng =
+  {
+    Message.view = Rng.int rng 10;
+    seqno = Rng.int rng 10_000;
+    m_root = rng_digest rng;
+    g_root = rng_digest rng;
+    nonce_com = rng_digest rng;
+    ev_bitmap = Bitmap.of_list (List.init (Rng.int rng 5) (fun _ -> Rng.int rng 16));
+    gov_index = Rng.int rng 100;
+    cp_digest = rng_digest rng;
+    kind = rng_kind rng;
+    primary = Rng.int rng 7;
+    signature = rng_sig rng;
+  }
+
+let rng_prepare rng =
+  {
+    Message.p_view = Rng.int rng 10;
+    p_seqno = Rng.int rng 10_000;
+    p_replica = Rng.int rng 7;
+    p_nonce_com = rng_digest rng;
+    p_pp_hash = rng_digest rng;
+    p_signature = rng_sig rng;
+  }
+
+let rng_view_change rng =
+  {
+    Message.vc_view = Rng.int rng 10;
+    vc_replica = Rng.int rng 7;
+    vc_last_prepared = List.init (Rng.int rng 3) (fun _ -> rng_pre_prepare rng);
+    vc_signature = rng_sig rng;
+  }
+
+let rng_entry rng =
+  match Rng.int rng 7 with
+  | 0 -> Entry.Genesis genesis
+  | 1 ->
+      Entry.Tx
+        {
+          Batch.request = rng_request rng;
+          index = Rng.int rng 1000;
+          result =
+            {
+              Batch.output = Rng.bytes rng (Rng.int rng 30);
+              write_set_hash = rng_digest rng;
+            };
+        }
+  | 2 -> Entry.Pre_prepare (rng_pre_prepare rng)
+  | 3 ->
+      Entry.Prepare_evidence
+        {
+          pe_view = Rng.int rng 10;
+          pe_seqno = Rng.int rng 10_000;
+          pe_prepares = List.init (Rng.int rng 4) (fun _ -> rng_prepare rng);
+        }
+  | 4 ->
+      Entry.Nonce_evidence
+        {
+          ne_view = Rng.int rng 10;
+          ne_seqno = Rng.int rng 10_000;
+          ne_nonces =
+            List.init (Rng.int rng 4) (fun i -> (i, Rng.bytes rng 16));
+        }
+  | 5 -> Entry.View_change_set (List.init (1 + Rng.int rng 3) (fun _ -> rng_view_change rng))
+  | _ ->
+      Entry.New_view
+        {
+          Message.nv_view = Rng.int rng 10;
+          nv_m_root = rng_digest rng;
+          nv_vc_bitmap = Bitmap.of_list (List.init (Rng.int rng 4) (fun _ -> Rng.int rng 16));
+          nv_vc_hash = rng_digest rng;
+          nv_primary = Rng.int rng 7;
+          nv_signature = rng_sig rng;
+        }
+
+let test_entry_codec_random_roundtrips () =
+  (* Seeded, hence reproducible: 200 randomized entries covering all 7
+     variants must survive serialize/deserialize byte-identically, with
+     size_bytes agreeing with the encoding. *)
+  let rng = Rng.create 0xACCF in
+  for i = 1 to 200 do
+    let e = rng_entry rng in
+    let enc = Entry.serialize e in
+    let e' = Entry.deserialize enc in
+    check Alcotest.string (Printf.sprintf "roundtrip %d" i) enc (Entry.serialize e');
+    check Alcotest.int
+      (Printf.sprintf "size_bytes %d" i)
+      (String.length enc) (Entry.size_bytes e)
+  done
+
+let expect_decode_error what f =
+  match f () with
+  | (_ : Entry.t) -> Alcotest.failf "%s: expected Decode_error" what
+  | exception Iaccf_util.Codec.Decode_error _ -> ()
+
+let test_entry_codec_rejects_corruption () =
+  let rng = Rng.create 99 in
+  let enc = Entry.serialize (Entry.Pre_prepare (rng_pre_prepare rng)) in
+  (* Truncation at every proper prefix must fail, never misparse. *)
+  for len = 0 to String.length enc - 1 do
+    expect_decode_error
+      (Printf.sprintf "truncated to %d" len)
+      (fun () -> Entry.deserialize (String.sub enc 0 len))
+  done;
+  (* An unknown variant tag is rejected outright. *)
+  let bad_tag = "\xff" ^ String.sub enc 1 (String.length enc - 1) in
+  expect_decode_error "invalid tag" (fun () -> Entry.deserialize bad_tag);
+  (* Trailing garbage after a valid encoding is not silently ignored. *)
+  expect_decode_error "trailing bytes" (fun () -> Entry.deserialize (enc ^ "\x00"))
+
+let test_truncate_byte_accounting () =
+  (* After truncate + re-append of the same suffix, byte_total must equal
+     that of a ledger that never truncated. *)
+  let suffix = [ tx_entry (); sample_pp ~seqno:2 (); tx_entry ~index:5 ~seqno:3 () ] in
+  let l = Ledger.create genesis in
+  ignore (Ledger.append l (sample_pp ()));
+  let keep = Ledger.length l in
+  List.iter (fun e -> ignore (Ledger.append l e)) suffix;
+  Ledger.truncate l keep;
+  List.iter (fun e -> ignore (Ledger.append l e)) suffix;
+  let fresh = Ledger.create genesis in
+  ignore (Ledger.append fresh (sample_pp ()));
+  List.iter (fun e -> ignore (Ledger.append fresh e)) suffix;
+  check Alcotest.int "byte_total matches a never-truncated ledger"
+    (Ledger.total_bytes fresh) (Ledger.total_bytes l);
+  check digest_testable "roots agree" (Ledger.m_root fresh) (Ledger.m_root l)
+
 let test_of_entries_requires_genesis () =
   Alcotest.check_raises "genesis first"
     (Invalid_argument "Ledger.of_entries: first entry must be the genesis")
@@ -213,6 +364,12 @@ let () =
           Alcotest.test_case "find pre-prepare" `Quick test_find_pre_prepare_highest_view;
           Alcotest.test_case "entries range" `Quick test_entries_range;
           Alcotest.test_case "entry codecs" `Quick test_entry_codec_all_variants;
+          Alcotest.test_case "random codec roundtrips" `Quick
+            test_entry_codec_random_roundtrips;
+          Alcotest.test_case "corrupt encodings rejected" `Quick
+            test_entry_codec_rejects_corruption;
+          Alcotest.test_case "truncate byte accounting" `Quick
+            test_truncate_byte_accounting;
           Alcotest.test_case "of_entries genesis" `Quick test_of_entries_requires_genesis;
         ] );
     ]

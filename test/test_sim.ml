@@ -113,7 +113,10 @@ let test_network_unregistered_dropped () =
   Network.send net ~src:0 ~dst:9 "lost";
   Sched.run sched;
   check Alcotest.int "sent counted" 1 (Network.messages_sent net);
-  check Alcotest.int "not delivered" 0 (Network.messages_delivered net)
+  check Alcotest.int "not delivered" 0 (Network.messages_delivered net);
+  check Alcotest.int "counted as unregistered drop" 1
+    (Network.messages_dropped_unregistered net);
+  check Alcotest.int "total drops" 1 (Network.messages_dropped net)
 
 let test_network_partition_and_heal () =
   let sched, net = make_net () in
@@ -124,10 +127,12 @@ let test_network_partition_and_heal () =
   Network.send net ~src:1 ~dst:0 "also blocked";
   Sched.run sched;
   check Alcotest.int "cut both directions" 0 !got;
+  check Alcotest.int "cut drops counted" 2 (Network.messages_dropped_cut net);
   Network.heal net;
   Network.send net ~src:0 ~dst:1 "through";
   Sched.run sched;
-  check Alcotest.int "healed" 1 !got
+  check Alcotest.int "healed" 1 !got;
+  check Alcotest.int "no further drops" 2 (Network.messages_dropped net)
 
 let test_network_drop_probability () =
   let sched, net = make_net ~drop_rng:(Rng.create 3) () in
@@ -139,7 +144,30 @@ let test_network_drop_probability () =
   done;
   Sched.run sched;
   check Alcotest.bool (Printf.sprintf "about half dropped (got %d)" !got) true
-    (!got > 50 && !got < 150)
+    (!got > 50 && !got < 150);
+  check Alcotest.int "probabilistic drops account for the rest" (200 - !got)
+    (Network.messages_dropped_prob net);
+  check Alcotest.int "no cut drops" 0 (Network.messages_dropped_cut net);
+  check Alcotest.int "sent = delivered + dropped" 200
+    (Network.messages_delivered net + Network.messages_dropped net)
+
+let test_network_drop_accounting_kinds () =
+  (* Cuts and probabilistic losses are tallied separately; a message lost
+     to a cut must not consume a draw from the drop RNG. *)
+  let sched, net = make_net ~drop_rng:(Rng.create 7) () in
+  Network.register net 1 (fun ~src:_ _ -> ());
+  Network.set_drop_probability net 1.0;
+  Network.partition net [ 0 ] [ 1 ];
+  Network.send net ~src:0 ~dst:1 "cut";
+  Network.heal net;
+  Network.send net ~src:0 ~dst:1 "prob";
+  Network.send net ~src:0 ~dst:2 "unreg-but-prob-first";
+  Sched.run sched;
+  check Alcotest.int "one cut drop" 1 (Network.messages_dropped_cut net);
+  check Alcotest.int "two probabilistic drops" 2 (Network.messages_dropped_prob net);
+  check Alcotest.int "nothing delivered" 0 (Network.messages_delivered net);
+  check Alcotest.int "sum" 3 (Network.messages_dropped net);
+  check (Alcotest.float 0.0001) "drop rate" 1.0 (Network.drop_rate net)
 
 let test_network_drop_requires_rng () =
   let _, net = make_net () in
@@ -201,6 +229,8 @@ let () =
           Alcotest.test_case "unregistered" `Quick test_network_unregistered_dropped;
           Alcotest.test_case "partition/heal" `Quick test_network_partition_and_heal;
           Alcotest.test_case "drop probability" `Quick test_network_drop_probability;
+          Alcotest.test_case "drop accounting kinds" `Quick
+            test_network_drop_accounting_kinds;
           Alcotest.test_case "drop requires rng" `Quick test_network_drop_requires_rng;
           Alcotest.test_case "broadcast" `Quick test_network_broadcast;
           Alcotest.test_case "determinism" `Quick test_determinism;

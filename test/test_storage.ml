@@ -1,0 +1,532 @@
+(* Storage tests: segmented store round-trips, segment rolling, torn-write
+   recovery (including a kill-after-N-appends crash matrix), truncation,
+   cluster persistence under SmallBank, and ledger packages. *)
+
+open Iaccf_storage
+module Entry = Iaccf_ledger.Entry
+module Ledger = Iaccf_ledger.Ledger
+module Tree = Iaccf_merkle.Tree
+module D = Iaccf_crypto.Digest32
+module Schnorr = Iaccf_crypto.Schnorr
+module Request = Iaccf_types.Request
+module Batch = Iaccf_types.Batch
+module Genesis = Iaccf_types.Genesis
+module Config = Iaccf_types.Config
+module Message = Iaccf_types.Message
+module Bitmap = Iaccf_util.Bitmap
+module Rng = Iaccf_util.Rng
+module Cluster = Iaccf_core.Cluster
+module Client = Iaccf_core.Client
+module Replica = Iaccf_core.Replica
+module Forge = Iaccf_core.Forge
+module Enforcer = Iaccf_core.Enforcer
+module Receipt = Iaccf_core.Receipt
+module Audit = Iaccf_core.Audit
+module Smallbank = Iaccf_app.Smallbank
+
+let check = Alcotest.check
+let digest_testable = Alcotest.testable D.pp_full D.equal
+
+(* --- Scratch directories --- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "iaccf-storage-test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf d;
+  d
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let chop_bytes path n =
+  let s = read_file path in
+  write_file path (String.sub s 0 (max 0 (String.length s - n)))
+
+let flip_byte path off =
+  let s = Bytes.of_string (read_file path) in
+  Bytes.set s off (Char.chr (Char.code (Bytes.get s off) lxor 0xff));
+  write_file path (Bytes.to_string s)
+
+let segment_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 8 && String.sub f 0 8 = "segment-")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let tail_segment dir = List.nth (segment_files dir) (List.length (segment_files dir) - 1)
+
+(* --- Sample entries (same shapes as the ledger tests) --- *)
+
+let genesis =
+  let members =
+    List.init 4 (fun i ->
+        let _, pk = Schnorr.keypair_of_seed (Printf.sprintf "sm%d" i) in
+        { Config.member_name = Printf.sprintf "sm%d" i; member_pk = pk })
+  in
+  let base = { Config.config_no = 0; members; replicas = []; vote_threshold = 1 } in
+  let replicas =
+    List.init 4 (fun i ->
+        let _, pk = Schnorr.keypair_of_seed (Printf.sprintf "sr%d" i) in
+        let msk, _ = Schnorr.keypair_of_seed (Printf.sprintf "sm%d" i) in
+        {
+          Config.replica_id = i;
+          operator = Printf.sprintf "sm%d" i;
+          replica_pk = pk;
+          endorsement =
+            Schnorr.sign msk
+              (D.to_raw (Config.endorsement_payload base ~replica_id:i ~pk));
+        })
+  in
+  Genesis.make { base with Config.replicas }
+
+let sample_request ?(seqno = 0) ?(proc = "p") () =
+  let sk, pk = Schnorr.keypair_of_seed "storage-client" in
+  Request.make ~sk ~client_pk:pk ~service:(Genesis.hash genesis)
+    ~client_seqno:seqno ~proc ~args:"a" ()
+
+let tx_entry ?(index = 2) ?(seqno = 0) () =
+  Entry.Tx
+    {
+      Batch.request = sample_request ~seqno ();
+      index;
+      result = { Batch.output = "o"; write_set_hash = D.of_string "w" };
+    }
+
+let sample_pp ?(seqno = 1) () =
+  let sk, _ = Schnorr.keypair_of_seed "sr0" in
+  Entry.Pre_prepare
+    {
+      Message.view = 0;
+      seqno;
+      m_root = D.of_string "m";
+      g_root = D.of_string "g";
+      nonce_com = D.of_string "n";
+      ev_bitmap = Iaccf_util.Bitmap.empty;
+      gov_index = 0;
+      cp_digest = D.of_string "c";
+      kind = Batch.Regular;
+      primary = 0;
+      signature = Schnorr.sign sk (D.to_raw (D.of_string "x"));
+    }
+
+(* Genesis followed by an alternating pre-prepare/tx tail. *)
+let sample_entries n =
+  Entry.Genesis genesis
+  :: List.init n (fun i ->
+         if i mod 2 = 0 then sample_pp ~seqno:(i + 1) ()
+         else tx_entry ~index:(i + 1) ~seqno:i ())
+
+let open_cfg ?(segment_bytes = 1 lsl 20) ?(fsync = Store.No_fsync)
+    ?(cache_capacity = 256) dir =
+  Store.open_store { Store.dir; segment_bytes; fsync; cache_capacity }
+
+let fill store entries = List.iter (fun e -> ignore (Store.append store e)) entries
+
+let check_contents store entries =
+  check Alcotest.int "length" (List.length entries) (Store.length store);
+  List.iteri
+    (fun i e ->
+      check Alcotest.string
+        (Printf.sprintf "entry %d" i)
+        (Entry.serialize e)
+        (Entry.serialize (Store.get store i)))
+    entries;
+  let ledger = Ledger.of_entries entries in
+  check digest_testable "merkle root" (Ledger.m_root ledger) (Store.m_root store)
+
+(* --- Store basics --- *)
+
+let test_fresh_append_reopen () =
+  let dir = fresh_dir () in
+  let entries = sample_entries 10 in
+  let s = open_cfg dir in
+  fill s entries;
+  let root = Store.m_root s in
+  Store.close s;
+  let s = open_cfg dir in
+  let ri = Store.recovery s in
+  check Alcotest.bool "root-of-trust verified" true ri.Store.ri_root_verified;
+  check Alcotest.int "no torn frames" 0 ri.Store.ri_torn_frames;
+  check digest_testable "root preserved" root (Store.m_root s);
+  check_contents s entries;
+  Store.close s
+
+let test_segment_rolling () =
+  let dir = fresh_dir () in
+  let entries = sample_entries 40 in
+  let s = open_cfg ~segment_bytes:512 dir in
+  fill s entries;
+  check Alcotest.bool
+    (Printf.sprintf "rolled into several segments (got %d)" (Store.segments s))
+    true
+    (Store.segments s > 3);
+  Store.close s;
+  let s = open_cfg ~segment_bytes:512 dir in
+  check Alcotest.int "segments preserved" (List.length (segment_files dir))
+    (Store.segments s);
+  check_contents s entries;
+  (* The store keeps appending into the recovered tail. *)
+  ignore (Store.append s (sample_pp ~seqno:99 ()));
+  Store.close s;
+  let s = open_cfg ~segment_bytes:512 dir in
+  check_contents s (entries @ [ sample_pp ~seqno:99 () ]);
+  Store.close s
+
+let test_torn_tail_truncated () =
+  let dir = fresh_dir () in
+  let entries = sample_entries 8 in
+  let s = open_cfg dir in
+  fill s entries;
+  Store.sync s;
+  (* Two unsynced appends, then a kill mid-write: the last frame loses
+     3 bytes. *)
+  ignore (Store.append s (sample_pp ~seqno:90 ()));
+  ignore (Store.append s (sample_pp ~seqno:91 ()));
+  Store.crash s;
+  chop_bytes (tail_segment dir) 3;
+  let s = open_cfg dir in
+  let ri = Store.recovery s in
+  check Alcotest.int "torn frame truncated" 1 ri.Store.ri_torn_frames;
+  check Alcotest.bool "torn bytes counted" true (ri.Store.ri_torn_bytes > 0);
+  check Alcotest.bool "root-of-trust verified" true ri.Store.ri_root_verified;
+  check_contents s (entries @ [ sample_pp ~seqno:90 () ]);
+  Store.close s
+
+let test_interior_corruption_rejected () =
+  let dir = fresh_dir () in
+  let s = open_cfg ~segment_bytes:512 dir in
+  fill s (sample_entries 40);
+  Store.close s;
+  (* Damage in a non-tail segment is not a torn write; it must refuse to
+     open rather than silently drop committed history. *)
+  flip_byte (List.hd (segment_files dir)) 20;
+  check Alcotest.bool "interior damage rejected" true
+    (match open_cfg ~segment_bytes:512 dir with
+    | (_ : Store.t) -> false
+    | exception Store.Storage_error _ -> true)
+
+let test_durable_prefix_protected () =
+  let dir = fresh_dir () in
+  let s = open_cfg dir in
+  fill s (sample_entries 8);
+  Store.close s;
+  (* Everything was synced; chopping into the tail now cuts below the
+     root-of-trust, which recovery must detect. *)
+  chop_bytes (tail_segment dir) 1;
+  check Alcotest.bool "loss of durable entries rejected" true
+    (match open_cfg dir with
+    | (_ : Store.t) -> false
+    | exception Store.Storage_error _ -> true)
+
+let test_truncate_durable () =
+  let dir = fresh_dir () in
+  let entries = sample_entries 12 in
+  let s = open_cfg ~segment_bytes:512 dir in
+  fill s entries;
+  Store.truncate s 5;
+  check Alcotest.int "in-memory truncated" 5 (Store.length s);
+  Store.crash s;
+  (* Truncation rewrote the root-of-trust before the crash, so reopening
+     recovers exactly the five entries. *)
+  let s = open_cfg ~segment_bytes:512 dir in
+  let keep = List.filteri (fun i _ -> i < 5) entries in
+  check_contents s keep;
+  let extra = sample_pp ~seqno:77 () in
+  ignore (Store.append s extra);
+  Store.close s;
+  let s = open_cfg ~segment_bytes:512 dir in
+  check_contents s (keep @ [ extra ]);
+  Store.close s
+
+let test_entry_cache () =
+  let dir = fresh_dir () in
+  let entries = sample_entries 6 in
+  let s = open_cfg dir in
+  fill s entries;
+  Store.close s;
+  let s = open_cfg ~cache_capacity:4 dir in
+  for _ = 1 to 3 do
+    ignore (Store.get s 2)
+  done;
+  let hits, misses = Store.cache_stats s in
+  check Alcotest.bool "cache hits recorded" true (hits >= 2);
+  check Alcotest.bool "first read missed" true (misses >= 1);
+  Store.close s
+
+(* --- Kill-after-N-appends crash matrix --- *)
+
+(* Append [total] entries with [synced] of them made durable, kill the
+   process, then tear [chop] bytes off the tail segment. Recovery must keep
+   at least the synced prefix, never invent entries, and rebuild a Merkle
+   root that matches an in-memory ledger over the surviving prefix. *)
+let crash_case ~total ~synced ~chop =
+  let dir = fresh_dir () in
+  let entries = sample_entries total in
+  let s = open_cfg dir in
+  let bytes_at_sync = ref 0 in
+  List.iteri
+    (fun i e ->
+      ignore (Store.append s e);
+      if i = synced then begin
+        Store.sync s;
+        bytes_at_sync := Store.disk_bytes s
+      end)
+    entries;
+  let unsynced_bytes = Store.disk_bytes s - !bytes_at_sync in
+  Store.crash s;
+  let chop = min chop unsynced_bytes in
+  chop_bytes (tail_segment dir) chop;
+  let s = open_cfg dir in
+  let ri = Store.recovery s in
+  let len = Store.length s in
+  let label fmt =
+    Printf.ksprintf
+      (fun m -> Printf.sprintf "total=%d synced=%d chop=%d: %s" total synced chop m)
+      fmt
+  in
+  check Alcotest.bool (label "synced prefix survives") true (len >= synced + 1);
+  check Alcotest.bool (label "no invented entries") true (len <= total + 1);
+  check Alcotest.bool (label "root-of-trust verified") true ri.Store.ri_root_verified;
+  let keep = List.filteri (fun i _ -> i < len) entries in
+  check_contents s keep;
+  (* The recovered store must accept appends and survive another cycle. *)
+  let extra = sample_pp ~seqno:1000 () in
+  ignore (Store.append s extra);
+  Store.close s;
+  let s = open_cfg dir in
+  check_contents s (keep @ [ extra ]);
+  Store.close s
+
+let test_crash_matrix () =
+  List.iter
+    (fun (total, synced) ->
+      List.iter
+        (fun chop -> crash_case ~total ~synced ~chop)
+        [ 0; 1; 7; 64; max_int ])
+    [ (3, 0); (10, 4); (10, 9); (33, 15) ]
+
+(* --- Cluster persistence under SmallBank --- *)
+
+let drive_smallbank cluster ~txs ~seed =
+  let client = Cluster.add_client cluster () in
+  let rng = Rng.create (seed + 100) in
+  let accounts = 8 in
+  let ops =
+    Smallbank.setup_ops ~accounts ~initial_balance:1000
+    @ List.init txs (fun _ -> Smallbank.random_op rng ~accounts)
+  in
+  let total = List.length ops in
+  let pending = ref ops in
+  let completed = ref 0 in
+  let receipts = ref [] in
+  let rec submit_one () =
+    match !pending with
+    | [] -> ()
+    | op :: rest ->
+        pending := rest;
+        Client.submit client ~proc:op.Smallbank.op_proc ~args:op.Smallbank.op_args
+          ~on_complete:(fun oc ->
+            incr completed;
+            receipts := oc.Client.oc_receipt :: !receipts;
+            submit_one ())
+          ()
+  in
+  for _ = 1 to 8 do
+    submit_one ()
+  done;
+  let ok =
+    Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
+        !completed >= total)
+  in
+  check Alcotest.bool "workload completed" true ok;
+  List.rev !receipts
+
+let test_smallbank_persist_reopen () =
+  let dir = fresh_dir () in
+  let persist = { (Store.default_config ~dir) with Store.fsync = Store.No_fsync } in
+  let cluster = Cluster.make ~seed:5 ~n:4 ~app:(Smallbank.app ()) ~persist () in
+  ignore (drive_smallbank cluster ~txs:12 ~seed:5);
+  Cluster.sync_storage cluster;
+  let ledger = Replica.ledger (Cluster.replica cluster 0) in
+  let live = Option.get (Cluster.storage cluster 0) in
+  check Alcotest.int "write-through length" (Ledger.length ledger)
+    (Store.length live);
+  (* Reopen replica 0's store from disk in a separate handle: the persisted
+     ledger must match the in-memory one exactly. *)
+  let s = open_cfg (Filename.concat dir "replica-0") in
+  check Alcotest.int "reopened length" (Ledger.length ledger) (Store.length s);
+  check digest_testable "reopened merkle root" (Ledger.m_root ledger)
+    (Store.m_root s);
+  let rebuilt = Store.to_ledger s in
+  check digest_testable "rebuilt ledger root" (Ledger.m_root ledger)
+    (Ledger.m_root rebuilt);
+  check Alcotest.int "rebuilt byte totals" (Ledger.total_bytes ledger)
+    (Ledger.total_bytes rebuilt);
+  Store.close s
+
+(* --- Ledger packages --- *)
+
+let sample_package () =
+  let ledger = Ledger.of_entries (sample_entries 6) in
+  Package.of_ledger ~receipts:[ "blob-a"; "blob-bb" ] ledger
+
+let test_package_roundtrip () =
+  let pkg = sample_package () in
+  let pkg' = Package.deserialize (Package.serialize pkg) in
+  check Alcotest.int "entries" (List.length pkg.Package.pkg_entries)
+    (List.length pkg'.Package.pkg_entries);
+  check Alcotest.(list string) "receipt blobs" pkg.Package.pkg_receipts
+    pkg'.Package.pkg_receipts;
+  check digest_testable "root" pkg.Package.pkg_m_root pkg'.Package.pkg_m_root;
+  check digest_testable "ledger rebuilds" pkg.Package.pkg_m_root
+    (Ledger.m_root (Package.to_ledger pkg'));
+  check digest_testable "genesis" (Genesis.hash genesis)
+    (Genesis.hash (Package.genesis pkg'))
+
+let test_package_rejects_corruption () =
+  let enc = Package.serialize (sample_package ()) in
+  let rejects what s =
+    check Alcotest.bool what true
+      (match Package.deserialize s with
+      | (_ : Package.t) -> false
+      | exception Package.Package_error _ -> true)
+  in
+  rejects "bad magic" ("XXXXXX\n" ^ String.sub enc 7 (String.length enc - 7));
+  rejects "truncated" (String.sub enc 0 (String.length enc - 5));
+  let flipped = Bytes.of_string enc in
+  let off = String.length enc / 2 in
+  Bytes.set flipped off (Char.chr (Char.code (Bytes.get flipped off) lxor 1));
+  rejects "bit flip detected by checksum" (Bytes.to_string flipped);
+  check Alcotest.bool "missing file" true
+    (match Package.read_file "/nonexistent/iaccf.iapkg" with
+    | (_ : Package.t) -> false
+    | exception Package.Package_error _ -> true)
+
+let test_package_file_roundtrip_from_store () =
+  let dir = fresh_dir () in
+  let s = open_cfg dir in
+  fill s (sample_entries 9);
+  let pkg = Package.of_store ~receipts:[ "r1" ] s in
+  Store.close s;
+  let file = Filename.concat dir "bundle.iapkg" in
+  Package.write_file file pkg;
+  let pkg' = Package.read_file file in
+  check digest_testable "root preserved through file" pkg.Package.pkg_m_root
+    pkg'.Package.pkg_m_root;
+  check Alcotest.int "entries preserved" 10 (List.length pkg'.Package.pkg_entries)
+
+(* The acceptance scenario: an honest run leaves the client with receipts;
+   every replica then colludes to rewrite history. The forged ledger plus
+   the receipts travel through a package file, and a fully offline audit
+   must still produce a uPoM blaming at least f+1 replicas. *)
+let test_package_offline_audit () =
+  let n = 4 in
+  let seed = 11 in
+  let cluster = Cluster.make ~seed ~n ~app:(Smallbank.app ()) () in
+  let receipts = drive_smallbank cluster ~txs:6 ~seed in
+  let genesis = Cluster.genesis cluster in
+  let sks = List.init n (fun i -> (i, Cluster.replica_sk cluster i)) in
+  let forge =
+    Forge.create ~genesis ~sks ~app:(Smallbank.app ()) ~pipeline:2
+      ~checkpoint_interval:1000
+  in
+  let csk, cpk = Schnorr.keypair_of_seed "other-client" in
+  ignore
+    (Forge.add_batch forge
+       [
+         Request.make ~sk:csk ~client_pk:cpk ~service:(Genesis.hash genesis)
+           ~proc:"sb/create" ~args:"99,1,1" ();
+       ]);
+  let pkg =
+    Package.of_ledger
+      ~receipts:(List.map Receipt.serialize receipts)
+      (Forge.ledger forge)
+  in
+  let dir = fresh_dir () in
+  Sys.mkdir dir 0o755;
+  let file = Filename.concat dir "attack.iapkg" in
+  Package.write_file file pkg;
+  (* Offline: every audit input comes from the file. *)
+  let pkg = Package.read_file file in
+  let ledger = Package.to_ledger pkg in
+  let receipts = List.map Receipt.deserialize pkg.Package.pkg_receipts in
+  let params = Replica.default_params in
+  let enforcer =
+    Enforcer.create ~genesis:(Package.genesis pkg) ~app:(Smallbank.app ())
+      ~pipeline:params.Replica.pipeline
+      ~checkpoint_interval:params.Replica.checkpoint_interval
+  in
+  let outcome =
+    Enforcer.investigate enforcer ~receipts ~gov_receipts:[]
+      ~provider:(fun _ ->
+        Some { Enforcer.resp_ledger = ledger; resp_checkpoint = pkg.Package.pkg_checkpoint })
+  in
+  match outcome with
+  | Enforcer.Members_punished { punished; verdict } ->
+      let blamed = Bitmap.to_list verdict.Audit.v_blamed_replicas in
+      let f = Config.f (Package.genesis pkg).Genesis.initial_config in
+      check Alcotest.bool
+        (Printf.sprintf "blames at least f+1 replicas (got %d)"
+           (List.length blamed))
+        true
+        (List.length blamed >= f + 1);
+      check Alcotest.bool "members punished" true (punished <> [])
+  | _ -> Alcotest.fail "expected Members_punished from the offline audit"
+
+let () =
+  Alcotest.run "iaccf_storage"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "fresh append reopen" `Quick test_fresh_append_reopen;
+          Alcotest.test_case "segment rolling" `Quick test_segment_rolling;
+          Alcotest.test_case "torn tail truncated" `Quick test_torn_tail_truncated;
+          Alcotest.test_case "interior corruption rejected" `Quick
+            test_interior_corruption_rejected;
+          Alcotest.test_case "durable prefix protected" `Quick
+            test_durable_prefix_protected;
+          Alcotest.test_case "truncate durable" `Quick test_truncate_durable;
+          Alcotest.test_case "entry cache" `Quick test_entry_cache;
+        ] );
+      ( "crash-matrix",
+        [ Alcotest.test_case "kill after N appends" `Quick test_crash_matrix ] );
+      ( "cluster-persistence",
+        [
+          Alcotest.test_case "smallbank persist + reopen" `Quick
+            test_smallbank_persist_reopen;
+        ] );
+      ( "package",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_package_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_package_rejects_corruption;
+          Alcotest.test_case "file roundtrip from store" `Quick
+            test_package_file_roundtrip_from_store;
+          Alcotest.test_case "offline audit of a rewrite attack" `Quick
+            test_package_offline_audit;
+        ] );
+    ]
