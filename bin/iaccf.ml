@@ -89,8 +89,34 @@ let make_cluster ?persist ~n ~seed ~latency () =
   Cluster.make ~seed ~n ~latency:(latency_fn latency) ~app:(Smallbank.app ())
     ?persist ()
 
-let drive_smallbank cluster ~txs ~seed =
-  let client = Cluster.add_client cluster () in
+(* A client identity whose requests are not already in the (possibly
+   restored) ledger: replicas deduplicate executed requests by hash, so a
+   continued run must not resubmit under a previous run's key and seqnos. *)
+let fresh_client cluster =
+  let used = Hashtbl.create 16 in
+  Ledger.iteri
+    (fun _ e ->
+      match e with
+      | Entry.Tx tx ->
+          Hashtbl.replace used
+            (Iaccf_crypto.Schnorr.public_key_to_bytes
+               tx.Iaccf_types.Batch.request.Request.client_pk)
+            ()
+      | _ -> ())
+    (Replica.ledger (Cluster.replica cluster 0));
+  let rec go k =
+    if k > 1024 then failwith "no fresh client identity available";
+    let c = Cluster.add_client cluster () in
+    if Hashtbl.mem used (Iaccf_crypto.Schnorr.public_key_to_bytes (Client.public_key c))
+    then go (k + 1)
+    else c
+  in
+  go 0
+
+let drive_smallbank ?client cluster ~txs ~seed =
+  let client =
+    match client with Some c -> c | None -> Cluster.add_client cluster ()
+  in
   let rng = Iaccf_util.Rng.create (seed + 100) in
   let accounts = 20 in
   let ops =
@@ -127,7 +153,18 @@ let run_cmd =
     let t0 = Unix.gettimeofday () in
     let persist = persist_config ~persist ~fsync ~segment_kb in
     let cluster = make_cluster ?persist ~n ~seed ~latency () in
-    let client, receipts = drive_smallbank cluster ~txs ~seed in
+    let restored =
+      match Cluster.storage cluster 0 with
+      | Some store -> (Store.recovery store).Store.ri_entries
+      | None -> 0
+    in
+    if restored > 0 then
+      Printf.printf "restored:            %d persisted entries replayed per replica\n"
+        restored;
+    let client =
+      if restored > 0 then Some (fresh_client cluster) else None
+    in
+    let client, receipts = drive_smallbank ?client cluster ~txs ~seed in
     Cluster.sync_storage cluster;
     let wall = Unix.gettimeofday () -. t0 in
     let r0 = Cluster.replica cluster 0 in
@@ -154,6 +191,7 @@ let run_cmd =
           (Store.length store) (Store.segments store) (Store.disk_bytes store)
           (Store.config store).Store.dir
     | None -> ());
+    Cluster.close_storage cluster;
     ignore receipts
   in
   Cmd.v
@@ -259,11 +297,13 @@ let export_package_cmd =
   let run n txs seed out from =
     match from with
     | Some dir ->
-        (* Package a persisted store (produced by `run --persist`). *)
-        let store = Store.open_store (Store.default_config ~dir) in
+        (* Package a persisted store (produced by `run --persist`). The
+           store is opened read-only so exporting leaves the on-disk
+           evidence byte-identical. *)
+        let store = Store.open_store ~readonly:true (Store.default_config ~dir) in
         let ri = Store.recovery store in
         Printf.printf
-          "recovered %d entries from %d segments (%d torn frames, %d bytes dropped)\n"
+          "read %d entries from %d segments (%d torn frames, %d damaged bytes skipped)\n"
           ri.Store.ri_entries ri.Store.ri_segments ri.Store.ri_torn_frames
           ri.Store.ri_torn_bytes;
         let pkg = Package.of_store store in

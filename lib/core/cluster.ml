@@ -172,13 +172,15 @@ let params t = t.params
 let replica_sk t id = fst (replica_keys t.seed id)
 let storage t id = Replica.storage (replica t id)
 
-let sync_storage t =
+let iter_storage t f =
   List.iter
     (fun (_, r) ->
-      match Replica.storage r with
-      | Some s -> Iaccf_storage.Store.sync s
-      | None -> ())
+      match Replica.storage r with Some s -> f s | None -> ())
     t.replicas
+
+let sync_storage t = iter_storage t Iaccf_storage.Store.sync
+let close_storage t = iter_storage t Iaccf_storage.Store.close
+let crash_storage t = iter_storage t Iaccf_storage.Store.crash
 
 let add_client t ?(verify_receipts = true) ?(sign_requests = true) () =
   let address = t.next_client_addr in

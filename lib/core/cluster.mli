@@ -36,7 +36,10 @@ val make :
     [n_members] members (default [n]), using the counter app plus any
     procedures of [app]. With [persist], every replica's ledger is backed
     by a durable segmented store under [persist.dir]/replica-<id> (the rest
-    of the config — segment size, fsync policy, cache — applies to each). *)
+    of the config — segment size, fsync policy, cache — applies to each).
+    Directories holding a previous run of the same service are restored:
+    each replica replays its persisted ledger before participating (see
+    {!Replica.create}). *)
 
 val sched : t -> Iaccf_sim.Sched.t
 val network : t -> Wire.t Iaccf_sim.Network.t
@@ -55,6 +58,15 @@ val storage : t -> int -> Iaccf_storage.Store.t option
 val sync_storage : t -> unit
 (** Force every replica's durable store to fsync and refresh its
     root-of-trust file (e.g. before simulating a process exit). *)
+
+val close_storage : t -> unit
+(** Cleanly close every replica's durable store (sync + release file
+    descriptors), e.g. before reopening the same directories in a fresh
+    cluster to exercise cold-start restore. *)
+
+val crash_storage : t -> unit
+(** Drop every store's file descriptors {e without} syncing, simulating a
+    process kill (see {!Iaccf_storage.Store.crash}). *)
 
 val add_client : t -> ?verify_receipts:bool -> ?sign_requests:bool -> unit -> Client.t
 

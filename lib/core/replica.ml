@@ -1934,6 +1934,58 @@ let on_message t ~src msg =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
+(* Cold-start restore (§3.4 bootstrap, from disk instead of a peer): replay
+   a recovered store's entries through the same validation path as state
+   transfer, so the key-value store, Merkle tree, and protocol bookkeeping
+   are all re-derived from — and checked against — the durable ledger.
+   Returns [true] when a trailing suffix failed replay and the store must be
+   rolled back to the replayed prefix on attach.
+
+   Only a suffix with the exact shape a crashed append can leave behind —
+   evidence entries and at most one pre-prepare followed by (a prefix of)
+   its transactions — may be dropped. Anything else failing replay means
+   the persisted history itself is bad, and destroying it would hide the
+   evidence, so we refuse to open. *)
+let restore_from_storage t storage =
+  let module S = Iaccf_storage.Store in
+  let n = S.length storage in
+  if n = 0 then false
+  else begin
+    (match S.get storage 0 with
+    | Entry.Genesis g ->
+        if not (D.equal (Genesis.hash g) t.service) then
+          raise
+            (S.Storage_error
+               "persisted store belongs to a different service (genesis mismatch)")
+    | _ ->
+        raise (S.Storage_error "persisted store does not begin with a genesis entry"));
+    let entries = List.init (n - 1) (fun i -> S.get storage (i + 1)) in
+    ignore (apply_entries t entries);
+    let replayed = Ledger.length t.ledger in
+    if replayed >= n then false
+    else begin
+      let suffix = List.filteri (fun i _ -> i >= replayed - 1) entries in
+      let rec crash_shaped = function
+        | [] -> true
+        | (Entry.Prepare_evidence _ | Entry.Nonce_evidence _) :: rest ->
+            crash_shaped rest
+        | Entry.Pre_prepare _ :: rest ->
+            List.for_all (function Entry.Tx _ -> true | _ -> false) rest
+        | (Entry.Tx _ | Entry.Genesis _ | Entry.View_change_set _ | Entry.New_view _)
+          :: _ ->
+            false
+      in
+      if not (crash_shaped suffix) then
+        raise
+          (S.Storage_error
+             (Printf.sprintf
+                "persisted ledger fails replay at entry %d of %d; refusing to drop \
+                 persisted history"
+                replayed n));
+      true
+    end
+  end
+
 let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
     ?storage () =
   if params.checkpoint_interval <= params.pipeline then
@@ -2007,7 +2059,15 @@ let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
   in
   Hashtbl.replace t.checkpoints 0 (cp0, Checkpoint.digest cp0);
   (match storage with
-  | Some s -> Iaccf_storage.Store.attach s t.ledger
+  | Some s ->
+      if not (keep_ledger t) then
+        invalid_arg "Replica.create: storage requires the keep_ledger variant";
+      (* Restore any persisted history first: the replica replays — and
+         revalidates — the store's entries before the store becomes the
+         ledger's write-through backend, so attaching never truncates
+         anything but a proven crash artifact. *)
+      let rollback = restore_from_storage t s in
+      Iaccf_storage.Store.attach ~allow_rollback:rollback s t.ledger
   | None -> ());
   Network.register network id (fun ~src msg -> on_message t ~src msg);
   t

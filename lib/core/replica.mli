@@ -54,7 +54,13 @@ val create :
     until a reconfiguration activates it (it then fetches state, §5.1).
     When [storage] is given it becomes the ledger's write-through durable
     backend: appends and view-change truncations reach disk in order
-    (backfilling any prefix the store is missing on attach). *)
+    (backfilling any prefix the store is missing on attach). A non-empty
+    store is a cold start: the replica first checks the persisted genesis
+    names this service, then replays every entry through the state-transfer
+    validation path (re-executing batches, rebuilding the key-value store,
+    checkpoints and dedup tables). At most a trailing partially-written
+    batch may be rolled back; any deeper replay failure raises
+    [Iaccf_storage.Store.Storage_error] rather than touching the store. *)
 
 val start : t -> unit
 (** Arm timers and begin participating. *)

@@ -14,7 +14,15 @@ type sink = {
 }
 (** A write-through backend (e.g. the durable segmented store): notified
     after every successful [append] and every effective [truncate], in
-    order, so a persistent copy tracks the in-memory ledger exactly. *)
+    order, so a persistent copy tracks the in-memory ledger exactly.
+
+    Failure atomicity: the in-memory append happens first, then the sink
+    runs. If [sink_append] raises (e.g. the durable store hit disk-full),
+    the exception propagates to the appender with the ledger one entry
+    ahead of the backend — the backend must then be considered failed and
+    the exception must not be swallowed. The store's sink also verifies the
+    backend wrote the same index the ledger assigned, so silent drift
+    between the two histories is detected immediately. *)
 
 val create : Iaccf_types.Genesis.t -> t
 (** Fresh ledger holding only the genesis entry at index 0. *)

@@ -105,11 +105,28 @@ let deserialize s =
     fail "package entries do not reproduce the embedded Merkle root";
   t
 
+(* tmp + fsync + rename (like the store's root-of-trust file): a crash
+   mid-export must never leave a truncated package at the final name. *)
 let write_file path t =
-  let oc = open_out_bin path in
+  let data = serialize t in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (serialize t))
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length data in
+      let rec go off =
+        if off < n then go (off + Unix.write_substring fd data off (n - off))
+      in
+      go 0;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close dfd)
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
 
 let read_file path =
   match open_in_bin path with

@@ -39,5 +39,8 @@ val deserialize : string -> t
 (** @raise Package_error on bad magic, checksum, codec, or root mismatch. *)
 
 val write_file : string -> t -> unit
+(** Serialize to [path] atomically (tmp file + fsync + rename), so a crash
+    mid-export never leaves a truncated package at the final name. *)
+
 val read_file : string -> t
 (** @raise Package_error also on unreadable files. *)

@@ -37,6 +37,7 @@ type slot = { s_seg : int; s_off : int; s_len : int; s_msize : int }
 
 type t = {
   cfg : config;
+  readonly : bool;
   slots : slot Vec.t;
   tree : Tree.t;
   cache : (int, Entry.t) Lru.t;
@@ -185,13 +186,18 @@ let open_tail_fd t ~first ~size =
   t.tail_first <- first;
   t.tail_size <- size
 
-let open_store cfg =
+let open_store ?(readonly = false) cfg =
   if cfg.segment_bytes < Frame.header_bytes + 1 then
     invalid_arg "Store.open_store: segment_bytes too small";
-  mkdir_p cfg.dir;
+  if readonly then begin
+    if not (Sys.file_exists cfg.dir && Sys.is_directory cfg.dir) then
+      fail "no store at %s" cfg.dir
+  end
+  else mkdir_p cfg.dir;
   let t =
     {
       cfg;
+      readonly;
       slots = Vec.create ();
       tree = Tree.create ();
       cache = Lru.create ~capacity:cfg.cache_capacity;
@@ -225,21 +231,25 @@ let open_store cfg =
       if torn > 0 then begin
         incr torn_frames;
         torn_bytes := !torn_bytes + torn;
-        (* Cut the damaged suffix so the file again ends on a frame edge. *)
-        let fd = Unix.openfile (seg_path t seg) [ Unix.O_WRONLY ] 0o644 in
-        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
-            Unix.LargeFile.ftruncate fd (Int64.of_int survive))
+        (* Cut the damaged suffix so the file again ends on a frame edge.
+           A read-only open (offline audit) must leave the evidence
+           byte-identical, so it only skips the damaged bytes in memory. *)
+        if not readonly then begin
+          let fd = Unix.openfile (seg_path t seg) [ Unix.O_WRONLY ] 0o644 in
+          Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+              Unix.LargeFile.ftruncate fd (Int64.of_int survive))
+        end
       end)
     segs;
   (* A tail segment that lost every frame (crash during roll) is dropped. *)
   let live_segs =
     match Vec.last t.slots with
     | None ->
-        List.iter (fun seg -> Sys.remove (seg_path t seg)) segs;
+        if not readonly then List.iter (fun seg -> Sys.remove (seg_path t seg)) segs;
         []
     | Some last ->
         let live, dead = List.partition (fun seg -> seg <= last.s_seg) segs in
-        List.iter (fun seg -> Sys.remove (seg_path t seg)) dead;
+        if not readonly then List.iter (fun seg -> Sys.remove (seg_path t seg)) dead;
         live
   in
   t.seg_count <- List.length live_segs;
@@ -259,8 +269,9 @@ let open_store cfg =
     else false
   in
   (match Vec.last t.slots with
-  | Some last -> open_tail_fd t ~first:last.s_seg ~size:(last.s_off + last.s_len)
-  | None -> ());
+  | Some last when not readonly ->
+      open_tail_fd t ~first:last.s_seg ~size:(last.s_off + last.s_len)
+  | Some _ | None -> ());
   t.recovered <-
     {
       ri_segments = n_segs;
@@ -285,11 +296,15 @@ let cache_stats t = (Lru.hits t.cache, Lru.misses t.cache)
 
 let check_open t op = if t.closed then invalid_arg ("Store." ^ op ^ ": store is closed")
 
+let check_rw t op =
+  check_open t op;
+  if t.readonly then fail "Store.%s: store was opened read-only" op
+
 (* ------------------------------------------------------------------ *)
 (* Append path                                                         *)
 
 let sync t =
-  check_open t "sync";
+  check_rw t "sync";
   (match t.tail_fd with Some fd -> Unix.fsync fd | None -> ());
   write_root_file t;
   t.unsynced <- 0
@@ -307,7 +322,7 @@ let roll_segment t =
   t.seg_count <- t.seg_count + 1
 
 let append t entry =
-  check_open t "append";
+  check_rw t "append";
   let frame = Frame.encode (Entry.serialize entry) in
   let len = String.length frame in
   if t.tail_fd = None || (t.tail_size > 0 && t.tail_size + len > t.cfg.segment_bytes)
@@ -356,7 +371,7 @@ let get t i =
 (* Truncation (view-change rollback)                                   *)
 
 let truncate t n =
-  check_open t "truncate";
+  check_rw t "truncate";
   if n < 1 then invalid_arg "Store.truncate: cannot drop the genesis";
   if n < Vec.length t.slots then begin
     let last = Vec.get t.slots (n - 1) in
@@ -391,7 +406,7 @@ let truncate t n =
 
 let close t =
   if not t.closed then begin
-    sync t;
+    if not t.readonly then sync t;
     (match t.tail_fd with Some fd -> Unix.close fd | None -> ());
     t.tail_fd <- None;
     t.closed <- true
@@ -412,19 +427,40 @@ let to_ledger t =
   if Vec.length t.slots = 0 then fail "to_ledger: store is empty";
   Ledger.of_entries (List.init (Vec.length t.slots) (get t))
 
-let attach t ledger =
-  check_open t "attach";
+let attach ?(allow_rollback = false) t ledger =
+  check_rw t "attach";
   let ll = Ledger.length ledger in
-  if Vec.length t.slots > ll then truncate t ll;
   let sl = Vec.length t.slots in
-  if sl > 0 && not (D.equal (Tree.root t.tree) (Ledger.m_root_at ledger sl)) then
-    fail "attach: persisted prefix diverges from the ledger (%d entries)" sl;
-  for i = sl to ll - 1 do
+  (* Prove agreement on the shared prefix BEFORE any destructive step: a
+     mis-addressed or diverging ledger must never cost persisted history. *)
+  let common = min sl ll in
+  if
+    common > 0
+    && not (D.equal (m_root_at_length t common) (Ledger.m_root_at ledger common))
+  then fail "attach: persisted prefix diverges from the ledger (common prefix %d)" common;
+  if sl > ll then begin
+    (* Shrinking the store drops entries that may have been durably synced.
+       That is only legitimate when the caller has already established the
+       suffix is an uncommitted crash artifact (cold-start replay). *)
+    if not allow_rollback then
+      fail
+        "attach: store holds %d entries but the ledger only %d; refusing to drop \
+         persisted history (recover via Replica cold-start or a fresh directory)"
+        sl ll;
+    truncate t ll
+  end;
+  for i = common to ll - 1 do
     ignore (append t (Ledger.get ledger i))
   done;
   Ledger.set_sink ledger
     (Some
        {
-         Ledger.sink_append = (fun _ entry -> ignore (append t entry));
+         Ledger.sink_append =
+           (fun i entry ->
+             let j = append t entry in
+             (* The store must mirror the ledger index-for-index; drift means
+                the two histories no longer describe the same prefix. *)
+             if i <> j then
+               fail "attach sink: ledger appended entry %d but the store wrote %d" i j);
          sink_truncate = (fun n -> truncate t n);
        })

@@ -44,10 +44,16 @@ type recovery_info = {
 
 type t
 
-val open_store : config -> t
+val open_store : ?readonly:bool -> config -> t
 (** Open (creating the directory if needed) and recover. Fresh directories
     start empty; existing ones are scanned, torn tail frames truncated, and
     the rebuilt Merkle root checked against [root.iaccf].
+
+    With [~readonly:true] (offline audit/export) the open performs {e no}
+    on-disk mutation: torn tail frames are skipped in memory instead of
+    truncated, dead segments are not unlinked, and [append]/[truncate]/
+    [sync] raise [Storage_error]; [close] releases nothing destructive, so
+    the directory stays byte-identical to the evidence that was found.
     @raise Storage_error as documented above. *)
 
 val recovery : t -> recovery_info
@@ -94,8 +100,21 @@ val to_ledger : t -> Ledger.t
 (** Materialize the persisted entries as an in-memory ledger (recovery
     cold-start and package export). *)
 
-val attach : t -> Ledger.t -> unit
-(** Make the store the write-through backend of a ledger: backfill the
-    store with any ledger suffix it is missing (truncating a longer store),
-    verify the Merkle roots agree, and install the {!Ledger.sink}.
-    @raise Storage_error if the store holds a conflicting prefix. *)
+val attach : ?allow_rollback:bool -> t -> Ledger.t -> unit
+(** Make the store the write-through backend of a ledger. The Merkle roots
+    over the shared prefix are verified {e before} anything destructive
+    happens; only then is the store backfilled with any ledger suffix it is
+    missing, and the {!Ledger.sink} installed (the sink checks that store
+    and ledger indices stay aligned on every append).
+
+    A store {e longer} than the ledger is refused by default — synced
+    history is never silently dropped. Pass [~allow_rollback:true] only
+    when the suffix has already been established to be an uncommitted
+    crash artifact (the replica cold-start replay does this); the store is
+    then truncated to the ledger's length after the prefix check passes.
+
+    If the durable append inside the sink fails (e.g. disk full), the
+    exception propagates with the in-memory ledger one entry ahead of the
+    store; the store must be treated as failed from that point on.
+    @raise Storage_error if the shared prefix diverges, or on a refused
+    rollback. *)

@@ -81,20 +81,20 @@ let tail_segment dir = List.nth (segment_files dir) (List.length (segment_files 
 
 (* --- Sample entries (same shapes as the ledger tests) --- *)
 
-let genesis =
+let make_genesis prefix =
   let members =
     List.init 4 (fun i ->
-        let _, pk = Schnorr.keypair_of_seed (Printf.sprintf "sm%d" i) in
-        { Config.member_name = Printf.sprintf "sm%d" i; member_pk = pk })
+        let _, pk = Schnorr.keypair_of_seed (Printf.sprintf "%sm%d" prefix i) in
+        { Config.member_name = Printf.sprintf "%sm%d" prefix i; member_pk = pk })
   in
   let base = { Config.config_no = 0; members; replicas = []; vote_threshold = 1 } in
   let replicas =
     List.init 4 (fun i ->
-        let _, pk = Schnorr.keypair_of_seed (Printf.sprintf "sr%d" i) in
-        let msk, _ = Schnorr.keypair_of_seed (Printf.sprintf "sm%d" i) in
+        let _, pk = Schnorr.keypair_of_seed (Printf.sprintf "%sr%d" prefix i) in
+        let msk, _ = Schnorr.keypair_of_seed (Printf.sprintf "%sm%d" prefix i) in
         {
           Config.replica_id = i;
-          operator = Printf.sprintf "sm%d" i;
+          operator = Printf.sprintf "%sm%d" prefix i;
           replica_pk = pk;
           endorsement =
             Schnorr.sign msk
@@ -102,6 +102,8 @@ let genesis =
         })
   in
   Genesis.make { base with Config.replicas }
+
+let genesis = make_genesis "s"
 
 let sample_request ?(seqno = 0) ?(proc = "p") () =
   let sk, pk = Schnorr.keypair_of_seed "storage-client" in
@@ -140,9 +142,9 @@ let sample_entries n =
          if i mod 2 = 0 then sample_pp ~seqno:(i + 1) ()
          else tx_entry ~index:(i + 1) ~seqno:i ())
 
-let open_cfg ?(segment_bytes = 1 lsl 20) ?(fsync = Store.No_fsync)
+let open_cfg ?readonly ?(segment_bytes = 1 lsl 20) ?(fsync = Store.No_fsync)
     ?(cache_capacity = 256) dir =
-  Store.open_store { Store.dir; segment_bytes; fsync; cache_capacity }
+  Store.open_store ?readonly { Store.dir; segment_bytes; fsync; cache_capacity }
 
 let fill store entries = List.iter (fun e -> ignore (Store.append store e)) entries
 
@@ -329,10 +331,89 @@ let test_crash_matrix () =
         [ 0; 1; 7; 64; max_int ])
     [ (3, 0); (10, 4); (10, 9); (33, 15) ]
 
+(* --- Attach safety: verify before anything destructive --- *)
+
+let test_attach_divergence_preserves_store () =
+  let dir = fresh_dir () in
+  let entries = sample_entries 10 in
+  let s = open_cfg dir in
+  fill s entries;
+  Store.sync s;
+  (* A ledger of a different service: even with rollback explicitly allowed,
+     attach must detect the diverging prefix before touching the store. *)
+  let other = Ledger.create (make_genesis "x") in
+  check Alcotest.bool "diverging attach rejected" true
+    (match Store.attach ~allow_rollback:true s other with
+    | () -> false
+    | exception Store.Storage_error _ -> true);
+  check_contents s entries;
+  Store.close s;
+  let s = open_cfg dir in
+  check_contents s entries;
+  Store.close s
+
+let test_attach_refuses_rollback_by_default () =
+  let dir = fresh_dir () in
+  let entries = sample_entries 10 in
+  let s = open_cfg dir in
+  fill s entries;
+  Store.sync s;
+  let prefix = List.filteri (fun i _ -> i < 6) entries in
+  let shorter = Ledger.of_entries prefix in
+  (* Same service, shorter ledger: silently dropping synced history is
+     refused unless the caller has vouched for the rollback. *)
+  check Alcotest.bool "default attach refuses to shrink the store" true
+    (match Store.attach s shorter with
+    | () -> false
+    | exception Store.Storage_error _ -> true);
+  check_contents s entries;
+  Store.attach ~allow_rollback:true s shorter;
+  check_contents s prefix;
+  (* The sink is live and index-checked: appends flow through. *)
+  ignore (Ledger.append shorter (sample_pp ~seqno:42 ()));
+  check Alcotest.int "sink write-through" (Ledger.length shorter) (Store.length s);
+  check digest_testable "sink root tracks" (Ledger.m_root shorter) (Store.m_root s);
+  Store.close s
+
+(* --- Read-only opens (offline audit must not mutate evidence) --- *)
+
+let dir_snapshot dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+
+let test_readonly_open_untouched () =
+  let dir = fresh_dir () in
+  let entries = sample_entries 8 in
+  let s = open_cfg dir in
+  fill s entries;
+  Store.sync s;
+  (* One unsynced append, then a kill that tears the last frame. *)
+  ignore (Store.append s (sample_pp ~seqno:50 ()));
+  Store.crash s;
+  chop_bytes (tail_segment dir) 2;
+  let before = dir_snapshot dir in
+  let s = open_cfg ~readonly:true dir in
+  let ri = Store.recovery s in
+  check Alcotest.int "synced prefix readable" 9 (Store.length s);
+  check Alcotest.int "torn frame observed" 1 ri.Store.ri_torn_frames;
+  check Alcotest.bool "root-of-trust verified" true ri.Store.ri_root_verified;
+  check Alcotest.bool "appends refused" true
+    (match Store.append s (sample_pp ~seqno:51 ()) with
+    | (_ : int) -> false
+    | exception Store.Storage_error _ -> true);
+  let pkg = Package.of_store s in
+  check Alcotest.int "package built from read-only store" 9
+    (List.length pkg.Package.pkg_entries);
+  Store.close s;
+  check Alcotest.bool "evidence byte-identical after audit" true
+    (dir_snapshot dir = before)
+
 (* --- Cluster persistence under SmallBank --- *)
 
-let drive_smallbank cluster ~txs ~seed =
-  let client = Cluster.add_client cluster () in
+let drive_smallbank ?client cluster ~txs ~seed =
+  let client =
+    match client with Some c -> c | None -> Cluster.add_client cluster ()
+  in
   let rng = Rng.create (seed + 100) in
   let accounts = 8 in
   let ops =
@@ -388,6 +469,91 @@ let test_smallbank_persist_reopen () =
     (Ledger.total_bytes rebuilt);
   Store.close s
 
+(* --- Cold-start restore: a restarted cluster replays its stores --- *)
+
+let test_cluster_cold_restart () =
+  let dir = fresh_dir () in
+  let persist = { (Store.default_config ~dir) with Store.fsync = Store.No_fsync } in
+  let cluster = Cluster.make ~seed:7 ~n:4 ~app:(Smallbank.app ()) ~persist () in
+  ignore (drive_smallbank cluster ~txs:10 ~seed:7);
+  let ledger1 = Replica.ledger (Cluster.replica cluster 0) in
+  let len1 = Ledger.length ledger1 in
+  let root1 = Ledger.m_root ledger1 in
+  Cluster.close_storage cluster;
+  (* "Fresh process": the same service seed reopens the same directories.
+     Replicas must replay the persisted ledgers, never wipe them. *)
+  let cluster2 = Cluster.make ~seed:7 ~n:4 ~app:(Smallbank.app ()) ~persist () in
+  let ledger2 = Replica.ledger (Cluster.replica cluster2 0) in
+  check Alcotest.int "restored length" len1 (Ledger.length ledger2);
+  check digest_testable "restored root" root1 (Ledger.m_root ledger2);
+  (* The restored service keeps committing: new operations arrive under a
+     fresh client identity (the original identity's requests are already in
+     the replicas' dedup tables). *)
+  ignore (Cluster.add_client cluster2 ());
+  let c2 = Cluster.add_client cluster2 () in
+  ignore (drive_smallbank ~client:c2 cluster2 ~txs:6 ~seed:8);
+  Cluster.sync_storage cluster2;
+  let live = Option.get (Cluster.storage cluster2 0) in
+  let ledger2 = Replica.ledger (Cluster.replica cluster2 0) in
+  check Alcotest.bool "history grew after restart" true (Ledger.length ledger2 > len1);
+  check Alcotest.int "write-through continued" (Ledger.length ledger2)
+    (Store.length live);
+  check digest_testable "store root tracks restarted ledger" (Ledger.m_root ledger2)
+    (Store.m_root live);
+  Cluster.close_storage cluster2;
+  let s = open_cfg (Filename.concat dir "replica-0") in
+  check digest_testable "full history reopens clean" (Ledger.m_root ledger2)
+    (Store.m_root s);
+  Store.close s
+
+let test_restart_drops_partial_batch () =
+  let dir = fresh_dir () in
+  let persist = { (Store.default_config ~dir) with Store.fsync = Store.No_fsync } in
+  let cluster = Cluster.make ~seed:9 ~n:4 ~app:(Smallbank.app ()) ~persist () in
+  ignore (drive_smallbank cluster ~txs:8 ~seed:9);
+  let ledger1 = Replica.ledger (Cluster.replica cluster 0) in
+  let len1 = Ledger.length ledger1 in
+  let root1 = Ledger.m_root ledger1 in
+  Cluster.close_storage cluster;
+  (* A crash mid-batch: a pre-prepare and one of its transactions reach
+     replica 0's disk without the rest of the batch. *)
+  let s = open_cfg (Filename.concat dir "replica-0") in
+  ignore (Store.append s (sample_pp ~seqno:9999 ()));
+  ignore (Store.append s (tx_entry ~index:9999 ~seqno:9999 ()));
+  Store.close s;
+  let cluster2 = Cluster.make ~seed:9 ~n:4 ~app:(Smallbank.app ()) ~persist () in
+  let ledger2 = Replica.ledger (Cluster.replica cluster2 0) in
+  check Alcotest.int "partial batch dropped on restore" len1 (Ledger.length ledger2);
+  check digest_testable "root restored" root1 (Ledger.m_root ledger2);
+  let live = Option.get (Cluster.storage cluster2 0) in
+  check Alcotest.int "store rolled back to the replayed prefix" len1
+    (Store.length live);
+  Cluster.close_storage cluster2
+
+let test_restart_refuses_deep_damage () =
+  let dir = fresh_dir () in
+  let persist = { (Store.default_config ~dir) with Store.fsync = Store.No_fsync } in
+  let cluster = Cluster.make ~seed:13 ~n:4 ~app:(Smallbank.app ()) ~persist () in
+  ignore (drive_smallbank cluster ~txs:6 ~seed:13);
+  Cluster.close_storage cluster;
+  (* An unreplayable suffix that is NOT a trailing partial batch — a bogus
+     complete batch followed by another pre-prepare. Restore must refuse
+     rather than silently truncate what claims to be history. *)
+  let s = open_cfg (Filename.concat dir "replica-0") in
+  let before = Store.length s in
+  ignore (Store.append s (sample_pp ~seqno:9999 ()));
+  ignore (Store.append s (tx_entry ~index:9999 ~seqno:9999 ()));
+  ignore (Store.append s (sample_pp ~seqno:10000 ()));
+  Store.close s;
+  check Alcotest.bool "deeply damaged store refused" true
+    (match Cluster.make ~seed:13 ~n:4 ~app:(Smallbank.app ()) ~persist () with
+    | (_ : Cluster.t) -> false
+    | exception Store.Storage_error _ -> true);
+  (* Nothing was destroyed: the store still holds everything it held. *)
+  let s = open_cfg (Filename.concat dir "replica-0") in
+  check Alcotest.int "evidence preserved" (before + 3) (Store.length s);
+  Store.close s
+
 (* --- Ledger packages --- *)
 
 let sample_package () =
@@ -437,7 +603,9 @@ let test_package_file_roundtrip_from_store () =
   let pkg' = Package.read_file file in
   check digest_testable "root preserved through file" pkg.Package.pkg_m_root
     pkg'.Package.pkg_m_root;
-  check Alcotest.int "entries preserved" 10 (List.length pkg'.Package.pkg_entries)
+  check Alcotest.int "entries preserved" 10 (List.length pkg'.Package.pkg_entries);
+  check Alcotest.bool "atomic write leaves no tmp file" false
+    (Sys.file_exists (file ^ ".tmp"))
 
 (* The acceptance scenario: an honest run leaves the client with receipts;
    every replica then colludes to rewrite history. The forged ledger plus
@@ -511,6 +679,12 @@ let () =
             test_durable_prefix_protected;
           Alcotest.test_case "truncate durable" `Quick test_truncate_durable;
           Alcotest.test_case "entry cache" `Quick test_entry_cache;
+          Alcotest.test_case "attach divergence preserves store" `Quick
+            test_attach_divergence_preserves_store;
+          Alcotest.test_case "attach refuses rollback by default" `Quick
+            test_attach_refuses_rollback_by_default;
+          Alcotest.test_case "read-only open leaves evidence untouched" `Quick
+            test_readonly_open_untouched;
         ] );
       ( "crash-matrix",
         [ Alcotest.test_case "kill after N appends" `Quick test_crash_matrix ] );
@@ -518,6 +692,12 @@ let () =
         [
           Alcotest.test_case "smallbank persist + reopen" `Quick
             test_smallbank_persist_reopen;
+          Alcotest.test_case "cold restart replays the store" `Quick
+            test_cluster_cold_restart;
+          Alcotest.test_case "restart drops a trailing partial batch" `Quick
+            test_restart_drops_partial_batch;
+          Alcotest.test_case "restart refuses deep damage" `Quick
+            test_restart_refuses_deep_damage;
         ] );
       ( "package",
         [
