@@ -9,6 +9,7 @@ module Latency = Iaccf_sim.Latency
 module Sched = Iaccf_sim.Sched
 module Network = Iaccf_sim.Network
 module Rng = Iaccf_util.Rng
+module Obs = Iaccf_obs.Obs
 
 type run_result = {
   rr_label : string;
@@ -16,20 +17,21 @@ type run_result = {
   rr_wall_s : float;
   rr_throughput : float; (* transactions per second of real compute *)
   rr_avg_latency_ms : float; (* virtual: network model + batching *)
+  rr_p50_latency_ms : float;
   rr_p99_latency_ms : float;
   rr_sigs_made : int;
   rr_sigs_verified : int;
+  rr_phases : (string * float * float * float) list;
+      (* per-phase latency breakdown from the obs registry:
+         (histogram name, p50, p90, p99); empty for the baselines *)
 }
 
-let percentile p xs =
-  match List.sort compare xs with
-  | [] -> 0.0
-  | sorted ->
-      let n = List.length sorted in
-      let idx = min (n - 1) (int_of_float (p *. float_of_int n)) in
-      List.nth sorted idx
+(* Nearest-rank percentile, shared with the runtime metrics so bench and
+   [iaccf stats] agree on what "p99" means. *)
+let percentile p xs = Obs.Histogram.percentile_of_list p xs
 
-let summarize ~label ~txs ~wall ~latencies ~sigs_made ~sigs_verified =
+let summarize ?(phases = []) ~label ~txs ~wall ~latencies ~sigs_made
+    ~sigs_verified () =
   {
     rr_label = label;
     rr_txs = txs;
@@ -39,10 +41,35 @@ let summarize ~label ~txs ~wall ~latencies ~sigs_made ~sigs_verified =
       (match latencies with
       | [] -> 0.0
       | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+    rr_p50_latency_ms = percentile 0.50 latencies;
     rr_p99_latency_ms = percentile 0.99 latencies;
     rr_sigs_made = sigs_made;
     rr_sigs_verified = sigs_verified;
+    rr_phases = phases;
   }
+
+(* The per-phase histograms a run's registry may have accumulated. *)
+let phase_histogram_names =
+  [
+    "lat.preprepare_to_prepared_ms";
+    "lat.prepared_to_commit_ms";
+    "lat.preprepare_to_commit_ms";
+    "lat.commit_to_receipt_ms";
+    "lat.request_e2e_ms";
+  ]
+
+let phase_breakdown obs =
+  List.filter_map
+    (fun name ->
+      let h = Obs.histogram obs name in
+      if Obs.Histogram.count h = 0 then None
+      else
+        Some
+          ( name,
+            Obs.Histogram.percentile h 0.50,
+            Obs.Histogram.percentile h 0.90,
+            Obs.Histogram.percentile h 0.99 ))
+    phase_histogram_names
 
 let preload_accounts cluster ~accounts ~initial_balance =
   let kvs =
@@ -61,7 +88,7 @@ let preload_accounts cluster ~accounts ~initial_balance =
 let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
     ?(latency = Latency.dedicated_cluster) ?(accounts = 100) ?(total = 300)
     ?(concurrency = 64) ?(pipeline = 2) ?(checkpoint_interval = 50)
-    ?(max_batch = 100) ?(empty_requests = false) ?(seed = 42) () =
+    ?(max_batch = 100) ?(empty_requests = false) ?(seed = 42) ?obs () =
   let params =
     {
       Replica.pipeline;
@@ -72,8 +99,15 @@ let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
       variant;
     }
   in
+  (* Metrics on (histograms, marks), tracing off: load runs want the
+     per-phase breakdown without paying for an event per message. *)
+  let obs =
+    match obs with
+    | Some o -> o
+    | None -> Obs.create ~metrics:true ~tracing:false ()
+  in
   let cluster =
-    Cluster.make ~seed ~n ~params ~latency ~app:(Smallbank.app ()) ()
+    Cluster.make ~seed ~n ~params ~latency ~app:(Smallbank.app ()) ~obs ()
   in
   if accounts > 0 then preload_accounts cluster ~accounts ~initial_balance:10_000;
   let client =
@@ -143,7 +177,7 @@ let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
       (0, 0) (Cluster.replicas cluster)
   in
   summarize ~label ~txs:!completed ~wall ~latencies:(Client.latencies_ms client)
-    ~sigs_made ~sigs_verified
+    ~sigs_made ~sigs_verified ~phases:(phase_breakdown obs) ()
 
 let run_hotstuff ?(label = "HotStuff") ?(n = 4)
     ?(latency = Latency.dedicated_cluster) ?(total = 300) ?(concurrency = 64)
@@ -178,7 +212,7 @@ let run_hotstuff ?(label = "HotStuff") ?(n = 4)
   summarize ~label ~txs:!completed ~wall
     ~latencies:(Iaccf_baselines.Hotstuff.client_latencies client)
     ~sigs_made:(Iaccf_baselines.Hotstuff.signatures_made cluster)
-    ~sigs_verified:(Iaccf_baselines.Hotstuff.signatures_verified cluster)
+    ~sigs_verified:(Iaccf_baselines.Hotstuff.signatures_verified cluster) ()
 
 let run_fabric ?(label = "Fabric") ?(peers = 4)
     ?(latency = Latency.dedicated_cluster) ?(total = 300) ?(concurrency = 64)
@@ -215,12 +249,18 @@ let run_fabric ?(label = "Fabric") ?(peers = 4)
   summarize ~label ~txs:!completed ~wall
     ~latencies:(Iaccf_baselines.Fabric.client_latencies client)
     ~sigs_made:(Iaccf_baselines.Fabric.signatures_made cluster)
-    ~sigs_verified:(Iaccf_baselines.Fabric.signatures_verified cluster)
+    ~sigs_verified:(Iaccf_baselines.Fabric.signatures_verified cluster) ()
 
 let print_header title =
   Printf.printf "\n=== %s ===\n%!" title
 
-let print_result r =
-  Printf.printf "%-28s %6d tx  %8.1f tx/s  avg %7.2f ms  p99 %7.2f ms  (sigs %d/%d)\n%!"
-    r.rr_label r.rr_txs r.rr_throughput r.rr_avg_latency_ms r.rr_p99_latency_ms
-    r.rr_sigs_made r.rr_sigs_verified
+let print_result ?(phases = false) r =
+  Printf.printf "%-28s %6d tx  %8.1f tx/s  avg %7.2f ms  p50 %7.2f ms  p99 %7.2f ms  (sigs %d/%d)\n%!"
+    r.rr_label r.rr_txs r.rr_throughput r.rr_avg_latency_ms r.rr_p50_latency_ms
+    r.rr_p99_latency_ms r.rr_sigs_made r.rr_sigs_verified;
+  if phases then
+    List.iter
+      (fun (name, p50, p90, p99) ->
+        Printf.printf "  %-34s p50 %7.2f ms  p90 %7.2f ms  p99 %7.2f ms\n%!"
+          name p50 p90 p99)
+      r.rr_phases

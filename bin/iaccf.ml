@@ -1,6 +1,7 @@
 (* iaccf — command-line driver for the IA-CCF reproduction.
 
      iaccf run             simulate a cluster under SmallBank load
+     iaccf stats           run a workload and print the full metrics breakdown
      iaccf ledger          run a workload and dump the resulting ledger
      iaccf audit           run the ledger-rewrite attack and audit it
      iaccf export-package  write a ledger package for offline audit
@@ -22,6 +23,7 @@ module Request = Iaccf_types.Request
 module Bitmap = Iaccf_util.Bitmap
 module Store = Iaccf_storage.Store
 module Package = Iaccf_storage.Package
+module Obs = Iaccf_obs.Obs
 
 let replicas_arg =
   Arg.(value & opt int 4 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Number of replicas.")
@@ -80,14 +82,63 @@ let persist_config ~persist ~fsync ~segment_kb =
       })
     persist
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a deterministic key/value metrics snapshot (counters, \
+           gauges, per-phase latency histograms) to $(docv) after the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a protocol trace to $(docv): Chrome trace_event JSON \
+           (loadable in Perfetto / chrome://tracing), or JSONL if $(docv) \
+           ends in .jsonl.")
+
+(* An instrumented registry when any observability output was requested:
+   metrics machinery is always worth having once we pay for a registry at
+   all (the trace viewer is more useful with the commit marks), tracing
+   only when a trace file will actually be written. *)
+let make_obs ~metrics ~trace =
+  match (metrics, trace) with
+  | None, None -> None
+  | _ -> Some (Obs.create ~metrics:true ~tracing:(trace <> None) ())
+
+let write_obs_outputs ?obs ~cluster ~metrics ~trace () =
+  match obs with
+  | None -> ()
+  | Some obs ->
+      (* Drain in-flight batches so every span in the export is closed:
+         the workload driver returns the moment the client completes,
+         which can leave the last commit round open on lagging backups. *)
+      Cluster.run cluster ~ms:5_000.0;
+      Option.iter
+        (fun file ->
+          Obs.write_metrics obs file;
+          Printf.printf "metrics:             %d keys -> %s\n"
+            (List.length (Obs.snapshot obs)) file)
+        metrics;
+      Option.iter
+        (fun file ->
+          Obs.write_trace_file obs file;
+          Printf.printf "trace:               %d events -> %s\n"
+            (Obs.event_count obs) file)
+        trace
+
 let latency_fn = function
   | `Cluster -> Latency.dedicated_cluster
   | `Lan -> Latency.lan
   | `Wan -> Latency.wan
 
-let make_cluster ?persist ~n ~seed ~latency () =
+let make_cluster ?persist ?obs ~n ~seed ~latency () =
   Cluster.make ~seed ~n ~latency:(latency_fn latency) ~app:(Smallbank.app ())
-    ?persist ()
+    ?persist ?obs ()
 
 (* A client identity whose requests are not already in the (possibly
    restored) ledger: replicas deduplicate executed requests by hash, so a
@@ -149,10 +200,11 @@ let drive_smallbank ?client cluster ~txs ~seed =
   (client, List.rev !receipts)
 
 let run_cmd =
-  let run n txs seed latency persist fsync segment_kb =
+  let run n txs seed latency persist fsync segment_kb metrics trace =
     let t0 = Unix.gettimeofday () in
     let persist = persist_config ~persist ~fsync ~segment_kb in
-    let cluster = make_cluster ?persist ~n ~seed ~latency () in
+    let obs = make_obs ~metrics ~trace in
+    let cluster = make_cluster ?persist ?obs ~n ~seed ~latency () in
     let restored =
       match Cluster.storage cluster 0 with
       | Some store -> (Store.recovery store).Store.ri_entries
@@ -191,6 +243,7 @@ let run_cmd =
           (Store.length store) (Store.segments store) (Store.disk_bytes store)
           (Store.config store).Store.dir
     | None -> ());
+    write_obs_outputs ?obs ~cluster ~metrics ~trace ();
     Cluster.close_storage cluster;
     ignore receipts
   in
@@ -198,7 +251,64 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a simulated IA-CCF cluster under SmallBank load.")
     Term.(
       const run $ replicas_arg $ txs_arg $ seed_arg $ latency_arg $ persist_arg
-      $ fsync_arg $ segment_kb_arg)
+      $ fsync_arg $ segment_kb_arg $ metrics_arg $ trace_arg)
+
+let stats_cmd =
+  let phase_rows =
+    [
+      ("pre-prepare -> prepared", "lat.preprepare_to_prepared_ms");
+      ("prepared -> committed", "lat.prepared_to_commit_ms");
+      ("pre-prepare -> committed", "lat.preprepare_to_commit_ms");
+      ("commit -> receipt", "lat.commit_to_receipt_ms");
+      ("request end-to-end", "lat.request_e2e_ms");
+    ]
+  in
+  let run n txs seed latency persist fsync segment_kb metrics trace =
+    let persist = persist_config ~persist ~fsync ~segment_kb in
+    let obs = Obs.create ~metrics:true ~tracing:(trace <> None) () in
+    let cluster = make_cluster ?persist ~obs ~n ~seed ~latency () in
+    let _ = drive_smallbank cluster ~txs ~seed in
+    Cluster.run cluster ~ms:5_000.0;
+    Cluster.sync_storage cluster;
+    let c = Obs.counter_value obs in
+    Printf.printf "phase latencies (virtual ms, nearest-rank percentiles):\n";
+    List.iter
+      (fun (label, name) ->
+        let h = Obs.histogram obs name in
+        if Obs.Histogram.count h > 0 then
+          Printf.printf "  %-26s n %5d  p50 %8.2f  p90 %8.2f  p99 %8.2f  max %8.2f\n"
+            label (Obs.Histogram.count h)
+            (Obs.Histogram.percentile h 0.50)
+            (Obs.Histogram.percentile h 0.90)
+            (Obs.Histogram.percentile h 0.99)
+            (Obs.Histogram.max_value h))
+      phase_rows;
+    Printf.printf "signatures:\n";
+    for id = 0 to n - 1 do
+      Printf.printf "  replica %d: made %d, verified %d, macs %d\n" id
+        (c (Printf.sprintf "replica.%d.sigs_made" id))
+        (c (Printf.sprintf "replica.%d.sigs_verified" id))
+        (c (Printf.sprintf "replica.%d.macs_computed" id))
+    done;
+    Printf.printf "network: sent %d, delivered %d, dropped %d cut / %d prob / %d unregistered\n"
+      (c "net.sent") (c "net.delivered") (c "net.dropped.cut")
+      (c "net.dropped.prob") (c "net.dropped.unregistered");
+    if persist <> None then
+      Printf.printf "storage: %d appends (%d bytes), %d fsyncs, %d truncates\n"
+        (c "storage.appends") (c "storage.append_bytes") (c "storage.fsyncs")
+        (c "storage.truncates");
+    write_obs_outputs ~obs ~cluster ~metrics ~trace ();
+    Cluster.close_storage cluster
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a SmallBank workload with full instrumentation and print the \
+          per-phase latency breakdown, signature counts, and network/storage \
+          counters from the observability registry.")
+    Term.(
+      const run $ replicas_arg $ txs_arg $ seed_arg $ latency_arg $ persist_arg
+      $ fsync_arg $ segment_kb_arg $ metrics_arg $ trace_arg)
 
 let ledger_cmd =
   let run n txs seed =
@@ -374,7 +484,8 @@ let () =
       ~doc:"IA-CCF: individual accountability for permissioned ledgers (NSDI 2022 reproduction)"
   in
   let group =
-    Cmd.group info [ run_cmd; ledger_cmd; audit_cmd; export_package_cmd; keys_cmd ]
+    Cmd.group info
+      [ run_cmd; stats_cmd; ledger_cmd; audit_cmd; export_package_cmd; keys_cmd ]
   in
   exit
     (try Cmd.eval ~catch:false group with

@@ -8,6 +8,7 @@ module Genesis = Iaccf_types.Genesis
 module Schnorr = Iaccf_crypto.Schnorr
 module D = Iaccf_crypto.Digest32
 module Bitmap = Iaccf_util.Bitmap
+module Obs = Iaccf_obs.Obs
 
 type outcome = {
   oc_output : (string, string) result;
@@ -39,6 +40,14 @@ type t = {
   verify_receipts : bool;
   sign_requests : bool;
   retry_ms : float;
+  obs : Obs.t;
+  (* Registry-wide counters (shared by every client on the registry); the
+     per-client accessors below read the client's own mutable tallies. *)
+  c_submitted : Obs.counter;
+  c_completed : Obs.counter;
+  c_failed : Obs.counter;
+  h_e2e : Obs.Histogram.h;
+  h_commit_receipt : Obs.Histogram.h;
   mutable next_client_seqno : int;
   mutable min_idx : int;
   pending : (string, pending) Hashtbl.t;
@@ -132,10 +141,31 @@ let try_complete t p =
                 p.p_done <- true;
                 Hashtbl.remove t.pending (D.to_raw p.p_hash);
                 t.completed <- t.completed + 1;
+                Obs.incr t.c_completed;
                 let idx = x.Message.x_tx.Batch.index in
                 if idx + 1 > t.min_idx then t.min_idx <- idx + 1;
                 let latency = Sched.now t.sched -. p.p_sent_at in
                 t.latencies_rev <- latency :: t.latencies_rev;
+                Obs.Histogram.observe t.h_e2e latency;
+                (* Commit-to-receipt: measured against the mark the first
+                   committing replica stamped for this batch. *)
+                (match
+                   Obs.mark_lookup t.obs
+                     (Printf.sprintf "commit:%d" pp.Message.seqno)
+                 with
+                | Some t_commit ->
+                    Obs.Histogram.observe t.h_commit_receipt
+                      (Obs.now t.obs -. t_commit)
+                | None -> ());
+                if Obs.tracing_enabled t.obs then begin
+                  let id = String.sub (D.to_hex p.p_hash) 0 12 in
+                  Obs.instant t.obs ~node:t.addr ~cat:"request"
+                    ~name:"receipt.issued" ~id
+                    ~args:[ ("seqno", string_of_int pp.Message.seqno) ]
+                    ();
+                  Obs.span_end t.obs ~node:t.addr ~cat:"request" ~name:"e2e" ~id
+                    ()
+                end;
                 let output =
                   App.decode_output x.Message.x_tx.Batch.result.Batch.output
                 in
@@ -153,6 +183,7 @@ let try_complete t p =
                 (* A reply carried a bad signature: drop the replyx and the
                    offending replies; the retry timer re-requests. *)
                 t.failed_verifications <- t.failed_verifications + 1;
+                Obs.incr t.c_failed;
                 p.p_replyx <- None;
                 Hashtbl.remove p.p_replies key
           end
@@ -218,7 +249,9 @@ let on_message t ~src msg =
       t.waiting_gov <- false;
       (match Govchain.sync_from t.chain rs with
       | Ok () -> ()
-      | Error _ -> t.failed_verifications <- t.failed_verifications + 1);
+      | Error _ ->
+          t.failed_verifications <- t.failed_verifications + 1;
+          Obs.incr t.c_failed);
       Hashtbl.iter (fun _ p -> try_complete t p) t.pending
   | Wire.Request_msg _ | Wire.Pre_prepare_msg _ | Wire.Prepare_msg _
   | Wire.Commit_msg _ | Wire.View_change_msg _ | Wire.New_view_msg _
@@ -229,8 +262,11 @@ let on_message t ~src msg =
       ()
 
 let create ~address ~seed ~genesis ~pipeline ~sched ~network
-    ?(verify_receipts = true) ?(sign_requests = true) ?(retry_ms = 300.0) () =
+    ?(verify_receipts = true) ?(sign_requests = true) ?(retry_ms = 300.0) ?obs
+    () =
   let sk, pk = Schnorr.keypair_of_seed seed in
+  let obs = match obs with Some o -> o | None -> Obs.passive () in
+  Obs.set_node_name obs address (Printf.sprintf "client-%d" address);
   let t =
     {
       addr = address;
@@ -243,6 +279,12 @@ let create ~address ~seed ~genesis ~pipeline ~sched ~network
       verify_receipts;
       sign_requests;
       retry_ms;
+      obs;
+      c_submitted = Obs.counter obs "client.submitted";
+      c_completed = Obs.counter obs "client.completed";
+      c_failed = Obs.counter obs "client.failed_verifications";
+      h_e2e = Obs.histogram obs "lat.request_e2e_ms";
+      h_commit_receipt = Obs.histogram obs "lat.commit_to_receipt_ms";
       next_client_seqno = 0;
       min_idx = 0;
       pending = Hashtbl.create 16;
@@ -286,5 +328,11 @@ let submit t ~proc ~args ?on_complete () =
     }
   in
   Hashtbl.replace t.pending (D.to_raw h) p;
+  Obs.incr t.c_submitted;
+  if Obs.tracing_enabled t.obs then
+    Obs.span_begin t.obs ~node:t.addr ~cat:"request" ~name:"e2e"
+      ~id:(String.sub (D.to_hex h) 0 12)
+      ~args:[ ("proc", proc) ]
+      ();
   broadcast t (Wire.Request_msg req);
   arm_retry t p

@@ -26,8 +26,14 @@ val create :
   ?verify_receipts:bool ->
   ?sign_requests:bool ->
   ?retry_ms:float ->
+  ?obs:Iaccf_obs.Obs.t ->
   unit ->
   t
+(** With [obs], submissions/completions land in the registry-wide
+    [client.*] counters, end-to-end and commit-to-receipt latencies are
+    observed into [lat.request_e2e_ms] / [lat.commit_to_receipt_ms], and
+    each request is traced as an async [e2e] span from submission to
+    verified receipt. *)
 
 val public_key : t -> Iaccf_crypto.Schnorr.public_key
 val address : t -> int

@@ -6,6 +6,7 @@ module Genesis = Iaccf_types.Genesis
 module Schnorr = Iaccf_crypto.Schnorr
 module Rng = Iaccf_util.Rng
 module D = Iaccf_crypto.Digest32
+module Obs = Iaccf_obs.Obs
 
 let client_base = 100
 
@@ -19,6 +20,7 @@ type t = {
   seed : int;
   sched : Sched.t;
   network : Wire.t Network.t;
+  obs : Obs.t;
   rng : Rng.t;
   genesis : Genesis.t;
   app : App.t;
@@ -32,10 +34,10 @@ type t = {
   client_table : (string, int) Hashtbl.t; (* client pk bytes -> address *)
 }
 
-let replica_store persist id =
+let replica_store ?obs persist id =
   Option.map
     (fun (cfg : Iaccf_storage.Store.config) ->
-      Iaccf_storage.Store.open_store
+      Iaccf_storage.Store.open_store ?obs ~owner:id
         {
           cfg with
           Iaccf_storage.Store.dir =
@@ -105,8 +107,9 @@ let counter_app_procs =
   ]
 
 let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
-    ?(latency = Latency.dedicated_cluster) ?app ?persist ~n () =
+    ?(latency = Latency.dedicated_cluster) ?app ?persist ?obs ~n () =
   let n_members = Option.value n_members ~default:n in
+  let obs = match obs with Some o -> o | None -> Obs.passive () in
   let rng = Rng.create seed in
   let members =
     List.init n_members (fun i ->
@@ -122,7 +125,11 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
   | Error e -> invalid_arg ("Cluster.make: " ^ e));
   let genesis = Genesis.make cfg0 in
   let sched = Sched.create () in
-  let network = Network.create ~sched ~latency:(latency (Rng.split rng)) ~drop_rng:(Rng.split rng) () in
+  Obs.set_clock obs (fun () -> Sched.now sched);
+  let network =
+    Network.create ~sched ~latency:(latency (Rng.split rng))
+      ~drop_rng:(Rng.split rng) ~obs ()
+  in
   let app =
     match app with
     | Some a -> a
@@ -133,6 +140,7 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
       seed;
       sched;
       network;
+      obs;
       rng;
       genesis;
       app;
@@ -153,8 +161,8 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
         let sk, _ = replica_keys seed id in
         let r =
           Replica.create ~id ~sk ~genesis ~app ~params ~sched ~network
-            ~client_address ~rng:(Rng.split rng)
-            ?storage:(replica_store persist id) ()
+            ~client_address ~rng:(Rng.split rng) ~obs
+            ?storage:(replica_store ~obs persist id) ()
         in
         Replica.start r;
         (id, r))
@@ -164,6 +172,7 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
 
 let sched t = t.sched
 let network t = t.network
+let obs t = t.obs
 let genesis t = t.genesis
 let replicas t = List.map snd t.replicas
 let replica t id = List.assoc id t.replicas
@@ -189,7 +198,7 @@ let add_client t ?(verify_receipts = true) ?(sign_requests = true) () =
     Client.create ~address
       ~seed:(Printf.sprintf "cluster-%d-client-%d" t.seed address)
       ~genesis:t.genesis ~pipeline:t.params.Replica.pipeline ~sched:t.sched
-      ~network:t.network ~verify_receipts ~sign_requests ()
+      ~network:t.network ~verify_receipts ~sign_requests ~obs:t.obs ()
   in
   Hashtbl.replace t.client_table
     (Schnorr.public_key_to_bytes (Client.public_key c))
@@ -204,7 +213,7 @@ let add_member_client t (m : member_identity) =
     Client.create ~address
       ~seed:(Printf.sprintf "cluster-%d-%s" t.seed m.mi_name)
       ~genesis:t.genesis ~pipeline:t.params.Replica.pipeline ~sched:t.sched
-      ~network:t.network ()
+      ~network:t.network ~obs:t.obs ()
   in
   assert (Iaccf_crypto.Schnorr.public_key_equal (Client.public_key c) m.mi_pk);
   Hashtbl.replace t.client_table
@@ -247,7 +256,7 @@ let spawn_replica t ~id =
   let r =
     Replica.create ~id ~sk ~genesis:t.genesis ~app:t.app ~params:t.params
       ~sched:t.sched ~network:t.network ~client_address ~rng:(Rng.split t.rng)
-      ?storage:(replica_store t.persist id) ()
+      ~obs:t.obs ?storage:(replica_store ~obs:t.obs t.persist id) ()
   in
   Replica.start r;
   t.replicas <- t.replicas @ [ (id, r) ];

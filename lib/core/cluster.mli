@@ -29,6 +29,7 @@ val make :
   ?latency:(Iaccf_util.Rng.t -> Iaccf_sim.Latency.t) ->
   ?app:App.t ->
   ?persist:Iaccf_storage.Store.config ->
+  ?obs:Iaccf_obs.Obs.t ->
   n:int ->
   unit ->
   t
@@ -39,10 +40,20 @@ val make :
     of the config — segment size, fsync policy, cache — applies to each).
     Directories holding a previous run of the same service are restored:
     each replica replays its persisted ledger before participating (see
-    {!Replica.create}). *)
+    {!Replica.create}).
+
+    With [obs] (default: a private counting-only registry), the registry's
+    clock is bound to the cluster's virtual clock and the registry is
+    threaded through the network, every replica, client, and durable
+    store, so one registry observes the whole deployment. *)
 
 val sched : t -> Iaccf_sim.Sched.t
 val network : t -> Wire.t Iaccf_sim.Network.t
+
+val obs : t -> Iaccf_obs.Obs.t
+(** The deployment's observability registry (the one passed to {!make},
+    or the private passive one). *)
+
 val genesis : t -> Genesis.t
 val replicas : t -> Replica.t list
 val replica : t -> int -> Replica.t

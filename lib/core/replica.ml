@@ -16,6 +16,7 @@ module Hmac = Iaccf_crypto.Hmac
 module Bitmap = Iaccf_util.Bitmap
 module Tree = Iaccf_merkle.Tree
 module Rng = Iaccf_util.Rng
+module Obs = Iaccf_obs.Obs
 
 type params = {
   pipeline : int;
@@ -47,6 +48,51 @@ type stats = {
   mutable checkpoints_taken : int;
 }
 
+(* The tallies live as obs counters (instance-scoped, under the
+   "replica.<id>." prefix); [stats] snapshots them back into the record
+   shape the callers always read. *)
+type counters = {
+  c_sigs_made : Obs.counter;
+  c_sigs_verified : Obs.counter;
+  c_macs_computed : Obs.counter;
+  c_batches_committed : Obs.counter;
+  c_txs_executed : Obs.counter;
+  c_requests_committed : Obs.counter;
+  c_requests_received : Obs.counter;
+  c_view_changes : Obs.counter;
+  c_checkpoints_taken : Obs.counter;
+}
+
+let make_counters obs rid =
+  let c name = Obs.counter obs (Printf.sprintf "replica.%d.%s" rid name) in
+  {
+    c_sigs_made = c "sigs_made";
+    c_sigs_verified = c "sigs_verified";
+    c_macs_computed = c "macs_computed";
+    c_batches_committed = c "batches_committed";
+    c_txs_executed = c "txs_executed";
+    c_requests_committed = c "requests_committed";
+    c_requests_received = c "requests_received";
+    c_view_changes = c "view_changes";
+    c_checkpoints_taken = c "checkpoints_taken";
+  }
+
+(* Per-phase latency histograms, shared across the registry (the primary
+   of each batch is the observer, so every batch is counted exactly once
+   cluster-wide). *)
+type phase_hists = {
+  h_pp_to_prepared : Obs.Histogram.h;
+  h_pp_to_commit : Obs.Histogram.h;
+  h_prepared_to_commit : Obs.Histogram.h;
+}
+
+let make_phase_hists obs =
+  {
+    h_pp_to_prepared = Obs.histogram obs "lat.preprepare_to_prepared_ms";
+    h_pp_to_commit = Obs.histogram obs "lat.preprepare_to_commit_ms";
+    h_prepared_to_commit = Obs.histogram obs "lat.prepared_to_commit_ms";
+  }
+
 type reconfig_phase =
   | Normal
   | Ending of { vote_seqno : int; new_config : Config.t; committed_root : D.t }
@@ -67,6 +113,9 @@ type batch_record = {
   br_cfg_before : Config.t;
   mutable br_prepared : bool;
   mutable br_committed : bool;
+  (* Virtual-clock stamps for the phase latency histograms and spans. *)
+  mutable br_t_pp : float;
+  mutable br_t_prepared : float;
 }
 
 type t = {
@@ -82,7 +131,9 @@ type t = {
   network : Wire.t Network.t;
   client_address : Schnorr.public_key -> int option;
   rng : Rng.t;
-  st : stats;
+  obs : Obs.t;
+  ctr : counters;
+  ph : phase_hists;
   mutable cfg : Config.t;
   mutable view : int;
   mutable seqno : int; (* s: next sequence number to assign/accept *)
@@ -142,7 +193,19 @@ let last_prepared t = t.last_prepared
 let last_committed t = t.last_committed
 let ledger t = t.ledger
 let store t = t.store
-let stats t = t.st
+let obs t = t.obs
+
+let stats t =
+  {
+    signatures_made = Obs.value t.ctr.c_sigs_made;
+    signatures_verified = Obs.value t.ctr.c_sigs_verified;
+    macs_computed = Obs.value t.ctr.c_macs_computed;
+    batches_committed = Obs.value t.ctr.c_batches_committed;
+    txs_executed = Obs.value t.ctr.c_txs_executed;
+    txs_committed = Obs.value t.ctr.c_requests_committed;
+    view_changes = Obs.value t.ctr.c_view_changes;
+    checkpoints_taken = Obs.value t.ctr.c_checkpoints_taken;
+  }
 let gov_index t = t.gov_index
 let pending_requests t = Hashtbl.length t.requests
 let gov_receipts t = List.rev t.gov_receipts_rev
@@ -185,21 +248,21 @@ let sub_tbl tbl key =
 
 let sign_digest t d =
   if t.params.variant.Variant.macs_only then begin
-    t.st.macs_computed <- t.st.macs_computed + 1;
+    Obs.incr t.ctr.c_macs_computed;
     Hmac.mac ~key:t.mac_key (D.to_raw d)
   end
   else begin
-    t.st.signatures_made <- t.st.signatures_made + 1;
+    Obs.incr t.ctr.c_sigs_made;
     Schnorr.sign t.sk (D.to_raw d)
   end
 
 let verify_digest t ~replica d ~signature =
   if t.params.variant.Variant.macs_only then begin
-    t.st.macs_computed <- t.st.macs_computed + 1;
+    Obs.incr t.ctr.c_macs_computed;
     Hmac.verify ~key:t.mac_key (D.to_raw d) ~mac:signature
   end
   else begin
-    t.st.signatures_verified <- t.st.signatures_verified + 1;
+    Obs.incr t.ctr.c_sigs_verified;
     match Config.replica_pk t.cfg replica with
     | None -> false
     | Some pk -> Schnorr.verify pk (D.to_raw d) ~signature
@@ -238,7 +301,7 @@ let verify_nv_sig t (nv : Message.new_view) =
 
 let peerreview_extra_sign t payload =
   if t.params.variant.Variant.peerreview then begin
-    t.st.signatures_made <- t.st.signatures_made + 1;
+    Obs.incr t.ctr.c_sigs_made;
     ignore (Schnorr.sign t.sk (D.to_raw (D.of_string payload)))
   end
 
@@ -357,7 +420,7 @@ let execute_requests t ~base_index reqs =
         App.execute t.app ~config:t.cfg ~caller:req.Request.client_pk
           ~store:t.store ~proc:req.Request.proc ~args:req.Request.args
       in
-      t.st.txs_executed <- t.st.txs_executed + 1;
+      Obs.incr t.ctr.c_txs_executed;
       {
         Batch.request = req;
         index = base_index + k;
@@ -397,7 +460,11 @@ let post_execute_batch t (pp : Message.pre_prepare) txs =
     let cp = Checkpoint.make ~seqno:s (Store.map t.store) in
     Hashtbl.replace t.checkpoints s (cp, Checkpoint.digest cp);
     t.latest_cp_seqno <- s;
-    t.st.checkpoints_taken <- t.st.checkpoints_taken + 1
+    Obs.incr t.ctr.c_checkpoints_taken;
+    if Obs.tracing_enabled t.obs then
+      Obs.instant t.obs ~node:t.rid ~cat:"checkpoint" ~name:"checkpoint"
+        ~args:[ ("seqno", string_of_int s) ]
+        ()
   in
   (match t.phase with
   | Normal ->
@@ -597,6 +664,78 @@ let batch_package t ~seqno =
         }
 
 (* ------------------------------------------------------------------ *)
+(* Protocol tracing: per-batch async spans (cat "batch", id = seqno).
+   The outer "consensus" span covers pre-prepare acceptance to commit;
+   "phase.prepare" / "phase.commit" nest inside it. Begin events are only
+   emitted on successful pre-prepare acceptance (emit_batch or
+   process_pre_prepare), so every begin has a matching end: commit, or a
+   cancelled end when a view change rolls the batch back.                *)
+
+let batch_id rec_ = string_of_int rec_.br_pp.Message.seqno
+
+let trace_batch_begin t rec_ =
+  rec_.br_t_pp <- Obs.now t.obs;
+  if Obs.tracing_enabled t.obs then begin
+    let id = batch_id rec_ in
+    Obs.span_begin t.obs ~node:t.rid ~cat:"batch" ~name:"consensus" ~id
+      ~args:
+        [
+          ("view", string_of_int rec_.br_pp.Message.view);
+          ("txs", string_of_int (List.length rec_.br_txs));
+        ]
+      ();
+    Obs.span_begin t.obs ~node:t.rid ~cat:"batch" ~name:"phase.prepare" ~id ()
+  end
+
+let trace_batch_prepared t rec_ =
+  rec_.br_t_prepared <- Obs.now t.obs;
+  (* The batch's primary is the sole observer, so each batch lands in the
+     phase histograms exactly once cluster-wide. *)
+  if rec_.br_pp.Message.primary = t.rid then
+    Obs.Histogram.observe t.ph.h_pp_to_prepared
+      (rec_.br_t_prepared -. rec_.br_t_pp);
+  if Obs.tracing_enabled t.obs then begin
+    let id = batch_id rec_ in
+    Obs.span_end t.obs ~node:t.rid ~cat:"batch" ~name:"phase.prepare" ~id ();
+    Obs.span_begin t.obs ~node:t.rid ~cat:"batch" ~name:"phase.commit" ~id ()
+  end
+
+let trace_batch_committed t rec_ =
+  let s = rec_.br_pp.Message.seqno in
+  let now = Obs.now t.obs in
+  (* First committer cluster-wide stamps the mark; clients measure their
+     commit-to-receipt latency against it. *)
+  Obs.mark t.obs (Printf.sprintf "commit:%d" s);
+  if rec_.br_pp.Message.primary = t.rid then begin
+    Obs.Histogram.observe t.ph.h_pp_to_commit (now -. rec_.br_t_pp);
+    Obs.Histogram.observe t.ph.h_prepared_to_commit (now -. rec_.br_t_prepared)
+  end;
+  if Obs.tracing_enabled t.obs then begin
+    let id = batch_id rec_ in
+    Obs.span_end t.obs ~node:t.rid ~cat:"batch" ~name:"phase.commit" ~id ();
+    Obs.span_end t.obs ~node:t.rid ~cat:"batch" ~name:"consensus" ~id ();
+    Obs.instant t.obs ~node:t.rid ~cat:"batch" ~name:"batch.committed" ~id
+      ~args:[ ("txs", string_of_int (List.length rec_.br_txs)) ]
+      ();
+    if
+      List.exists (fun (tx : Batch.tx_entry) -> is_gov_request tx.Batch.request)
+        rec_.br_txs
+    then Obs.instant t.obs ~node:t.rid ~cat:"gov" ~name:"gov.batch" ~id ()
+  end
+
+(* Close the open spans of a batch a view change rolls back. Batches
+   adopted already-committed (state transfer) never had begins. *)
+let trace_batch_cancelled t rec_ =
+  if Obs.tracing_enabled t.obs && not rec_.br_committed then begin
+    let id = batch_id rec_ in
+    let args = [ ("cancelled", "true") ] in
+    Obs.span_end t.obs ~node:t.rid ~cat:"batch"
+      ~name:(if rec_.br_prepared then "phase.commit" else "phase.prepare")
+      ~id ~args ();
+    Obs.span_end t.obs ~node:t.rid ~cat:"batch" ~name:"consensus" ~id ~args ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Forward declarations for the mutually recursive protocol engine      *)
 
 let rec check_prepared t =
@@ -618,6 +757,7 @@ let rec check_prepared t =
       if matching >= quorum t - 1 then begin
         rec_.br_prepared <- true;
         t.last_prepared <- q;
+        trace_batch_prepared t rec_;
         (match Hashtbl.find_opt t.prepared_pps q with
         | Some prev when prev.Message.view >= rec_.br_pp.Message.view -> ()
         | _ -> Hashtbl.replace t.prepared_pps q rec_.br_pp);
@@ -636,12 +776,15 @@ and on_prepared t rec_ =
          messages; L-PBFT's nonce reveal does not (§3.1, Lemma 3). *)
       if t.params.variant.Variant.peerreview then peerreview_extra_sign t "commit";
       if t.params.variant.Variant.sign_commits then begin
-        t.st.signatures_made <- t.st.signatures_made + 1;
+        Obs.incr t.ctr.c_sigs_made;
         ignore
           (Schnorr.sign t.sk
              (D.to_raw (D.of_string (Printf.sprintf "commit:%d:%d:%d" v s t.rid))))
       end;
       Hashtbl.replace (sub_tbl t.commits (v, s)) t.rid nonce;
+      if Obs.tracing_enabled t.obs then
+        Obs.instant t.obs ~node:t.rid ~cat:"batch" ~name:"nonce.reveal"
+          ~id:(string_of_int s) ();
       broadcast_replicas t (Wire.Commit_msg commit)
   | None -> ());
   send_replies t rec_;
@@ -678,8 +821,9 @@ and check_committed t =
         rec_.br_committed <- true;
         t.last_committed <- q;
         t.stall_count <- 0;
-        t.st.batches_committed <- t.st.batches_committed + 1;
-        t.st.txs_committed <- t.st.txs_committed + List.length rec_.br_txs;
+        Obs.incr t.ctr.c_batches_committed;
+        Obs.add t.ctr.c_requests_committed (List.length rec_.br_txs);
+        trace_batch_committed t rec_;
         record_gov_receipts t rec_;
         prune_old_state t;
         try_send_pre_prepares t;
@@ -849,10 +993,13 @@ and emit_batch t ?fixed_txs ~kind ~reqs ~ev_prepares ~ev_nonces ~ev_bitmap () =
       br_cfg_before = cfg_before;
       br_prepared = false;
       br_committed = false;
+      br_t_pp = 0.0;
+      br_t_prepared = 0.0;
     }
   in
   Hashtbl.replace t.records s rec_;
   Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+  trace_batch_begin t rec_;
   post_execute_batch t pp txs;
   t.seqno <- s + 1;
   broadcast_replicas t (Wire.Pre_prepare_msg { pp; batch = batch_hashes });
@@ -1029,10 +1176,13 @@ and process_pre_prepare t (pp : Message.pre_prepare) batch_hashes =
                 br_cfg_before = cfg_before;
                 br_prepared = false;
                 br_committed = false;
+                br_t_pp = 0.0;
+                br_t_prepared = 0.0;
               }
             in
             Hashtbl.replace t.records s rec_;
             Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+            trace_batch_begin t rec_;
             post_execute_batch t pp txs;
             t.seqno <- s + 1;
             Hashtbl.replace (sub_tbl t.prepares (v, s)) t.rid prepare;
@@ -1108,7 +1258,7 @@ and on_request t (req : Request.t) =
     then begin
       let ok =
         if t.params.variant.Variant.verify_client_sigs then begin
-          t.st.signatures_verified <- t.st.signatures_verified + 1;
+          Obs.incr t.ctr.c_sigs_verified;
           Request.verify req ~service:t.service
         end
         else true
@@ -1116,6 +1266,11 @@ and on_request t (req : Request.t) =
       if ok then begin
         Hashtbl.replace t.requests h req;
         t.request_order <- Request.hash req :: t.request_order;
+        Obs.incr t.ctr.c_requests_received;
+        if Obs.tracing_enabled t.obs then
+          Obs.instant t.obs ~node:t.rid ~cat:"request" ~name:"request.received"
+            ~args:[ ("proc", req.Request.proc) ]
+            ();
         if is_primary t then arm_batch_timer t;
         try_process_pending t
       end
@@ -1137,7 +1292,7 @@ and on_commit t (c : Message.commit) =
   if t.running && t.activated && c.Message.c_replica <> t.rid then begin
     (* Signed-commit ablation: pay the verification the nonce scheme saves. *)
     if t.params.variant.Variant.sign_commits then begin
-      t.st.signatures_verified <- t.st.signatures_verified + 1;
+      Obs.incr t.ctr.c_sigs_verified;
       match Config.replica_pk t.cfg c.Message.c_replica with
       | Some pk ->
           ignore
@@ -1178,6 +1333,7 @@ and rollback_to t target =
     for q = target + 1 to top do
       match Hashtbl.find_opt t.records q with
       | Some rec_ ->
+          trace_batch_cancelled t rec_;
           Hashtbl.replace t.archived_content
             (q, (rec_.br_pp.Message.g_root :> string))
             (rec_.br_pp.Message.kind, rec_.br_requests, rec_.br_txs);
@@ -1187,7 +1343,11 @@ and rollback_to t target =
               Hashtbl.remove t.executed_requests h;
               if not (Hashtbl.mem t.requests h) then begin
                 Hashtbl.replace t.requests h req;
-                t.request_order <- Request.hash req :: t.request_order
+                t.request_order <- Request.hash req :: t.request_order;
+                (* Back in the pending pool: it will be proposed (and
+                   counted committed) again, so count the re-admission to
+                   keep requests_committed <= requests_received. *)
+                Obs.incr t.ctr.c_requests_received
               end)
             rec_.br_requests;
           Hashtbl.remove t.records q;
@@ -1218,7 +1378,11 @@ and last_prepared_pps t =
 
 and send_view_change t v' =
   if t.running && t.activated && in_config t then begin
-    t.st.view_changes <- t.st.view_changes + 1;
+    Obs.incr t.ctr.c_view_changes;
+    if Obs.tracing_enabled t.obs then
+      Obs.instant t.obs ~node:t.rid ~cat:"view" ~name:"view_change"
+        ~args:[ ("view", string_of_int v') ]
+        ();
     let pps = last_prepared_pps t in
     t.view <- v';
     t.ready <- false;
@@ -1361,6 +1525,10 @@ and maybe_new_view t =
         append_ledger t (Entry.New_view nv);
         broadcast_replicas t (Wire.New_view_msg { nv; vcs });
         t.ready <- true;
+        if Obs.tracing_enabled t.obs then
+          Obs.instant t.obs ~node:t.rid ~cat:"view" ~name:"new_view"
+            ~args:[ ("view", string_of_int v') ]
+            ();
         (* Re-propose the prepared batches in the new view (Alg. 2 line 17),
            then resume normal batching. *)
         List.iter
@@ -1424,6 +1592,10 @@ and try_complete_new_view t =
             t.pending_new_view <- None;
             append_ledger t (Entry.New_view nv);
             t.ready <- true;
+            if Obs.tracing_enabled t.obs then
+              Obs.instant t.obs ~node:t.rid ~cat:"view" ~name:"new_view.adopted"
+                ~args:[ ("view", string_of_int nv.Message.nv_view) ]
+                ();
             try_process_pending t;
             (* Re-emitted pre-prepares may have been dropped before we
                adopted the view; pull the next batch explicitly. *)
@@ -1626,6 +1798,8 @@ and apply_entries t ?(skip_exec_upto = 0) entries =
                 br_cfg_before = cfg_before;
                 br_prepared = true;
                 br_committed = true;
+                br_t_pp = 0.0;
+                br_t_prepared = 0.0;
               }
             in
             Hashtbl.replace t.records s rec_;
@@ -1779,7 +1953,8 @@ and on_batch_package t (bp : Wire.batch_package) =
         if (not (Hashtbl.mem t.requests h)) && not (Hashtbl.mem t.executed_requests h)
         then begin
           Hashtbl.replace t.requests h req;
-          t.request_order <- Request.hash req :: t.request_order
+          t.request_order <- Request.hash req :: t.request_order;
+          Obs.incr t.ctr.c_requests_received
         end)
       bp.Wire.bp_requests;
     store_package_evidence t bp;
@@ -1858,10 +2033,10 @@ let on_message t ~src msg =
   if t.running then begin
     (if t.params.variant.Variant.peerreview && is_replica_address src then begin
        match msg with
-       | Wire.Ack_msg _ -> t.st.signatures_verified <- t.st.signatures_verified + 1
+       | Wire.Ack_msg _ -> Obs.incr t.ctr.c_sigs_verified
        | _ ->
-           t.st.signatures_verified <- t.st.signatures_verified + 1;
-           t.st.signatures_made <- t.st.signatures_made + 1;
+           Obs.incr t.ctr.c_sigs_verified;
+           Obs.incr t.ctr.c_sigs_made;
            let digest = D.of_string (Wire.describe msg) in
            let signature = Schnorr.sign t.sk (D.to_raw digest) in
            Network.send t.network ~src:t.rid ~dst:src
@@ -1987,22 +2162,12 @@ let restore_from_storage t storage =
   end
 
 let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
-    ?storage () =
+    ?obs ?storage () =
   if params.checkpoint_interval <= params.pipeline then
     invalid_arg "Replica.create: checkpoint interval must exceed the pipeline depth";
   let cfg = genesis.Genesis.initial_config in
-  let st =
-    {
-      signatures_made = 0;
-      signatures_verified = 0;
-      macs_computed = 0;
-      batches_committed = 0;
-      txs_executed = 0;
-      txs_committed = 0;
-      view_changes = 0;
-      checkpoints_taken = 0;
-    }
-  in
+  let obs = match obs with Some o -> o | None -> Obs.passive () in
+  Obs.set_node_name obs id (Printf.sprintf "replica-%d" id);
   let store = Store.create () in
   let cp0 = Checkpoint.make ~seqno:0 (Store.map store) in
   let t =
@@ -2019,7 +2184,9 @@ let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
       network;
       client_address;
       rng;
-      st;
+      obs;
+      ctr = make_counters obs id;
+      ph = make_phase_hists obs;
       cfg;
       view = 0;
       seqno = 1;

@@ -46,10 +46,22 @@ val create :
   network:Wire.t Iaccf_sim.Network.t ->
   client_address:(Schnorr.public_key -> int option) ->
   rng:Iaccf_util.Rng.t ->
+  ?obs:Iaccf_obs.Obs.t ->
   ?storage:Iaccf_storage.Store.t ->
   unit ->
   t
-(** The replica registers itself on the network under address [id]. A
+(** The replica registers itself on the network under address [id].
+
+    With [obs] (default: a private counting-only registry) the replica's
+    tallies land there as [replica.<id>.*] counters, and — when the
+    registry has metrics/tracing on — each batch is traced as an async
+    span through the protocol phases (pre-prepare acceptance, prepare
+    certificate, commit), the per-phase latencies are observed into the
+    shared [lat.*] histograms (by the batch's primary only, so each batch
+    counts once), and commits stamp a [commit:<seqno>] mark that clients
+    use to measure commit-to-receipt latency.
+
+    A
     replica whose [id] is not in the genesis configuration stays passive
     until a reconfiguration activates it (it then fetches state, §5.1).
     When [storage] is given it becomes the ledger's write-through durable
@@ -79,7 +91,13 @@ val last_committed : t -> int
 val ledger : t -> Iaccf_ledger.Ledger.t
 val storage : t -> Iaccf_storage.Store.t option
 val store : t -> Iaccf_kv.Store.t
+
 val stats : t -> stats
+(** A fresh snapshot of the replica's obs counters in the historical
+    record shape; mutating the returned record does not affect the
+    replica. *)
+
+val obs : t -> Iaccf_obs.Obs.t
 val gov_index : t -> int
 val pending_requests : t -> int
 

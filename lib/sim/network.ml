@@ -1,32 +1,38 @@
 module Rng = Iaccf_util.Rng
+module Obs = Iaccf_obs.Obs
 
 type 'msg t = {
   sched : Sched.t;
   latency : Latency.t;
   drop_rng : Rng.t option;
+  obs : Obs.t;
   handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
   mutable drop_probability : float;
   mutable cuts : (int * int) list; (* unordered pairs with severed links *)
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped_cut : int; (* dropped on a severed link *)
-  mutable dropped_prob : int; (* dropped by the loss probability *)
-  mutable dropped_unregistered : int; (* arrived for an absent handler *)
+  (* Tallies live in the obs registry (instance-scoped); the accessors
+     below read them back so callers see the same counts as before. *)
+  c_sent : Obs.counter;
+  c_delivered : Obs.counter;
+  c_dropped_cut : Obs.counter; (* dropped on a severed link *)
+  c_dropped_prob : Obs.counter; (* dropped by the loss probability *)
+  c_dropped_unregistered : Obs.counter; (* arrived for an absent handler *)
 }
 
-let create ~sched ~latency ?drop_rng () =
+let create ~sched ~latency ?drop_rng ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.passive () in
   {
     sched;
     latency;
     drop_rng;
+    obs;
     handlers = Hashtbl.create 16;
     drop_probability = 0.0;
     cuts = [];
-    sent = 0;
-    delivered = 0;
-    dropped_cut = 0;
-    dropped_prob = 0;
-    dropped_unregistered = 0;
+    c_sent = Obs.counter obs "net.sent";
+    c_delivered = Obs.counter obs "net.delivered";
+    c_dropped_cut = Obs.counter obs "net.dropped.cut";
+    c_dropped_prob = Obs.counter obs "net.dropped.prob";
+    c_dropped_unregistered = Obs.counter obs "net.dropped.unregistered";
   }
 
 let register t id handler = Hashtbl.replace t.handlers id handler
@@ -46,19 +52,35 @@ let drop_reason t ~src ~dst =
         Some `Prob
     | _ -> None
 
+let trace_drop t ~src ~dst cause =
+  Obs.instant t.obs ~node:src ~cat:"net" ~name:"net.drop"
+    ~args:
+      [ ("cause", cause); ("src", string_of_int src); ("dst", string_of_int dst) ]
+    ()
+
 let send t ~src ~dst msg =
-  t.sent <- t.sent + 1;
+  Obs.incr t.c_sent;
+  if Obs.tracing_enabled t.obs then
+    Obs.instant t.obs ~node:src ~cat:"net" ~name:"net.send"
+      ~args:[ ("dst", string_of_int dst) ]
+      ();
   match drop_reason t ~src ~dst with
-  | Some `Cut -> t.dropped_cut <- t.dropped_cut + 1
-  | Some `Prob -> t.dropped_prob <- t.dropped_prob + 1
+  | Some `Cut ->
+      Obs.incr t.c_dropped_cut;
+      trace_drop t ~src ~dst "cut"
+  | Some `Prob ->
+      Obs.incr t.c_dropped_prob;
+      trace_drop t ~src ~dst "prob"
   | None ->
       let delay = Latency.sample t.latency ~src ~dst in
       ignore
         (Sched.schedule t.sched ~delay (fun () ->
              match Hashtbl.find_opt t.handlers dst with
-             | None -> t.dropped_unregistered <- t.dropped_unregistered + 1
+             | None ->
+                 Obs.incr t.c_dropped_unregistered;
+                 trace_drop t ~src ~dst "unregistered"
              | Some handler ->
-                 t.delivered <- t.delivered + 1;
+                 Obs.incr t.c_delivered;
                  handler ~src msg))
 
 let broadcast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
@@ -72,10 +94,15 @@ let partition t group1 group2 =
   List.iter (fun a -> List.iter (fun b -> t.cuts <- (a, b) :: t.cuts) group2) group1
 
 let heal t = t.cuts <- []
-let messages_sent t = t.sent
-let messages_delivered t = t.delivered
-let messages_dropped_cut t = t.dropped_cut
-let messages_dropped_prob t = t.dropped_prob
-let messages_dropped_unregistered t = t.dropped_unregistered
-let messages_dropped t = t.dropped_cut + t.dropped_prob + t.dropped_unregistered
-let drop_rate t = if t.sent = 0 then 0.0 else float_of_int (messages_dropped t) /. float_of_int t.sent
+let messages_sent t = Obs.value t.c_sent
+let messages_delivered t = Obs.value t.c_delivered
+let messages_dropped_cut t = Obs.value t.c_dropped_cut
+let messages_dropped_prob t = Obs.value t.c_dropped_prob
+let messages_dropped_unregistered t = Obs.value t.c_dropped_unregistered
+
+let messages_dropped t =
+  messages_dropped_cut t + messages_dropped_prob t + messages_dropped_unregistered t
+
+let drop_rate t =
+  if messages_sent t = 0 then 0.0
+  else float_of_int (messages_dropped t) /. float_of_int (messages_sent t)

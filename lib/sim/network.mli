@@ -10,7 +10,17 @@
 type 'msg t
 
 val create :
-  sched:Sched.t -> latency:Latency.t -> ?drop_rng:Iaccf_util.Rng.t -> unit -> 'msg t
+  sched:Sched.t ->
+  latency:Latency.t ->
+  ?drop_rng:Iaccf_util.Rng.t ->
+  ?obs:Iaccf_obs.Obs.t ->
+  unit ->
+  'msg t
+(** With [obs], message tallies land in that registry ([net.sent],
+    [net.delivered], [net.dropped.cut/prob/unregistered]) and, when tracing
+    is enabled, every send and drop emits a trace event (drops carry their
+    cause). Without it the network keeps a private counting-only
+    registry, so the accessors below always work. *)
 
 val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** Attach a node's message handler. Re-registering replaces the handler. *)

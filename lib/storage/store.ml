@@ -5,6 +5,7 @@ module Codec = Iaccf_util.Codec
 module Vec = Iaccf_util.Vec
 module Lru = Iaccf_util.Lru
 module D = Iaccf_crypto.Digest32
+module Obs = Iaccf_obs.Obs
 
 exception Storage_error of string
 
@@ -38,6 +39,12 @@ type slot = { s_seg : int; s_off : int; s_len : int; s_msize : int }
 type t = {
   cfg : config;
   readonly : bool;
+  obs : Obs.t;
+  owner : int; (* trace-event node id (e.g. the owning replica) *)
+  c_appends : Obs.counter;
+  c_append_bytes : Obs.counter;
+  c_fsyncs : Obs.counter;
+  c_truncates : Obs.counter;
   slots : slot Vec.t;
   tree : Tree.t;
   cache : (int, Entry.t) Lru.t;
@@ -186,7 +193,7 @@ let open_tail_fd t ~first ~size =
   t.tail_first <- first;
   t.tail_size <- size
 
-let open_store ?(readonly = false) cfg =
+let open_store ?(readonly = false) ?obs ?(owner = 0) cfg =
   if cfg.segment_bytes < Frame.header_bytes + 1 then
     invalid_arg "Store.open_store: segment_bytes too small";
   if readonly then begin
@@ -194,10 +201,17 @@ let open_store ?(readonly = false) cfg =
       fail "no store at %s" cfg.dir
   end
   else mkdir_p cfg.dir;
+  let obs = match obs with Some o -> o | None -> Obs.passive () in
   let t =
     {
       cfg;
       readonly;
+      obs;
+      owner;
+      c_appends = Obs.counter obs "storage.appends";
+      c_append_bytes = Obs.counter obs "storage.append_bytes";
+      c_fsyncs = Obs.counter obs "storage.fsyncs";
+      c_truncates = Obs.counter obs "storage.truncates";
       slots = Vec.create ();
       tree = Tree.create ();
       cache = Lru.create ~capacity:cfg.cache_capacity;
@@ -307,6 +321,10 @@ let sync t =
   check_rw t "sync";
   (match t.tail_fd with Some fd -> Unix.fsync fd | None -> ());
   write_root_file t;
+  Obs.incr t.c_fsyncs;
+  Obs.instant t.obs ~node:t.owner ~cat:"storage" ~name:"storage.fsync"
+    ~args:[ ("entries", string_of_int (Vec.length t.slots)) ]
+    ();
   t.unsynced <- 0
 
 let roll_segment t =
@@ -315,6 +333,7 @@ let roll_segment t =
       (* The finished segment is immutable from here on: make it durable
          before anything lands in its successor. *)
       Unix.fsync fd;
+      Obs.incr t.c_fsyncs;
       Unix.close fd
   | None -> ());
   t.tail_fd <- None;
@@ -333,6 +352,12 @@ let append t entry =
   append_slot t ~seg:t.tail_first ~off:t.tail_size ~len entry;
   t.tail_size <- t.tail_size + len;
   Lru.put t.cache index entry;
+  Obs.incr t.c_appends;
+  Obs.add t.c_append_bytes len;
+  if Obs.tracing_enabled t.obs then
+    Obs.instant t.obs ~node:t.owner ~cat:"storage" ~name:"storage.append"
+      ~args:[ ("index", string_of_int index); ("bytes", string_of_int len) ]
+      ();
   t.unsynced <- t.unsynced + 1;
   (match t.cfg.fsync with
   | Fsync_always -> sync t
@@ -374,6 +399,11 @@ let truncate t n =
   check_rw t "truncate";
   if n < 1 then invalid_arg "Store.truncate: cannot drop the genesis";
   if n < Vec.length t.slots then begin
+    Obs.incr t.c_truncates;
+    Obs.instant t.obs ~node:t.owner ~cat:"storage" ~name:"storage.truncate"
+      ~args:
+        [ ("to", string_of_int n); ("from", string_of_int (Vec.length t.slots)) ]
+      ();
     let last = Vec.get t.slots (n - 1) in
     let cut = last.s_off + last.s_len in
     for i = n to Vec.length t.slots - 1 do

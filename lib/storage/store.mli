@@ -44,10 +44,17 @@ type recovery_info = {
 
 type t
 
-val open_store : ?readonly:bool -> config -> t
+val open_store :
+  ?readonly:bool -> ?obs:Iaccf_obs.Obs.t -> ?owner:int -> config -> t
 (** Open (creating the directory if needed) and recover. Fresh directories
     start empty; existing ones are scanned, torn tail frames truncated, and
     the rebuilt Merkle root checked against [root.iaccf].
+
+    With [obs], appends, fsyncs and truncations are counted in that
+    registry ([storage.appends], [storage.append_bytes], [storage.fsyncs],
+    [storage.truncates] — shared by every store on the registry) and, when
+    tracing is on, emitted as trace events under node id [owner] (e.g. the
+    owning replica's id; default [0]).
 
     With [~readonly:true] (offline audit/export) the open performs {e no}
     on-disk mutation: torn tail frames are skipped in memory instead of

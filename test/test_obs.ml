@@ -1,0 +1,290 @@
+(* The observability subsystem: exact nearest-rank percentiles at the
+   edges, byte-deterministic metrics snapshots, and the trace-span
+   completeness property — every committed batch has a full ordered
+   phase span with no orphan begin/end events, even when a view change
+   rolls batches back and re-proposes them. *)
+
+open Iaccf_core
+module Obs = Iaccf_obs.Obs
+
+let check = Alcotest.check
+
+(* Fixed QCheck state, as in test_lincheck: the sampled seeds are part of
+   the test, not a per-run lottery. *)
+let qtest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 409 |]) t
+
+(* --------------------------------------------------------------- *)
+(* Percentiles                                                     *)
+
+let hist samples =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.observe h) samples;
+  h
+
+let test_percentile_empty () =
+  let h = hist [] in
+  check (Alcotest.float 0.0) "p50 of empty" 0.0 (Obs.Histogram.percentile h 0.5);
+  check (Alcotest.float 0.0) "p100 of empty" 0.0 (Obs.Histogram.percentile h 1.0);
+  check (Alcotest.float 0.0) "of empty list" 0.0 (Obs.Histogram.percentile_of_list 0.99 [])
+
+let test_percentile_single () =
+  let h = hist [ 42.0 ] in
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "p%.2f of single" p)
+        42.0
+        (Obs.Histogram.percentile h p))
+    [ 0.0; 0.01; 0.5; 0.99; 1.0 ]
+
+let test_percentile_nearest_rank () =
+  (* Ten samples: rank = ceil (p * 10), 1-based. *)
+  let h = hist (List.init 10 (fun i -> float_of_int (i + 1))) in
+  check (Alcotest.float 0.0) "p50" 5.0 (Obs.Histogram.percentile h 0.50);
+  check (Alcotest.float 0.0) "p90" 9.0 (Obs.Histogram.percentile h 0.90);
+  check (Alcotest.float 0.0) "p99" 10.0 (Obs.Histogram.percentile h 0.99);
+  check (Alcotest.float 0.0) "p100 is the max" 10.0 (Obs.Histogram.percentile h 1.0);
+  check (Alcotest.float 0.0) "p<=0 is the min" 1.0 (Obs.Histogram.percentile h (-0.5));
+  check (Alcotest.float 0.0) "list agrees" 9.0
+    (Obs.Histogram.percentile_of_list 0.90 (List.init 10 (fun i -> float_of_int (10 - i))))
+
+(* --------------------------------------------------------------- *)
+(* Snapshot: golden rendering, parser, determinism                 *)
+
+let test_snapshot_golden () =
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let a = Obs.counter obs "a" in
+  Obs.incr a;
+  Obs.incr a;
+  Obs.set_gauge (Obs.gauge obs "g") 1.5;
+  let h = Obs.histogram obs ~buckets:[| 1.0; 2.0 |] "h" in
+  Obs.Histogram.observe h 0.5;
+  Obs.Histogram.observe h 1.5;
+  let expected =
+    String.concat "\n"
+      [
+        "a 2";
+        "g 1.500";
+        "h.bucket.le_1 1";
+        "h.bucket.le_2 2";
+        "h.bucket.le_inf 2";
+        "h.count 2";
+        "h.max 1.500";
+        "h.mean 1";
+        "h.min 0.500";
+        "h.p50 0.500";
+        "h.p90 1.500";
+        "h.p99 1.500";
+        "h.sum 2";
+        "";
+      ]
+  in
+  check Alcotest.string "golden snapshot" expected (Obs.snapshot_string obs)
+
+let test_snapshot_roundtrip () =
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  Obs.add (Obs.counter obs "x.y") 7;
+  Obs.Histogram.observe (Obs.histogram obs "lat") 3.25;
+  check
+    Alcotest.(list (pair string string))
+    "parse inverts render" (Obs.snapshot obs)
+    (Obs.parse_snapshot (Obs.snapshot_string obs));
+  Alcotest.check_raises "malformed line"
+    (Failure "Obs.parse_snapshot: malformed line: no-value-here") (fun () ->
+      ignore (Obs.parse_snapshot "a 1\nno-value-here\n"))
+
+(* A small instrumented workload on a real cluster. *)
+let instrumented_run ?(seed = 7) ?(tracing = false) ?(view_change = false) () =
+  let obs = Obs.create ~metrics:true ~tracing () in
+  let cluster = Cluster.make ~seed ~n:4 ~obs () in
+  let client = Cluster.add_client cluster () in
+  let completed = ref 0 in
+  let submit n =
+    for i = 1 to n do
+      Client.submit client ~proc:"counter/add" ~args:(string_of_int i)
+        ~on_complete:(fun _ -> incr completed)
+        ()
+    done
+  in
+  submit 6;
+  let ok1 =
+    Cluster.run_until cluster ~timeout_ms:600_000.0 (fun () -> !completed >= 6)
+  in
+  if view_change then Replica.stop (Cluster.replica cluster 0);
+  submit 4;
+  let ok2 =
+    Cluster.run_until cluster ~timeout_ms:600_000.0 (fun () -> !completed >= 10)
+  in
+  (* Let the backups finish committing the tail so no span is open merely
+     because the scheduler stopped mid-batch. *)
+  Cluster.run cluster ~ms:5_000.0;
+  (obs, ok1 && ok2)
+
+let test_snapshot_deterministic () =
+  let snap () =
+    let obs, ok = instrumented_run ~seed:11 () in
+    check Alcotest.bool "workload completed" true ok;
+    Obs.snapshot_string obs
+  in
+  let a = snap () and b = snap () in
+  check Alcotest.string "same seed, byte-identical snapshot" a b;
+  check Alcotest.bool "snapshot is non-trivial" true (String.length a > 500)
+
+let test_counter_invariants () =
+  let obs, ok = instrumented_run ~seed:13 () in
+  check Alcotest.bool "workload completed" true ok;
+  for id = 0 to 3 do
+    let c name = Obs.counter_value obs (Printf.sprintf "replica.%d.%s" id name) in
+    check Alcotest.bool
+      (Printf.sprintf "replica %d commits <= receives" id)
+      true
+      (c "requests_committed" <= c "requests_received");
+    check Alcotest.bool (Printf.sprintf "replica %d committed" id) true
+      (c "requests_committed" > 0)
+  done;
+  check Alcotest.bool "client conservation" true
+    (Obs.counter_value obs "client.completed" <= Obs.counter_value obs "client.submitted")
+
+(* --------------------------------------------------------------- *)
+(* Trace-span completeness                                         *)
+
+(* Every span key (node, cat, name, id) must alternate begin/end in
+   emission order and close by the end of the run. *)
+let check_span_parity events =
+  let open_spans = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = (e.Obs.ev_node, e.Obs.ev_cat, e.Obs.ev_name, e.Obs.ev_id) in
+      match e.Obs.ev_ph with
+      | Obs.Span_begin ->
+          if Hashtbl.mem open_spans k then
+            QCheck.Test.fail_reportf "duplicate begin for %s/%s on node %d"
+              e.Obs.ev_name e.Obs.ev_id e.Obs.ev_node;
+          Hashtbl.replace open_spans k ()
+      | Obs.Span_end ->
+          if not (Hashtbl.mem open_spans k) then
+            QCheck.Test.fail_reportf "end without begin for %s/%s on node %d"
+              e.Obs.ev_name e.Obs.ev_id e.Obs.ev_node;
+          Hashtbl.remove open_spans k
+      | Obs.Instant -> ())
+    events;
+  Hashtbl.iter
+    (fun (node, _, name, id) () ->
+      QCheck.Test.fail_reportf "orphan begin for %s/%s on node %d" name id node)
+    open_spans
+
+let cancelled e = List.mem_assoc "cancelled" e.Obs.ev_args
+
+(* The span sequence of one batch on one node is blocks of
+     consensus[ phase.prepare [phase.commit] ]consensus
+   — each block either cancelled by a view change or ending in a commit.
+   A batch may have several complete blocks: a new view can roll a node
+   back below its locally committed prefix, and the re-proposed batch
+   (same g_root, Alg. 2) runs consensus again. For a batch the node
+   reported committed, the last block must be a complete, uncancelled
+   prepare+commit. *)
+let rec check_blocks ~loc = function
+  | [] -> QCheck.Test.fail_reportf "%s: committed batch has no span blocks" loc
+  | cb :: pb :: pe :: rest -> (
+      let name e = e.Obs.ev_name and ph e = e.Obs.ev_ph in
+      if
+        not
+          (ph cb = Obs.Span_begin && name cb = "consensus"
+          && ph pb = Obs.Span_begin
+          && name pb = "phase.prepare"
+          && ph pe = Obs.Span_end
+          && name pe = "phase.prepare")
+      then QCheck.Test.fail_reportf "%s: malformed block head" loc;
+      match rest with
+      | ce :: rest' when ph ce = Obs.Span_end && name ce = "consensus" ->
+          (* Rolled back before the prepare quorum. *)
+          if not (cancelled pe && cancelled ce) then
+            QCheck.Test.fail_reportf "%s: truncated block not cancelled" loc;
+          if rest' = [] then
+            QCheck.Test.fail_reportf "%s: committed batch ends cancelled" loc;
+          check_blocks ~loc rest'
+      | cmb :: cme :: ce :: rest'
+        when ph cmb = Obs.Span_begin
+             && name cmb = "phase.commit"
+             && ph cme = Obs.Span_end
+             && name cme = "phase.commit"
+             && ph ce = Obs.Span_end
+             && name ce = "consensus" ->
+          if cancelled cme <> cancelled ce then
+            QCheck.Test.fail_reportf "%s: half-cancelled block" loc;
+          if rest' = [] then begin
+            if cancelled ce then
+              QCheck.Test.fail_reportf "%s: committed batch ends cancelled" loc
+          end
+          else check_blocks ~loc rest'
+      | _ -> QCheck.Test.fail_reportf "%s: malformed block tail" loc)
+  | _ -> QCheck.Test.fail_reportf "%s: dangling span events" loc
+
+let check_committed_batches events =
+  let committed =
+    List.filter_map
+      (fun e ->
+        if e.Obs.ev_ph = Obs.Instant && e.Obs.ev_name = "batch.committed" then
+          Some (e.Obs.ev_node, e.Obs.ev_id)
+        else None)
+      events
+  in
+  if committed = [] then QCheck.Test.fail_report "no batch committed anywhere";
+  List.iter
+    (fun (node, id) ->
+      let spans =
+        List.filter
+          (fun e ->
+            e.Obs.ev_node = node && e.Obs.ev_cat = "batch" && e.Obs.ev_id = id
+            && e.Obs.ev_ph <> Obs.Instant)
+          events
+      in
+      check_blocks ~loc:(Printf.sprintf "batch %s on node %d" id node) spans)
+    committed
+
+(* Every request the client saw complete has a balanced end-to-end span. *)
+let check_request_spans events completed =
+  let count ph =
+    List.length
+      (List.filter
+         (fun e -> e.Obs.ev_ph = ph && e.Obs.ev_cat = "request" && e.Obs.ev_name = "e2e")
+         events)
+  in
+  if count Obs.Span_begin <> completed || count Obs.Span_end <> completed then
+    QCheck.Test.fail_reportf "request spans %d/%d for %d completions"
+      (count Obs.Span_begin) (count Obs.Span_end) completed
+
+let prop_committed_spans_complete =
+  QCheck.Test.make ~name:"committed batches trace full phase spans" ~count:4
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let obs, ok = instrumented_run ~seed ~tracing:true ~view_change:true () in
+      if not ok then QCheck.Test.fail_report "workload did not complete";
+      let events = Obs.events obs in
+      check_span_parity events;
+      check_committed_batches events;
+      check_request_spans events 10;
+      (* The forced view change must be visible in the trace. *)
+      List.exists
+        (fun e -> e.Obs.ev_ph = Obs.Instant && e.Obs.ev_cat = "view")
+        events)
+
+let () =
+  Alcotest.run "iaccf_obs"
+    [
+      ( "percentiles",
+        [
+          Alcotest.test_case "empty" `Quick test_percentile_empty;
+          Alcotest.test_case "single sample" `Quick test_percentile_single;
+          Alcotest.test_case "nearest rank" `Quick test_percentile_nearest_rank;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "golden rendering" `Quick test_snapshot_golden;
+          Alcotest.test_case "parse round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "deterministic under fixed seed" `Quick
+            test_snapshot_deterministic;
+          Alcotest.test_case "counter invariants" `Quick test_counter_invariants;
+        ] );
+      ("tracing", [ qtest prop_committed_spans_complete ]);
+    ]
