@@ -478,6 +478,106 @@ let keys_cmd =
     (Cmd.info "keys" ~doc:"Print the deterministic service and replica keys.")
     Term.(const run $ replicas_arg $ seed_arg)
 
+let chaos_cmd =
+  let open Iaccf_chaos in
+  let suite_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "suite" ] ~docv:"SUITE"
+          ~doc:"Scenario suite to run: core, byzantine, recovery, or all.")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt string "1..3"
+      & info [ "seeds" ] ~docv:"A..B"
+          ~doc:"Inclusive seed range (or a single seed). Every cell is \
+                deterministic in its seed.")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Run only the named scenario (as printed in result lines and \
+                failure reproducers).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the sweep (default: one per core, capped).")
+  in
+  let chaos_metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print each cell's deterministic metrics snapshot after its \
+                result line.")
+  in
+  let run suite seeds scenario jobs metrics =
+    let scenarios =
+      match scenario with
+      | Some name -> (
+          match Scenarios.find name with
+          | Some sc -> [ sc ]
+          | None ->
+              Printf.eprintf "iaccf chaos: unknown scenario %S; known:\n" name;
+              List.iter
+                (fun sc -> Printf.eprintf "  %s\n" sc.Scenario.sc_name)
+                Scenarios.all;
+              exit 2)
+      | None -> (
+          match (suite, Scenario.suite_of_name suite) with
+          | "all", _ -> Scenarios.all
+          | _, Some s -> Scenarios.suite s
+          | _, None ->
+              Printf.eprintf
+                "iaccf chaos: unknown suite %S (core|byzantine|recovery|all)\n"
+                suite;
+              exit 2)
+    in
+    let seeds =
+      try Runner.seed_range seeds
+      with _ ->
+        Printf.eprintf "iaccf chaos: bad --seeds %S (expected A..B or N)\n" seeds;
+        exit 2
+    in
+    let jobs = if jobs <= 0 then Runner.default_jobs () else jobs in
+    let results = Runner.sweep ~jobs ~scenarios ~seeds () in
+    List.iter
+      (fun r ->
+        print_endline (Runner.describe r);
+        if metrics then
+          List.iter
+            (fun (k, v) -> Printf.printf "    %s %s\n" k v)
+            r.Runner.r_metrics)
+      results;
+    let failed = Runner.failures results in
+    Printf.printf "chaos: %d/%d cells passed (%d scenarios x %d seeds, %d jobs)\n"
+      (List.length results - List.length failed)
+      (List.length results) (List.length scenarios) (List.length seeds) jobs;
+    if failed <> [] then begin
+      prerr_endline "chaos: oracle violations; reproduce with:";
+      List.iter (fun r -> prerr_endline ("  " ^ Runner.reproducer r)) failed;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run scripted fault-injection scenarios (crashes, partitions, loss, \
+          Byzantine replicas, storage crashes) and check every run against \
+          the end-to-end accountability oracle: tolerated faults must leave \
+          a live, linearizable, cleanly auditable service; scripted \
+          misbehaviour must yield an enforcer-verified uPoM blaming only the \
+          scripted culprits.")
+    Term.(
+      const run $ suite_arg $ seeds_arg $ scenario_arg $ jobs_arg
+      $ chaos_metrics_arg)
+
 let () =
   let info =
     Cmd.info "iaccf" ~version:"1.0.0"
@@ -485,7 +585,15 @@ let () =
   in
   let group =
     Cmd.group info
-      [ run_cmd; stats_cmd; ledger_cmd; audit_cmd; export_package_cmd; keys_cmd ]
+      [
+        run_cmd;
+        stats_cmd;
+        ledger_cmd;
+        audit_cmd;
+        export_package_cmd;
+        keys_cmd;
+        chaos_cmd;
+      ]
   in
   exit
     (try Cmd.eval ~catch:false group with

@@ -1,0 +1,60 @@
+module Message = Iaccf_types.Message
+module Batch = Iaccf_types.Batch
+module Schnorr = Iaccf_crypto.Schnorr
+module D = Iaccf_crypto.Digest32
+module Wire = Iaccf_core.Wire
+
+type behaviour =
+  | Equivocate_pre_prepares
+  | Tamper_replyx
+  | Withhold_nonces
+  | Corrupt_view_changes
+  | Mute
+
+let behaviour_name = function
+  | Equivocate_pre_prepares -> "equivocate-pre-prepares"
+  | Tamper_replyx -> "tamper-replyx"
+  | Withhold_nonces -> "withhold-nonces"
+  | Corrupt_view_changes -> "corrupt-view-changes"
+  | Mute -> "mute"
+
+(* A validly signed pre-prepare for the same (view, seqno) committing to a
+   different ledger root: real equivocation, not a broken signature. *)
+let equivocate_pp ~sk (pp : Message.pre_prepare) =
+  let m_root = D.of_string ("equivocation:" ^ D.to_hex pp.Message.m_root) in
+  let payload =
+    Message.pre_prepare_payload ~view:pp.Message.view ~seqno:pp.Message.seqno
+      ~m_root ~g_root:pp.Message.g_root ~nonce_com:pp.Message.nonce_com
+      ~ev_bitmap:pp.Message.ev_bitmap ~gov_index:pp.Message.gov_index
+      ~cp_digest:pp.Message.cp_digest ~kind:pp.Message.kind
+      ~primary:pp.Message.primary
+  in
+  {
+    pp with
+    Message.m_root;
+    signature = Schnorr.sign sk (D.to_raw payload);
+  }
+
+let tamper_replyx (x : Message.replyx) =
+  let tx = x.Message.x_tx in
+  let result = { tx.Batch.result with Batch.output = tx.Batch.result.Batch.output ^ "+tampered" } in
+  { x with Message.x_tx = { tx with Batch.result = result } }
+
+let intercept ~sk ~client_base behaviour ~dst (msg : Wire.t) =
+  match (behaviour, msg) with
+  | Equivocate_pre_prepares, Wire.Pre_prepare_msg { pp; batch } ->
+      (* Split the backups: odd destinations get a conflicting, validly
+         signed twin. Safety must hold anyway — at most one root can gather
+         a quorum. *)
+      if dst land 1 = 1 then [ (dst, Wire.Pre_prepare_msg { pp = equivocate_pp ~sk pp; batch }) ]
+      else [ (dst, msg) ]
+  | Tamper_replyx, Wire.Replyx_msg x when dst >= client_base ->
+      [ (dst, Wire.Replyx_msg (tamper_replyx x)) ]
+  | Withhold_nonces, (Wire.Commit_msg _ | Wire.Reply_msg _) -> []
+  | Corrupt_view_changes, Wire.View_change_msg vc ->
+      [ (dst, Wire.View_change_msg { vc with Message.vc_signature = "corrupt" }) ]
+  | Mute, _ -> []
+  | ( ( Equivocate_pre_prepares | Tamper_replyx | Withhold_nonces
+      | Corrupt_view_changes ),
+      _ ) ->
+      [ (dst, msg) ]

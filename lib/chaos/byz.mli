@@ -1,0 +1,34 @@
+(** Scripted Byzantine replica wrappers.
+
+    Each behaviour is an outbound-message rewrite installed on the network
+    (see {!Iaccf_sim.Network.set_intercept}): the wrapped replica's own code
+    stays honest, but what the rest of the deployment observes from it is
+    adversarial. Signed forgeries are re-signed with the replica's real key
+    — the point of the below-threshold suite is that validly signed
+    misbehaviour from fewer than [f+1] replicas is masked by the protocol,
+    not caught by signature checks. *)
+
+type behaviour =
+  | Equivocate_pre_prepares
+      (** send conflicting, validly signed pre-prepares for the same
+          (view, seqno) to different backups *)
+  | Tamper_replyx
+      (** corrupt the recorded execution output in replyx messages sent to
+          clients (the receipt's Merkle path exposes it) *)
+  | Withhold_nonces
+      (** never reveal nonces: drop outgoing commit and reply messages *)
+  | Corrupt_view_changes
+      (** break the signature on every outgoing view-change message *)
+  | Mute  (** drop every outbound message (a silent crash, seen from outside) *)
+
+val behaviour_name : behaviour -> string
+
+val intercept :
+  sk:Iaccf_crypto.Schnorr.secret_key ->
+  client_base:int ->
+  behaviour ->
+  dst:int ->
+  Iaccf_core.Wire.t ->
+  (int * Iaccf_core.Wire.t) list
+(** The network intercept implementing a behaviour for a replica holding
+    [sk]. [client_base] distinguishes client destinations from replicas. *)

@@ -1,0 +1,22 @@
+(** The end-to-end accountability oracle.
+
+    After a scenario run, the oracle exports the responder's ledger and the
+    clients' receipts as an on-disk ledger package, re-imports it, and runs
+    the full Alg. 4 audit on what came back:
+
+    - a [Tolerated] scenario must have completed every request, its
+      receipts must pass the linearizability check (when the receipt set is
+      closed over the state it touches), and the audit must be clean;
+    - a [Blamed] scenario must yield a uPoM that the enforcer independently
+      re-verifies (§4.2), whose blame set contains only scripted-faulty
+      replicas — zero false blame — and at least [f+1] of them. *)
+
+type verdict = {
+  vd_scenario : string;
+  vd_seed : int;
+  vd_result : (string, string) result;
+      (** [Ok summary] or [Error violation-description] *)
+}
+
+val check :
+  Scenario.t -> seed:int -> scratch:string -> Scenario.outcome -> verdict

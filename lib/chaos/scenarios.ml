@@ -1,0 +1,300 @@
+module Batch = Iaccf_types.Batch
+module Ledger = Iaccf_ledger.Ledger
+module Store = Iaccf_storage.Store
+module Obs = Iaccf_obs.Obs
+open Iaccf_core
+open Scenario
+
+(* --- core suite: crash, partition, and loss faults the protocol masks --- *)
+
+let crash_restart =
+  live ~name:"crash-restart" ~suite:Core
+    [
+      at 150.0 "crash backup 2" (crash_replica 2);
+      at 1_500.0 "restart backup 2" (restart_replica 2);
+    ]
+
+let primary_crash =
+  live ~name:"primary-crash" ~suite:Core
+    [ at 150.0 "crash the view-0 primary" (crash_replica 0) ]
+
+let partition_heal =
+  live ~name:"partition-heal" ~suite:Core
+    [
+      at 100.0 "split 2-2 (no quorum on either side)" (partition [ 0; 1 ] [ 2; 3 ]);
+      at 2_000.0 "heal" heal;
+    ]
+
+let oneway_partition =
+  live ~name:"oneway-partition" ~suite:Core
+    [
+      at 100.0 "mute replica 3 towards the rest"
+        (partition_oneway [ 3 ] [ 0; 1; 2 ]);
+      at 2_500.0 "heal 3<->0" (heal_pair 3 0);
+      at 2_500.0 "heal 3<->1" (heal_pair 3 1);
+      at 2_500.0 "heal 3<->2" (heal_pair 3 2);
+    ]
+
+let loss_ramp =
+  live ~name:"loss-ramp" ~suite:Core ~requests:10
+    [
+      at 0.0 "5% loss" (set_loss 0.05);
+      at 500.0 "15% loss" (set_loss 0.15);
+      at 1_200.0 "30% loss" (set_loss 0.30);
+      at 3_000.0 "loss off" (set_loss 0.0);
+    ]
+
+(* --- byzantine suite, below threshold: one scripted replica (f = 1) --- *)
+
+let equivocating_primary =
+  live ~name:"equivocating-primary" ~suite:Byzantine
+    [
+      at 50.0 "primary equivocates pre-prepares"
+        (byzantine 0 Byz.Equivocate_pre_prepares);
+    ]
+
+let tampered_replyx =
+  live ~name:"tampered-replyx" ~suite:Byzantine
+    [
+      at 0.0 "replica 0 tampers execution results sent to clients"
+        (byzantine 0 Byz.Tamper_replyx);
+    ]
+
+let nonce_withholder =
+  live ~name:"nonce-withholder" ~suite:Byzantine
+    [
+      at 0.0 "replica 3 withholds every nonce reveal"
+        (byzantine 3 Byz.Withhold_nonces);
+    ]
+
+let corrupt_view_change =
+  live ~name:"corrupt-view-change" ~suite:Byzantine
+    [
+      at 0.0 "replica 3's view changes carry broken signatures"
+        (byzantine 3 Byz.Corrupt_view_changes);
+      at 300.0 "replica 3 cries wolf" (suspect_primary 3);
+      at 900.0 "again" (suspect_primary 3);
+    ]
+
+(* --- byzantine suite, above threshold: a colluding quorum {0,1,2} forges
+   evidence offline with its real keys; the audit must blame only them --- *)
+
+let colluding_quorum = [ 0; 1; 2 ]
+
+let collusion_wrong_execution =
+  forged ~name:"collusion-wrong-execution" ~culprits:colluding_quorum (fun co ->
+      let forge = co.co_forge () in
+      let s =
+        Forge.add_batch forge
+          ~execute_override:(fun _ _ ->
+            Some
+              ( App.output_ok "1000000",
+                Iaccf_crypto.Digest32.of_string "forged-write-set" ))
+          [ co.co_request "counter/add" "5" ]
+      in
+      {
+        fg_receipts = [ Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) ];
+        fg_gov_receipts = [];
+        fg_ledger = Forge.ledger forge;
+      })
+
+let collusion_history_rewrite =
+  forged ~name:"collusion-history-rewrite" ~culprits:colluding_quorum (fun co ->
+      let forge_a = co.co_forge () in
+      let s =
+        Forge.add_batch forge_a [ co.co_request ~client_seqno:0 "counter/add" "5" ]
+      in
+      let receipt = Forge.make_receipt forge_a ~seqno:s ~tx_position:(Some 0) in
+      (* The colluders then serve a rewritten history without that tx. *)
+      let forge_b = co.co_forge () in
+      ignore
+        (Forge.add_batch forge_b [ co.co_request ~client_seqno:9 "counter/add" "1" ]);
+      {
+        fg_receipts = [ receipt ];
+        fg_gov_receipts = [];
+        fg_ledger = Forge.ledger forge_b;
+      })
+
+let collusion_viewchange_erasure =
+  forged ~name:"collusion-viewchange-erasure" ~culprits:colluding_quorum
+    (fun co ->
+      let forge_a = co.co_forge () in
+      let s =
+        Forge.add_batch forge_a [ co.co_request ~client_seqno:0 "counter/add" "5" ]
+      in
+      let receipt = Forge.make_receipt forge_a ~seqno:s ~tx_position:(Some 0) in
+      (* Erase it with a forged view change that denies preparing anything,
+         then rebuild different history in the next view (Lemma 5). *)
+      let forge_b = co.co_forge () in
+      Forge.add_view_change forge_b;
+      ignore
+        (Forge.add_batch forge_b [ co.co_request ~client_seqno:7 "counter/add" "9" ]);
+      {
+        fg_receipts = [ receipt ];
+        fg_gov_receipts = [];
+        fg_ledger = Forge.ledger forge_b;
+      })
+
+let collusion_tied_receipts =
+  forged ~name:"collusion-tied-receipts" ~culprits:colluding_quorum (fun co ->
+      let forge_a = co.co_forge () in
+      let forge_b = co.co_forge () in
+      let sa =
+        Forge.add_batch forge_a [ co.co_request ~client_seqno:0 "counter/add" "5" ]
+      in
+      let sb =
+        Forge.add_batch forge_b [ co.co_request ~client_seqno:1 "counter/add" "6" ]
+      in
+      {
+        fg_receipts =
+          [
+            Forge.make_receipt forge_a ~seqno:sa ~tx_position:(Some 0);
+            Forge.make_receipt forge_b ~seqno:sb ~tx_position:(Some 0);
+          ];
+        fg_gov_receipts = [];
+        fg_ledger = Forge.ledger forge_a;
+      })
+
+let collusion_governance_fork =
+  forged ~name:"collusion-governance-fork" ~culprits:colluding_quorum (fun co ->
+      let forge_a = co.co_forge () in
+      let forge_b = co.co_forge () in
+      ignore
+        (Forge.add_batch forge_a [ co.co_request ~client_seqno:0 "counter/add" "1" ]);
+      ignore
+        (Forge.add_batch forge_b [ co.co_request ~client_seqno:5 "counter/add" "9" ]);
+      let sa =
+        Forge.add_special_batch forge_a
+          (Batch.End_of_config
+             { phase = 2; committed_root = Ledger.m_root (Forge.ledger forge_a) })
+      in
+      let sb =
+        Forge.add_special_batch forge_b
+          (Batch.End_of_config
+             { phase = 2; committed_root = Ledger.m_root (Forge.ledger forge_b) })
+      in
+      {
+        fg_receipts = [];
+        fg_gov_receipts =
+          [
+            Forge.make_receipt forge_a ~seqno:sa ~tx_position:None;
+            Forge.make_receipt forge_b ~seqno:sb ~tx_position:None;
+          ];
+        fg_ledger = Forge.ledger forge_a;
+      })
+
+(* --- recovery suite: durable stores across process lifetimes (PR 1) --- *)
+
+let persisted_cluster ~seed ~scratch =
+  let dir = Filename.concat scratch "store" in
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let cluster =
+    Cluster.make ~seed ~n:4 ~persist:(Store.default_config ~dir) ~obs ()
+  in
+  (cluster, obs)
+
+let finish ~(cluster : Cluster.t) ~obs ~receipts ~submitted ~completed
+    ~lincheck_closed =
+  let responder = pick_responder cluster in
+  {
+    oc_genesis = Cluster.genesis cluster;
+    oc_params = Cluster.params cluster;
+    oc_receipts = receipts;
+    oc_gov_receipts = [];
+    oc_ledger = Replica.ledger responder;
+    oc_checkpoint = None;
+    oc_responder = Replica.id responder;
+    oc_submitted = submitted;
+    oc_completed = completed;
+    oc_lincheck_closed = lincheck_closed;
+    oc_obs = obs;
+  }
+
+let cold_restart =
+  custom ~name:"cold-restart" ~suite:Recovery (fun ~seed ~scratch ->
+      let cluster, _ = persisted_cluster ~seed ~scratch in
+      let client = Cluster.add_client cluster () in
+      let r1, c1 = workload ~timeout_ms:600_000.0 cluster client 6 in
+      Cluster.close_storage cluster;
+      (* A fresh process: same service identity, same directories; every
+         replica replays its persisted ledger before serving again. *)
+      let cluster2, obs2 = persisted_cluster ~seed ~scratch in
+      let client2 = Cluster.add_client cluster2 () in
+      let r2, c2 =
+        workload ~timeout_ms:600_000.0
+          ~args:(fun i -> string_of_int (100 + i))
+          cluster2 client2 6
+      in
+      finish ~cluster:cluster2 ~obs:obs2 ~receipts:(r1 @ r2) ~submitted:12
+        ~completed:(c1 + c2) ~lincheck_closed:true)
+
+let storage_crash =
+  custom ~name:"storage-crash" ~suite:Recovery (fun ~seed ~scratch ->
+      let cluster, _ = persisted_cluster ~seed ~scratch in
+      let client = Cluster.add_client cluster () in
+      let _, c1 = workload ~timeout_ms:600_000.0 cluster client 6 in
+      (* Kill the process mid-run: fsync-lagged suffixes may legally be
+         lost, so phase-1 receipts are out of scope for the oracle; the
+         recovered service must still be live, auditable, and linearizable
+         over what it serves next. *)
+      Cluster.crash_storage cluster;
+      let cluster2, obs2 = persisted_cluster ~seed ~scratch in
+      let client2 = Cluster.add_client cluster2 () in
+      let r2, c2 =
+        workload ~timeout_ms:600_000.0 ~proc:"noop"
+          ~args:(fun _ -> "")
+          cluster2 client2 4
+      in
+      finish ~cluster:cluster2 ~obs:obs2 ~receipts:r2 ~submitted:(6 + 4)
+        ~completed:(c1 + c2) ~lincheck_closed:true)
+
+let double_restart =
+  custom ~name:"double-restart" ~suite:Recovery (fun ~seed ~scratch ->
+      let phase offset =
+        let cluster, obs = persisted_cluster ~seed ~scratch in
+        let client = Cluster.add_client cluster () in
+        let r, c =
+          workload ~timeout_ms:600_000.0
+            ~args:(fun i -> string_of_int (offset + i))
+            cluster client 4
+        in
+        (cluster, obs, r, c)
+      in
+      let c1, _, r1, n1 = phase 0 in
+      Cluster.close_storage c1;
+      let c2, _, r2, n2 = phase 100 in
+      Cluster.close_storage c2;
+      let c3, obs3, r3, n3 = phase 200 in
+      finish ~cluster:c3 ~obs:obs3 ~receipts:(r1 @ r2 @ r3) ~submitted:12
+        ~completed:(n1 + n2 + n3) ~lincheck_closed:true)
+
+(* --- registry --- *)
+
+let core = [ crash_restart; primary_crash; partition_heal; oneway_partition; loss_ramp ]
+
+let byzantine =
+  [
+    equivocating_primary;
+    tampered_replyx;
+    nonce_withholder;
+    corrupt_view_change;
+    collusion_wrong_execution;
+    collusion_history_rewrite;
+    collusion_viewchange_erasure;
+    collusion_tied_receipts;
+    collusion_governance_fork;
+  ]
+
+let recovery = [ cold_restart; storage_crash; double_restart ]
+
+let all = core @ byzantine @ recovery
+
+let suite = function
+  | Core -> core
+  | Byzantine -> byzantine
+  | Recovery -> recovery
+
+(* Fast cross-section for the default test run: one scenario per suite. *)
+let smoke = [ crash_restart; collusion_wrong_execution; cold_restart ]
+
+let find name = List.find_opt (fun sc -> sc.sc_name = name) all

@@ -1,0 +1,26 @@
+(** The scenario catalog.
+
+    Three suites:
+    - {b core} — crash/restart, primary failure, two-way and one-way
+      partitions, and a message-loss ramp: the protocol must mask them all.
+    - {b byzantine} — below threshold, one scripted replica equivocates,
+      tampers results, withholds nonces, or sends corrupt view changes
+      (masked); above threshold, a colluding quorum forges wrong execution,
+      history rewrites, view-change erasure, tied receipts, and a
+      governance fork (each must yield an enforcer-verified uPoM blaming
+      only culprits).
+    - {b recovery} — durable-store lifecycles: clean cold restarts and a
+      mid-run storage crash, after which the service must stay live,
+      auditable, and linearizable. *)
+
+val core : Scenario.t list
+val byzantine : Scenario.t list
+val recovery : Scenario.t list
+val all : Scenario.t list
+
+val suite : Scenario.suite -> Scenario.t list
+
+val smoke : Scenario.t list
+(** One scenario per suite, for the default test run. *)
+
+val find : string -> Scenario.t option

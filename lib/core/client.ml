@@ -207,8 +207,13 @@ let rec arm_retry t p =
                          Printf.sprintf "(v%d,s%d:%d)" v s (Hashtbl.length tbl) :: acc)
                        p.p_replies []))
            | _ -> ());
-           (* If replies exist but the designated replyx never came, ask any
-              replica for it; otherwise retransmit the request. *)
+           (* A reply names a batch, not a request, so buffered replies may
+              all belong to other batches of ours: a replyx request alone
+              cannot revive a request the replicas never admitted (or
+              dropped). Always retransmit the request — replicas dedup by
+              hash and resend the reply material if it already executed —
+              and additionally ask for the receipt of whichever batch the
+              replies hint at. *)
            let seqnos =
              Hashtbl.fold (fun k tbl acc ->
                  if Hashtbl.length tbl > 0 then k :: acc else acc)
@@ -218,7 +223,8 @@ let rec arm_retry t p =
            | None, (_, s) :: _ ->
                broadcast t
                  (Wire.Replyx_request { rr_seqno = s; rr_tx_hash = p.p_hash })
-           | _ -> broadcast t (Wire.Request_msg p.p_req));
+           | _ -> ());
+           broadcast t (Wire.Request_msg p.p_req);
            try_complete t p;
            arm_retry t p
          end))

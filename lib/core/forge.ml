@@ -40,15 +40,36 @@ type t = {
 
 let quorum t = Config.quorum t.cfg
 let primary_id t = Config.primary_of_view t.cfg t.fview
-let sk_of t id = List.assoc id t.sks
 
+let sk_of t id =
+  match List.assoc_opt id t.sks with
+  | Some sk -> sk
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Forge: replica %d is not among the colluders" id)
+
+let colluders t = List.map fst t.sks
+
+(* A quorum subset of keys suffices: the forged histories are signed only
+   by the colluders, so audits of them can never blame an outsider. The
+   current view's primary must be a colluder (it signs every pre-prepare
+   and new-view). *)
 let create ~genesis ~sks ~app ~pipeline ~checkpoint_interval =
   let cfg = genesis.Genesis.initial_config in
   let sks = List.sort (fun (a, _) (b, _) -> compare a b) sks in
   if List.length sks < Config.quorum cfg then
     invalid_arg "Forge.create: need at least a quorum of keys";
-  if List.length sks <> List.length cfg.Config.replicas then
-    invalid_arg "Forge.create: need every replica's key";
+  if
+    List.exists
+      (fun (id, _) ->
+        not
+          (List.exists
+             (fun (r : Config.replica_info) -> r.Config.replica_id = id)
+             cfg.Config.replicas))
+      sks
+  then invalid_arg "Forge.create: key for a replica outside the configuration";
+  if not (List.mem_assoc (Config.primary_of_view cfg 0) sks) then
+    invalid_arg "Forge.create: the view-0 primary must be a colluder";
   let store = Store.create () in
   let cp0 = Checkpoint.make ~seqno:0 (Store.map store) in
   let t =

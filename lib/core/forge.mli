@@ -1,11 +1,13 @@
 (** Attack harness: build ledgers and receipts offline with replica keys.
 
-    Models the paper's strongest adversary — {e all} replicas colluding
-    (§4): with every signing key in hand, the attacker can produce a fully
-    well-formed ledger with arbitrary execution results, rewrite history, or
-    issue contradictory receipts. Audit tests and the Byzantine examples use
-    this to show that receipts still pin the collusion down to signed,
-    irrefutable statements. *)
+    Models the paper's adversary at any colluding quorum (§4): with a
+    quorum or more of the signing keys in hand, the attacker can produce a
+    fully well-formed ledger with arbitrary execution results, rewrite
+    history, or issue contradictory receipts. Because forged histories are
+    signed only by the colluders, every uPoM an audit derives from them
+    blames a subset of the colluders — audit tests and the chaos
+    subsystem's accountability oracle rely on exactly this to check blame
+    precision (zero false blame). *)
 
 module Config = Iaccf_types.Config
 module Genesis = Iaccf_types.Genesis
@@ -24,7 +26,14 @@ val create :
   checkpoint_interval:int ->
   t
 (** [sks] are the colluding replicas' keys; they must cover at least a
-    quorum of the genesis configuration. *)
+    quorum of the genesis configuration (a strict subset models a
+    colluding quorum rather than whole-service collusion), and must
+    include the view-0 primary. Operations that need a later view's
+    primary to sign raise [Invalid_argument] if its key was not
+    provided. *)
+
+val colluders : t -> int list
+(** The colluding replica ids, ascending. *)
 
 val add_batch :
   t ->

@@ -1251,11 +1251,63 @@ and arm_batch_timer t =
            try_send_pre_prepares t))
   end
 
+(* A client retransmitting an already-executed request means the original
+   replies were lost: resend this replica's reply (and the replyx, from
+   whichever replica answers first — the designated one may be cut off)
+   so sustained message loss cannot strand a completed request forever. *)
+and resend_executed t (req : Request.t) =
+  let h = Request.hash req in
+  let exception Found in
+  try
+    Hashtbl.iter
+      (fun _ rec_ ->
+        if
+          rec_.br_committed
+          && List.exists
+               (fun (tx : Batch.tx_entry) ->
+                 D.equal (Request.hash tx.Batch.request) h)
+               rec_.br_txs
+        then begin
+          let v = rec_.br_pp.Message.view and s = rec_.br_pp.Message.seqno in
+          (match (own_signature_for t rec_, Hashtbl.find_opt t.own_nonces (v, s)) with
+          | Some signature, Some nonce ->
+              send_to_client t req.Request.client_pk
+                (Wire.Reply_msg
+                   {
+                     Message.r_view = v;
+                     r_seqno = s;
+                     r_replica = t.rid;
+                     r_signature = signature;
+                     r_nonce = nonce;
+                   })
+          | _ -> ());
+          if t.params.variant.Variant.gen_receipts then begin
+            let tree = g_tree_of_txs rec_.br_txs in
+            let size = List.length rec_.br_txs in
+            List.iteri
+              (fun i (tx : Batch.tx_entry) ->
+                if D.equal (Request.hash tx.Batch.request) h then
+                  send_to_client t req.Request.client_pk
+                    (Wire.Replyx_msg
+                       {
+                         Message.x_pp = rec_.br_pp;
+                         x_tx = tx;
+                         x_leaf_index = i;
+                         x_batch_size = size;
+                         x_path = Tree.path tree i;
+                       }))
+              rec_.br_txs
+          end;
+          raise Found
+        end)
+      t.records
+  with Found -> ()
+
 and on_request t (req : Request.t) =
   if t.running && t.activated then begin
     let h = D.to_raw (Request.hash req) in
-    if (not (Hashtbl.mem t.requests h)) && not (Hashtbl.mem t.executed_requests h)
-    then begin
+    if Hashtbl.mem t.executed_requests h then resend_executed t req
+    else if not (Hashtbl.mem t.requests h) then begin
       let ok =
         if t.params.variant.Variant.verify_client_sigs then begin
           Obs.incr t.ctr.c_sigs_verified;

@@ -7,15 +7,21 @@ type 'msg t = {
   drop_rng : Rng.t option;
   obs : Obs.t;
   handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
+  (* Outbound interception (Byzantine wrappers): rewrites a source's
+     message stream at the network boundary, below the latency/drop model. *)
+  intercepts : (int, dst:int -> 'msg -> (int * 'msg) list) Hashtbl.t;
   mutable drop_probability : float;
   mutable cuts : (int * int) list; (* unordered pairs with severed links *)
+  mutable oneway_cuts : (int * int) list; (* directed (src, dst) cuts *)
   (* Tallies live in the obs registry (instance-scoped); the accessors
      below read them back so callers see the same counts as before. *)
   c_sent : Obs.counter;
   c_delivered : Obs.counter;
-  c_dropped_cut : Obs.counter; (* dropped on a severed link *)
+  c_dropped_cut : Obs.counter; (* dropped on a severed (two-way) link *)
+  c_dropped_cut_oneway : Obs.counter; (* dropped on a directed cut *)
   c_dropped_prob : Obs.counter; (* dropped by the loss probability *)
   c_dropped_unregistered : Obs.counter; (* arrived for an absent handler *)
+  c_dropped_intercepted : Obs.counter; (* withheld by an outbound intercept *)
 }
 
 let create ~sched ~latency ?drop_rng ?obs () =
@@ -26,25 +32,37 @@ let create ~sched ~latency ?drop_rng ?obs () =
     drop_rng;
     obs;
     handlers = Hashtbl.create 16;
+    intercepts = Hashtbl.create 4;
     drop_probability = 0.0;
     cuts = [];
+    oneway_cuts = [];
     c_sent = Obs.counter obs "net.sent";
     c_delivered = Obs.counter obs "net.delivered";
     c_dropped_cut = Obs.counter obs "net.dropped.cut";
+    c_dropped_cut_oneway = Obs.counter obs "net.dropped.cut_oneway";
     c_dropped_prob = Obs.counter obs "net.dropped.prob";
     c_dropped_unregistered = Obs.counter obs "net.dropped.unregistered";
+    c_dropped_intercepted = Obs.counter obs "net.dropped.intercepted";
   }
 
 let register t id handler = Hashtbl.replace t.handlers id handler
 let unregister t id = Hashtbl.remove t.handlers id
+let set_intercept t src f = Hashtbl.replace t.intercepts src f
+let clear_intercept t src = Hashtbl.remove t.intercepts src
+let intercepted t src = Hashtbl.mem t.intercepts src
 
 let cut t a b =
   List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) t.cuts
 
+let cut_oneway t ~src ~dst =
+  List.exists (fun (x, y) -> x = src && y = dst) t.oneway_cuts
+
 (* [None] = deliver; otherwise why the message is lost. Cuts are checked
-   first: a severed link drops deterministically, before the loss draw. *)
+   first (two-way, then directed): a severed link drops deterministically,
+   before the loss draw. *)
 let drop_reason t ~src ~dst =
   if cut t src dst then Some `Cut
+  else if cut_oneway t ~src ~dst then Some `Cut_oneway
   else
     match t.drop_rng with
     | Some rng when t.drop_probability > 0.0 && Rng.float rng 1.0 < t.drop_probability
@@ -58,7 +76,7 @@ let trace_drop t ~src ~dst cause =
       [ ("cause", cause); ("src", string_of_int src); ("dst", string_of_int dst) ]
     ()
 
-let send t ~src ~dst msg =
+let raw_send t ~src ~dst msg =
   Obs.incr t.c_sent;
   if Obs.tracing_enabled t.obs then
     Obs.instant t.obs ~node:src ~cat:"net" ~name:"net.send"
@@ -68,6 +86,9 @@ let send t ~src ~dst msg =
   | Some `Cut ->
       Obs.incr t.c_dropped_cut;
       trace_drop t ~src ~dst "cut"
+  | Some `Cut_oneway ->
+      Obs.incr t.c_dropped_cut_oneway;
+      trace_drop t ~src ~dst "cut-oneway"
   | Some `Prob ->
       Obs.incr t.c_dropped_prob;
       trace_drop t ~src ~dst "prob"
@@ -83,6 +104,19 @@ let send t ~src ~dst msg =
                  Obs.incr t.c_delivered;
                  handler ~src msg))
 
+let send t ~src ~dst msg =
+  match Hashtbl.find_opt t.intercepts src with
+  | None -> raw_send t ~src ~dst msg
+  | Some f -> (
+      match f ~dst msg with
+      | [] ->
+          (* Withheld: the suppressed message is still accounted, so the
+             sent = delivered + dropped conservation holds under wrappers. *)
+          Obs.incr t.c_sent;
+          Obs.incr t.c_dropped_intercepted;
+          trace_drop t ~src ~dst "intercepted"
+      | outs -> List.iter (fun (dst', msg') -> raw_send t ~src ~dst:dst' msg') outs)
+
 let broadcast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
 
 let set_drop_probability t p =
@@ -93,15 +127,34 @@ let set_drop_probability t p =
 let partition t group1 group2 =
   List.iter (fun a -> List.iter (fun b -> t.cuts <- (a, b) :: t.cuts) group2) group1
 
-let heal t = t.cuts <- []
+let partition_oneway t srcs dsts =
+  List.iter
+    (fun a -> List.iter (fun b -> t.oneway_cuts <- (a, b) :: t.oneway_cuts) dsts)
+    srcs
+
+let heal_pair t a b =
+  t.cuts <-
+    List.filter (fun (x, y) -> not ((x = a && y = b) || (x = b && y = a))) t.cuts;
+  t.oneway_cuts <-
+    List.filter
+      (fun (x, y) -> not ((x = a && y = b) || (x = b && y = a)))
+      t.oneway_cuts
+
+let heal t =
+  t.cuts <- [];
+  t.oneway_cuts <- []
+
 let messages_sent t = Obs.value t.c_sent
 let messages_delivered t = Obs.value t.c_delivered
 let messages_dropped_cut t = Obs.value t.c_dropped_cut
+let messages_dropped_cut_oneway t = Obs.value t.c_dropped_cut_oneway
 let messages_dropped_prob t = Obs.value t.c_dropped_prob
 let messages_dropped_unregistered t = Obs.value t.c_dropped_unregistered
+let messages_dropped_intercepted t = Obs.value t.c_dropped_intercepted
 
 let messages_dropped t =
-  messages_dropped_cut t + messages_dropped_prob t + messages_dropped_unregistered t
+  messages_dropped_cut t + messages_dropped_cut_oneway t + messages_dropped_prob t
+  + messages_dropped_unregistered t + messages_dropped_intercepted t
 
 let drop_rate t =
   if messages_sent t = 0 then 0.0

@@ -5,7 +5,8 @@
     the real system (§3.4); here the simulator itself guarantees the [src]
     it reports, and Byzantine behaviour is modelled at the node level by
     sending protocol messages with forged *contents* (signatures still fail
-    unless the key is held). *)
+    unless the key is held). An outbound intercept lets a fault harness
+    script such behaviour for a node without touching the node's code. *)
 
 type 'msg t
 
@@ -17,10 +18,10 @@ val create :
   unit ->
   'msg t
 (** With [obs], message tallies land in that registry ([net.sent],
-    [net.delivered], [net.dropped.cut/prob/unregistered]) and, when tracing
-    is enabled, every send and drop emits a trace event (drops carry their
-    cause). Without it the network keeps a private counting-only
-    registry, so the accessors below always work. *)
+    [net.delivered], [net.dropped.cut/cut_oneway/prob/unregistered/
+    intercepted]) and, when tracing is enabled, every send and drop emits a
+    trace event (drops carry their cause). Without it the network keeps a
+    private counting-only registry, so the accessors below always work. *)
 
 val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** Attach a node's message handler. Re-registering replaces the handler. *)
@@ -33,14 +34,43 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
 val broadcast : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
 
+(** {1 Outbound interception (Byzantine wrappers)}
+
+    A scripted fault harness can rewrite a node's outbound message stream:
+    the intercept sees each [(dst, msg)] the node sends and returns the
+    list of [(dst, msg)] transmissions that actually enter the network —
+    [[]] withholds the message, [[(dst, msg)]] passes it through,
+    a replacement tampers it, and multiple entries equivocate. Each
+    returned transmission is then subject to the ordinary latency, cut,
+    and loss model (and counted in [messages_sent]); a withheld message is
+    counted as one send dropped as [intercepted], so drop accounting stays
+    conservative. Intercepted nodes cannot forge [src]: every transmission
+    still carries the intercepted node's own address. *)
+
+val set_intercept : 'msg t -> int -> (dst:int -> 'msg -> (int * 'msg) list) -> unit
+(** Install (or replace) the outbound intercept for a source node. *)
+
+val clear_intercept : 'msg t -> int -> unit
+
+val intercepted : 'msg t -> int -> bool
+
 val set_drop_probability : 'msg t -> float -> unit
 (** Uniform drop probability in [0,1]; requires [drop_rng]. *)
 
 val partition : 'msg t -> int list -> int list -> unit
 (** Cut links between the two groups (both directions). *)
 
+val partition_oneway : 'msg t -> int list -> int list -> unit
+(** Cut only the [srcs -> dsts] direction: sources still hear the
+    destinations, the destinations never hear the sources (asymmetric-view
+    scenarios). *)
+
+val heal_pair : 'msg t -> int -> int -> unit
+(** Remove every cut — two-way or directed, either orientation — between
+    one pair of nodes, leaving all other cuts in place. *)
+
 val heal : 'msg t -> unit
-(** Remove all partitions. *)
+(** Remove all partitions, two-way and directed. *)
 
 val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
@@ -49,20 +79,27 @@ val messages_delivered : 'msg t -> int
 
     Fault-injection experiments report loss rates from these: every sent
     message is eventually counted as delivered or as exactly one kind of
-    drop (a message in flight is neither yet). *)
+    drop (a message in flight is neither yet). A message an intercept
+    expands into several transmissions counts one send per transmission. *)
 
 val messages_dropped : 'msg t -> int
-(** Total drops: severed links + probabilistic loss + unregistered
-    destinations. *)
+(** Total drops: severed links (two-way and directed) + probabilistic loss
+    + unregistered destinations + intercept withholding. *)
 
 val messages_dropped_cut : 'msg t -> int
 (** Dropped because the link was cut by {!partition}. *)
+
+val messages_dropped_cut_oneway : 'msg t -> int
+(** Dropped because the direction was cut by {!partition_oneway}. *)
 
 val messages_dropped_prob : 'msg t -> int
 (** Dropped by the {!set_drop_probability} loss draw. *)
 
 val messages_dropped_unregistered : 'msg t -> int
 (** Arrived for a destination with no registered handler. *)
+
+val messages_dropped_intercepted : 'msg t -> int
+(** Withheld by an outbound intercept (the [[]] verdict). *)
 
 val drop_rate : 'msg t -> float
 (** [messages_dropped / messages_sent]; 0 before any send. *)

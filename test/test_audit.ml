@@ -475,6 +475,125 @@ let test_enforcer_rejects_false_upom () =
   | Enforcer.Auditor_punished _ -> ()
   | _ -> Alcotest.fail "false uPoM accepted"
 
+(* A colluding quorum (not the whole service) forges a wrong execution;
+   an honest audit derives the genuine verdict. Base material for the
+   uPoM-rejection tests below. *)
+let genuine_wrong_execution_upom w =
+  let sks = List.filter (fun (i, _) -> i < 3) w.w_sks in
+  let forge =
+    Forge.create ~genesis:w.w_genesis ~sks ~app:w.w_app ~pipeline:2
+      ~checkpoint_interval:100
+  in
+  let s =
+    Forge.add_batch forge
+      ~execute_override:(fun _ _ ->
+        Some (App.output_ok "1000000", D.of_string "forged-write-set"))
+      [ request w "counter/add" "5" ]
+  in
+  let receipt = Forge.make_receipt forge ~seqno:s ~tx_position:(Some 0) in
+  let auditor = make_auditor w in
+  match
+    Audit.audit auditor ~receipts:[ receipt ] ~ledger:(Forge.ledger forge)
+      ~responder:0 ()
+  with
+  | Error v -> (forge, receipt, v)
+  | Ok () -> Alcotest.fail "forged ledger audited clean"
+
+let make_enforcer w =
+  Enforcer.create ~genesis:w.w_genesis ~app:w.w_app ~pipeline:2
+    ~checkpoint_interval:100
+
+let expect_auditor_punished what = function
+  | Enforcer.Auditor_punished _ -> ()
+  | Enforcer.Members_punished _ -> Alcotest.failf "%s punished members" what
+  | _ -> Alcotest.failf "%s accepted" what
+
+let test_enforcer_rejects_truncated_upom () =
+  (* Tied receipts need both contradictory receipts as evidence; a uPoM
+     whose evidence was truncated to one of them re-audits clean. *)
+  let w = make_world () in
+  let forge_a = make_forge w in
+  let forge_b = make_forge w in
+  let sa = Forge.add_batch forge_a [ request w ~client_seqno:0 "counter/add" "5" ] in
+  let sb = Forge.add_batch forge_b [ request w ~client_seqno:1 "counter/add" "6" ] in
+  let ra = Forge.make_receipt forge_a ~seqno:sa ~tx_position:(Some 0) in
+  let rb = Forge.make_receipt forge_b ~seqno:sb ~tx_position:(Some 0) in
+  let auditor = make_auditor w in
+  let verdict =
+    match
+      Audit.audit auditor ~receipts:[ ra; rb ] ~ledger:(Forge.ledger forge_a)
+        ~responder:0 ()
+    with
+    | Error v -> v
+    | Ok () -> Alcotest.fail "tied receipts audited clean"
+  in
+  let enforcer = make_enforcer w in
+  expect_auditor_punished "truncated uPoM"
+    (Enforcer.verify_upom enforcer ~verdict ~receipts:[ ra ] ~gov_receipts:[]
+       ~response:
+         { Enforcer.resp_ledger = Forge.ledger forge_a; resp_checkpoint = None }
+       ~responder:0);
+  check Alcotest.(list string) "nobody else punished" []
+    (Enforcer.punished_members enforcer)
+
+let test_enforcer_rejects_tampered_upom () =
+  (* The verdict is genuine but its evidence receipt was byte-tampered
+     after signing: the re-audit sees an invalid receipt (blaming nobody),
+     which does not match the claimed blame set. *)
+  let w = make_world () in
+  let forge, receipt, verdict = genuine_wrong_execution_upom w in
+  let tampered = Forge.tamper_tx_output receipt ~output:(App.output_ok "42") in
+  let enforcer = make_enforcer w in
+  expect_auditor_punished "signature-tampered uPoM"
+    (Enforcer.verify_upom enforcer ~verdict ~receipts:[ tampered ]
+       ~gov_receipts:[]
+       ~response:
+         { Enforcer.resp_ledger = Forge.ledger forge; resp_checkpoint = None }
+       ~responder:0)
+
+let test_enforcer_rejects_wrong_config_upom () =
+  (* The uPoM is checked against a different service (another genesis with
+     different replica keys): nothing in the evidence verifies there, so
+     the verdict cannot be reproduced. *)
+  let w = make_world () in
+  let forge, receipt, verdict = genuine_wrong_execution_upom w in
+  let other = Cluster.make ~seed:99 ~n:4 () in
+  let enforcer =
+    Enforcer.create ~genesis:(Cluster.genesis other) ~app:w.w_app ~pipeline:2
+      ~checkpoint_interval:100
+  in
+  expect_auditor_punished "wrong-configuration uPoM"
+    (Enforcer.verify_upom enforcer ~verdict ~receipts:[ receipt ]
+       ~gov_receipts:[]
+       ~response:
+         { Enforcer.resp_ledger = Forge.ledger forge; resp_checkpoint = None }
+       ~responder:0)
+
+let test_enforcer_rejects_inflated_blame () =
+  (* The misbehavior is real, but the auditor padded the blame set with an
+     honest replica: the bitmap no longer matches the re-audit, and the
+     honest replica's operator must not be punished. *)
+  let w = make_world () in
+  let forge, receipt, verdict = genuine_wrong_execution_upom w in
+  check Alcotest.bool "setup: replica 3 not genuinely blamed" false
+    (List.mem 3 (Bitmap.to_list verdict.Audit.v_blamed_replicas));
+  let inflated =
+    {
+      verdict with
+      Audit.v_blamed_replicas =
+        Bitmap.of_list (3 :: Bitmap.to_list verdict.Audit.v_blamed_replicas);
+    }
+  in
+  let enforcer = make_enforcer w in
+  expect_auditor_punished "blame-inflated uPoM"
+    (Enforcer.verify_upom enforcer ~verdict:inflated ~receipts:[ receipt ]
+       ~gov_receipts:[]
+       ~response:
+         { Enforcer.resp_ledger = Forge.ledger forge; resp_checkpoint = None }
+       ~responder:0);
+  check Alcotest.(list string) "operator of replica 3 not punished" []
+    (Enforcer.punished_members enforcer)
+
 (* --- fuzzing: random structural mutations of a valid ledger must yield a
    verdict (or an unchanged ledger), and must never crash the auditor. --- *)
 
@@ -626,6 +745,14 @@ let () =
           Alcotest.test_case "clean run unpunished" `Quick
             test_enforcer_clean_audit_no_punishment;
           Alcotest.test_case "rejects false uPoM" `Quick test_enforcer_rejects_false_upom;
+          Alcotest.test_case "rejects truncated uPoM" `Quick
+            test_enforcer_rejects_truncated_upom;
+          Alcotest.test_case "rejects tampered uPoM" `Quick
+            test_enforcer_rejects_tampered_upom;
+          Alcotest.test_case "rejects wrong-config uPoM" `Quick
+            test_enforcer_rejects_wrong_config_upom;
+          Alcotest.test_case "rejects inflated blame" `Quick
+            test_enforcer_rejects_inflated_blame;
         ] );
     ]
 

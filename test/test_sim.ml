@@ -169,6 +169,109 @@ let test_network_drop_accounting_kinds () =
   check Alcotest.int "sum" 3 (Network.messages_dropped net);
   check (Alcotest.float 0.0001) "drop rate" 1.0 (Network.drop_rate net)
 
+let test_network_partition_oneway () =
+  let sched, net = make_net () in
+  let got = ref [] in
+  List.iter
+    (fun i -> Network.register net i (fun ~src msg -> got := (i, src, msg) :: !got))
+    [ 0; 1 ];
+  Network.partition_oneway net [ 0 ] [ 1 ];
+  Network.send net ~src:0 ~dst:1 "silenced";
+  Network.send net ~src:1 ~dst:0 "heard";
+  Sched.run sched;
+  check
+    Alcotest.(list (triple int int string))
+    "only the reverse direction delivers"
+    [ (0, 1, "heard") ]
+    !got;
+  check Alcotest.int "directed drop counted" 1
+    (Network.messages_dropped_cut_oneway net);
+  check Alcotest.int "not as a two-way cut" 0 (Network.messages_dropped_cut net);
+  check Alcotest.int "total drops" 1 (Network.messages_dropped net)
+
+let test_network_heal_pair () =
+  let sched, net = make_net () in
+  let got = ref [] in
+  List.iter
+    (fun i -> Network.register net i (fun ~src:_ msg -> got := (i, msg) :: !got))
+    [ 0; 1; 2; 3 ];
+  Network.partition net [ 0 ] [ 1 ];
+  Network.partition_oneway net [ 2 ] [ 3 ];
+  (* Healing one pair must not disturb cuts between other pairs. *)
+  Network.heal_pair net 0 1;
+  Network.send net ~src:0 ~dst:1 "a";
+  Network.send net ~src:1 ~dst:0 "b";
+  Network.send net ~src:2 ~dst:3 "still-cut";
+  Sched.run sched;
+  check
+    Alcotest.(list (pair int string))
+    "0<->1 restored, 2->3 still cut"
+    [ (0, "b"); (1, "a") ]
+    (List.sort compare !got);
+  check Alcotest.int "directed drop remains" 1
+    (Network.messages_dropped_cut_oneway net);
+  (* heal_pair also clears directed cuts, in either orientation. *)
+  Network.heal_pair net 3 2;
+  Network.send net ~src:2 ~dst:3 "now-through";
+  Sched.run sched;
+  check Alcotest.bool "directed cut healed" true
+    (List.mem (3, "now-through") !got)
+
+let test_network_intercept_accounting () =
+  let sched, net = make_net () in
+  let got = ref [] in
+  List.iter
+    (fun i -> Network.register net i (fun ~src msg -> got := (i, src, msg) :: !got))
+    [ 1; 2 ];
+  (* Withhold everything to dst 1; duplicate everything else to dsts 1 and 2. *)
+  Network.set_intercept net 0 (fun ~dst msg ->
+      if dst = 1 then [] else [ (1, msg); (2, msg ^ "'") ]);
+  Network.send net ~src:0 ~dst:1 "withheld";
+  Network.send net ~src:0 ~dst:2 "dup";
+  Sched.run sched;
+  (* A withheld message is one send dropped as intercepted; a 2-way
+     equivocation is two sends, both delivered with the true src. *)
+  check Alcotest.int "sent: 1 withheld + 2 expanded" 3 (Network.messages_sent net);
+  check Alcotest.int "one intercepted drop" 1
+    (Network.messages_dropped_intercepted net);
+  check
+    Alcotest.(list (triple int int string))
+    "expanded transmissions deliver, src preserved"
+    [ (1, 0, "dup"); (2, 0, "dup'") ]
+    (List.sort compare !got);
+  Network.clear_intercept net 0;
+  Network.send net ~src:0 ~dst:1 "direct";
+  Sched.run sched;
+  check Alcotest.bool "cleared intercept passes through" true
+    (List.mem (1, 0, "direct") !got)
+
+let test_network_conservation_all_kinds () =
+  (* The conservation identity across every drop kind at once:
+     sent = delivered + cut + cut_oneway + prob + unregistered + intercepted. *)
+  let sched, net = make_net ~drop_rng:(Rng.create 11) () in
+  List.iter (fun i -> Network.register net i (fun ~src:_ _ -> ())) [ 0; 1; 2; 3 ];
+  Network.partition net [ 0 ] [ 1 ];
+  Network.partition_oneway net [ 2 ] [ 3 ];
+  Network.set_intercept net 3 (fun ~dst:_ _ -> []);
+  Network.send net ~src:0 ~dst:1 "cut";
+  Network.send net ~src:2 ~dst:3 "cut-oneway";
+  Network.send net ~src:3 ~dst:0 "intercepted";
+  Network.send net ~src:2 ~dst:9 "unregistered";
+  Network.set_drop_probability net 1.0;
+  Network.send net ~src:2 ~dst:0 "prob";
+  Network.set_drop_probability net 0.0;
+  Network.send net ~src:2 ~dst:0 "delivered";
+  Sched.run sched;
+  check Alcotest.int "cut" 1 (Network.messages_dropped_cut net);
+  check Alcotest.int "cut oneway" 1 (Network.messages_dropped_cut_oneway net);
+  check Alcotest.int "intercepted" 1 (Network.messages_dropped_intercepted net);
+  check Alcotest.int "unregistered" 1 (Network.messages_dropped_unregistered net);
+  check Alcotest.int "prob" 1 (Network.messages_dropped_prob net);
+  check Alcotest.int "delivered" 1 (Network.messages_delivered net);
+  check Alcotest.int "sent = delivered + every drop kind"
+    (Network.messages_sent net)
+    (Network.messages_delivered net + Network.messages_dropped net)
+
 let test_network_drop_requires_rng () =
   let _, net = make_net () in
   Alcotest.check_raises "needs rng"
@@ -231,6 +334,12 @@ let () =
           Alcotest.test_case "drop probability" `Quick test_network_drop_probability;
           Alcotest.test_case "drop accounting kinds" `Quick
             test_network_drop_accounting_kinds;
+          Alcotest.test_case "one-way partition" `Quick test_network_partition_oneway;
+          Alcotest.test_case "heal pair" `Quick test_network_heal_pair;
+          Alcotest.test_case "intercept accounting" `Quick
+            test_network_intercept_accounting;
+          Alcotest.test_case "conservation across drop kinds" `Quick
+            test_network_conservation_all_kinds;
           Alcotest.test_case "drop requires rng" `Quick test_network_drop_requires_rng;
           Alcotest.test_case "broadcast" `Quick test_network_broadcast;
           Alcotest.test_case "determinism" `Quick test_determinism;
