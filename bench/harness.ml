@@ -97,6 +97,7 @@ let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
       batch_delay_ms = 1.0;
       vc_timeout_ms = 100_000.0 (* no view changes during load runs *);
       variant;
+      snapshot_interval = 0;
     }
   in
   (* Metrics on (histograms, marks), tracing off: load runs want the

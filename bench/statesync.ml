@@ -1,0 +1,166 @@
+(* State-sync benchmarks (the @statesync-bench alias):
+
+   1. In-protocol catch-up cost vs ledger length: a fresh replica joins a
+      cluster that has already committed L transactions and syncs through
+      the chunked snapshot + suffix protocol; we report wall time, bytes
+      moved over the transfer, and how many ledger entries were adopted
+      without re-execution.
+
+   2. Cold start, snapshot restore vs full replay: the same persisted
+      store is reopened with its durable snapshots present and then with
+      them deleted (forcing a genesis replay), timing both.
+
+   Numbers land in EXPERIMENTS.md. *)
+
+open Iaccf_core
+module Obs = Iaccf_obs.Obs
+module Store = Iaccf_storage.Store
+module Ledger = Iaccf_ledger.Ledger
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("statesync-bench: " ^ s); exit 1) fmt
+
+let params =
+  {
+    Replica.default_params with
+    checkpoint_interval = 10;
+    max_batch = 4;
+    snapshot_interval = 10;
+  }
+
+let drive cluster client n =
+  (* Closed loop, 32 in flight: open-loop submission of the whole load
+     floods the request queues and distorts the numbers. *)
+  let completed = ref 0 in
+  let submitted = ref 0 in
+  let rec submit_one () =
+    if !submitted < n then begin
+      incr submitted;
+      Client.submit client ~proc:"counter/add" ~args:(string_of_int !submitted)
+        ~on_complete:(fun _ ->
+          incr completed;
+          submit_one ())
+        ()
+    end
+  in
+  for _ = 1 to 32 do
+    submit_one ()
+  done;
+  if not (Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () -> !completed >= n))
+  then fail "workload of %d requests did not complete" n;
+  Cluster.run cluster ~ms:2_000.0
+
+(* --- 1. catch-up vs ledger length ------------------------------------ *)
+
+let catchup_run ~txs =
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let cluster = Cluster.make ~seed:7 ~n:4 ~params ~obs () in
+  let client = Cluster.add_client cluster () in
+  drive cluster client txs;
+  let r0 = Cluster.replica cluster 0 in
+  (* A joiner outside the member set learns commits only from the ledger,
+     so the last pipeline of batches stays uncertified for it: catch-up is
+     complete once it holds the stable prefix. *)
+  let target = Replica.last_committed r0 - params.Replica.checkpoint_interval in
+  let entries = Ledger.length (Replica.ledger r0) in
+  let joiner = Cluster.spawn_replica cluster ~id:4 in
+  let t0 = Unix.gettimeofday () in
+  Replica.join_snapshot joiner ~from:0;
+  if
+    not
+      (Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
+           Replica.last_committed joiner >= target))
+  then fail "joiner did not catch up to seqno %d" target;
+  let wall = Unix.gettimeofday () -. t0 in
+  let c name = Obs.counter_value obs name in
+  ( entries,
+    wall,
+    c "statesync.bytes",
+    c "statesync.chunks",
+    c "statesync.entries_skipped",
+    c "statesync.installs" )
+
+let bench_catchup () =
+  Printf.printf "catch-up vs ledger length (n=4, C=%d, snapshot every %d)\n"
+    params.Replica.checkpoint_interval params.Replica.snapshot_interval;
+  Printf.printf "%8s %10s %10s %12s %8s %10s\n" "txs" "entries" "wall s"
+    "snap bytes" "chunks" "skipped";
+  List.iter
+    (fun txs ->
+      let entries, wall, bytes, chunks, skipped, installs = catchup_run ~txs in
+      if installs < 1 then fail "catch-up at %d txs installed no snapshot" txs;
+      Printf.printf "%8d %10d %10.3f %12d %8d %10d\n%!" txs entries wall bytes
+        chunks skipped)
+    [ 100; 300; 900 ]
+
+(* --- 2. cold start: snapshot restore vs full replay ------------------- *)
+
+let persisted ~dir ~snapshots =
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let params = { params with snapshot_interval = (if snapshots then 10 else 0) } in
+  let cluster =
+    Cluster.make ~seed:7 ~n:4 ~params ~persist:(Store.default_config ~dir) ~obs ()
+  in
+  (cluster, obs)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let delete_snapshots dir =
+  Array.iter
+    (fun sub ->
+      let d = Filename.concat dir sub in
+      if Sys.is_directory d then
+        Array.iter
+          (fun f ->
+            if String.length f >= 9 && String.sub f 0 9 = "snapshot-" then
+              Sys.remove (Filename.concat d f))
+          (Sys.readdir d))
+    (Sys.readdir dir)
+
+let time_restore ~dir ~snapshots =
+  let t0 = Unix.gettimeofday () in
+  let cluster, obs = persisted ~dir ~snapshots in
+  let wall = Unix.gettimeofday () -. t0 in
+  let restored = Obs.counter_value obs "statesync.cold.snapshot_restore" in
+  let replayed = Obs.counter_value obs "statesync.cold.genesis_replay" in
+  Cluster.close_storage cluster;
+  (wall, restored, replayed)
+
+let bench_cold_start () =
+  let txs = 900 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "iaccf-statesync-bench-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cluster, _ = persisted ~dir ~snapshots:true in
+  let client = Cluster.add_client cluster () in
+  drive cluster client txs;
+  let entries = Ledger.length (Replica.ledger (Cluster.replica cluster 0)) in
+  Cluster.sync_storage cluster;
+  Cluster.close_storage cluster;
+  Printf.printf "\ncold start of 4 replicas over %d persisted entries (%d txs)\n"
+    entries txs;
+  let wall, restored, replayed = time_restore ~dir ~snapshots:true in
+  if restored <> 4 || replayed <> 0 then
+    fail "snapshot restore path not taken (restored %d, replayed %d)" restored replayed;
+  Printf.printf "  snapshot restore: %7.3f s  (replicas from snapshot: %d)\n%!"
+    wall restored;
+  delete_snapshots dir;
+  let wall', restored', replayed' = time_restore ~dir ~snapshots:true in
+  if restored' <> 0 || replayed' <> 4 then
+    fail "replay path not taken (restored %d, replayed %d)" restored' replayed';
+  Printf.printf "  full replay:      %7.3f s  (replicas from genesis:  %d)\n%!"
+    wall' replayed';
+  if wall' > 0.0 then
+    Printf.printf "  speedup:          %7.2fx\n%!" (wall' /. wall)
+
+let () =
+  bench_catchup ();
+  bench_cold_start ()

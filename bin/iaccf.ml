@@ -23,6 +23,7 @@ module Request = Iaccf_types.Request
 module Bitmap = Iaccf_util.Bitmap
 module Store = Iaccf_storage.Store
 module Package = Iaccf_storage.Package
+module Snapshot = Iaccf_statesync.Snapshot
 module Obs = Iaccf_obs.Obs
 
 let replicas_arg =
@@ -67,6 +68,27 @@ let segment_kb_arg =
     value
     & opt int 1024
     & info [ "segment-kb" ] ~docv:"KB" ~doc:"Segment file size for --persist.")
+
+let snapshot_interval_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "snapshot-interval" ] ~docv:"SEQNOS"
+        ~doc:
+          "With --persist, write a durable checkpoint snapshot whenever a \
+           checkpoint at a multiple of $(docv) sequence numbers is sealed \
+           (use a multiple of the checkpoint interval, e.g. 50). 0 disables \
+           snapshots.")
+
+let prune_arg =
+  Arg.(
+    value & flag
+    & info [ "prune" ]
+        ~doc:
+          "After the run, compact each replica's on-disk store: export the \
+           prefix behind the newest durable snapshot as an audit package \
+           and drop its segments. Requires --persist and \
+           --snapshot-interval.")
 
 let persist_config ~persist ~fsync ~segment_kb =
   Option.map
@@ -136,9 +158,10 @@ let latency_fn = function
   | `Lan -> Latency.lan
   | `Wan -> Latency.wan
 
-let make_cluster ?persist ?obs ~n ~seed ~latency () =
-  Cluster.make ~seed ~n ~latency:(latency_fn latency) ~app:(Smallbank.app ())
-    ?persist ?obs ()
+let make_cluster ?persist ?obs ?(snapshot_interval = 0) ~n ~seed ~latency () =
+  let params = { Replica.default_params with Replica.snapshot_interval } in
+  Cluster.make ~seed ~n ~params ~latency:(latency_fn latency)
+    ~app:(Smallbank.app ()) ?persist ?obs ()
 
 (* A client identity whose requests are not already in the (possibly
    restored) ledger: replicas deduplicate executed requests by hash, so a
@@ -200,11 +223,14 @@ let drive_smallbank ?client cluster ~txs ~seed =
   (client, List.rev !receipts)
 
 let run_cmd =
-  let run n txs seed latency persist fsync segment_kb metrics trace =
+  let run n txs seed latency persist fsync segment_kb snapshot_interval prune
+      metrics trace =
     let t0 = Unix.gettimeofday () in
     let persist = persist_config ~persist ~fsync ~segment_kb in
     let obs = make_obs ~metrics ~trace in
-    let cluster = make_cluster ?persist ?obs ~n ~seed ~latency () in
+    let cluster =
+      make_cluster ?persist ?obs ~snapshot_interval ~n ~seed ~latency ()
+    in
     let restored =
       match Cluster.storage cluster 0 with
       | Some store -> (Store.recovery store).Store.ri_entries
@@ -241,8 +267,37 @@ let run_cmd =
     | Some store ->
         Printf.printf "persisted:           %d entries, %d segments, %d bytes (%s)\n"
           (Store.length store) (Store.segments store) (Store.disk_bytes store)
-          (Store.config store).Store.dir
+          (Store.config store).Store.dir;
+        if snapshot_interval > 0 then
+          Printf.printf "snapshots:           %d on disk (newest cp %s)\n"
+            (List.length (Snapshot.list ~dir:(Store.config store).Store.dir))
+            (match Snapshot.list ~dir:(Store.config store).Store.dir with
+            | cp :: _ -> string_of_int cp
+            | [] -> "none")
     | None -> ());
+    if prune then begin
+      if persist = None then
+        failwith "--prune requires --persist (there is no on-disk store to compact)";
+      List.iter
+        (fun r ->
+          match Replica.storage r with
+          | None -> ()
+          | Some store ->
+              let before = Store.disk_bytes store in
+              let dropped = Replica.prune r in
+              if dropped > 0 then
+                Printf.printf
+                  "pruned:              replica %d dropped %d entries \
+                   (%d -> %d bytes on disk, audit package %s)\n"
+                  (Replica.id r) dropped before (Store.disk_bytes store)
+                  (Store.package_path store)
+              else
+                Printf.printf
+                  "pruned:              replica %d nothing to drop (no \
+                   whole segment behind a durable snapshot)\n"
+                  (Replica.id r))
+        (Cluster.replicas cluster)
+    end;
     write_obs_outputs ?obs ~cluster ~metrics ~trace ();
     Cluster.close_storage cluster;
     ignore receipts
@@ -251,7 +306,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a simulated IA-CCF cluster under SmallBank load.")
     Term.(
       const run $ replicas_arg $ txs_arg $ seed_arg $ latency_arg $ persist_arg
-      $ fsync_arg $ segment_kb_arg $ metrics_arg $ trace_arg)
+      $ fsync_arg $ segment_kb_arg $ snapshot_interval_arg $ prune_arg
+      $ metrics_arg $ trace_arg)
 
 let stats_cmd =
   let phase_rows =
@@ -416,7 +472,22 @@ let export_package_cmd =
           "read %d entries from %d segments (%d torn frames, %d damaged bytes skipped)\n"
           ri.Store.ri_entries ri.Store.ri_segments ri.Store.ri_torn_frames
           ri.Store.ri_torn_bytes;
-        let pkg = Package.of_store store in
+        (* A pruned store only has entries from its base onward; the dropped
+           prefix is recovered from the audit package prune wrote, so the
+           export still covers the full history. *)
+        let base = Store.pruned_before store in
+        let prefix =
+          if base = 0 then []
+          else
+            (Package.read_file (Store.package_path store)).Package.pkg_entries
+            |> List.filteri (fun i _ -> i < base)
+        in
+        let pkg =
+          Package.of_entries
+            (prefix
+            @ List.init (Store.length store - base) (fun i ->
+                  Store.get store (base + i)))
+        in
         Store.close store;
         Package.write_file out pkg;
         Printf.printf "wrote %s: %d entries, root %s\n" out

@@ -268,6 +268,97 @@ let double_restart =
       finish ~cluster:c3 ~obs:obs3 ~receipts:(r1 @ r2 @ r3) ~submitted:12
         ~completed:(n1 + n2 + n3) ~lincheck_closed:true)
 
+(* --- state-sync scenarios: snapshots, catch-up, and compaction (§3.4) --- *)
+
+(* Frequent checkpoints and small segments so a short workload crosses
+   several snapshot boundaries and pruning has whole segments to drop. *)
+let snapshot_params =
+  {
+    Replica.default_params with
+    checkpoint_interval = 10;
+    max_batch = 4;
+    snapshot_interval = 10;
+  }
+
+let snapshot_cluster ~seed ~scratch =
+  let dir = Filename.concat scratch "store" in
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let cluster =
+    Cluster.make ~seed ~n:4 ~params:snapshot_params
+      ~persist:{ (Store.default_config ~dir) with Store.segment_bytes = 4096 }
+      ~obs ()
+  in
+  (cluster, obs)
+
+let require label cond = if not cond then failwith ("assertion failed: " ^ label)
+
+let snapshot_cold_restart =
+  custom ~name:"snapshot-cold-restart" ~suite:Recovery (fun ~seed ~scratch ->
+      let cluster, obs = snapshot_cluster ~seed ~scratch in
+      let client = Cluster.add_client cluster () in
+      let r1, c1 = workload ~timeout_ms:600_000.0 cluster client 45 in
+      require "advanced at least 3 checkpoints"
+        ((Replica.stats (Cluster.replica cluster 0)).Replica.checkpoints_taken >= 3);
+      require "durable snapshots written"
+        (Obs.counter_value obs "statesync.snapshots_written" > 0);
+      Cluster.close_storage cluster;
+      (* A fresh process: every replica must resume from its newest durable
+         snapshot, adopting the suffix without re-execution — a cold start
+         that replays from genesis is a regression. *)
+      let cluster2, obs2 = snapshot_cluster ~seed ~scratch in
+      require "every replica cold-started from a snapshot"
+        (Obs.counter_value obs2 "statesync.cold.snapshot_restore" = 4);
+      require "no replica replayed from genesis"
+        (Obs.counter_value obs2 "statesync.cold.genesis_replay" = 0);
+      let client2 = Cluster.add_client cluster2 () in
+      let r2, c2 =
+        workload ~timeout_ms:600_000.0
+          ~args:(fun i -> string_of_int (100 + i))
+          cluster2 client2 6
+      in
+      finish ~cluster:cluster2 ~obs:obs2 ~receipts:(r1 @ r2) ~submitted:51
+        ~completed:(c1 + c2) ~lincheck_closed:true)
+
+let prune_stale_rejoin =
+  custom ~name:"prune-stale-rejoin" ~suite:Recovery (fun ~seed ~scratch ->
+      let cluster, obs = snapshot_cluster ~seed ~scratch in
+      let client = Cluster.add_client cluster () in
+      let r1, c1 = workload ~timeout_ms:600_000.0 cluster client 5 in
+      (* Replica 3 goes dark holding only the earliest history. *)
+      Replica.stop (Cluster.replica cluster 3);
+      let r2, c2 =
+        workload ~timeout_ms:600_000.0
+          ~args:(fun i -> string_of_int (10 + i))
+          cluster client 45
+      in
+      require "advanced at least 3 checkpoints while replica 3 was down"
+        ((Replica.stats (Cluster.replica cluster 0)).Replica.checkpoints_taken >= 3);
+      (* Compact the primary's on-disk prefix behind its newest snapshot. *)
+      let dropped = Replica.prune (Cluster.replica cluster 0) in
+      require "prune dropped whole segments" (dropped > 0);
+      require "prune recorded in metrics"
+        (Obs.counter_value obs "statesync.prune.entries" >= dropped);
+      (* The stale replica rejoins: far behind (and behind the primary's
+         pruned prefix), it must catch up through a digest-verified
+         snapshot and adopt the suffix without re-executing it. *)
+      Replica.start (Cluster.replica cluster 3);
+      let r3, c3 =
+        workload ~timeout_ms:600_000.0
+          ~args:(fun i -> string_of_int (200 + i))
+          cluster client 6
+      in
+      Cluster.run cluster ~ms:10_000.0;
+      require "stale replica installed a snapshot"
+        (Obs.counter_value obs "statesync.installs" >= 1);
+      require "suffix adopted without re-execution"
+        (Obs.counter_value obs "statesync.entries_skipped" > 0);
+      require "stale replica caught up"
+        (Replica.last_committed (Cluster.replica cluster 3)
+        >= Replica.last_committed (Cluster.replica cluster 0)
+           - snapshot_params.Replica.checkpoint_interval);
+      finish ~cluster ~obs ~receipts:(r1 @ r2 @ r3) ~submitted:56
+        ~completed:(c1 + c2 + c3) ~lincheck_closed:true)
+
 (* --- registry --- *)
 
 let core = [ crash_restart; primary_crash; partition_heal; oneway_partition; loss_ramp ]
@@ -285,7 +376,8 @@ let byzantine =
     collusion_governance_fork;
   ]
 
-let recovery = [ cold_restart; storage_crash; double_restart ]
+let recovery =
+  [ cold_restart; storage_crash; double_restart; snapshot_cold_restart; prune_stale_rejoin ]
 
 let all = core @ byzantine @ recovery
 
@@ -294,7 +386,16 @@ let suite = function
   | Byzantine -> byzantine
   | Recovery -> recovery
 
-(* Fast cross-section for the default test run: one scenario per suite. *)
-let smoke = [ crash_restart; collusion_wrong_execution; cold_restart ]
+(* Fast cross-section for the default test run: one scenario per suite,
+   plus the state-sync pair (snapshot catch-up and compaction are load-
+   bearing for recovery, so they stay in the default run). *)
+let smoke =
+  [
+    crash_restart;
+    collusion_wrong_execution;
+    cold_restart;
+    snapshot_cold_restart;
+    prune_stale_rejoin;
+  ]
 
 let find name = List.find_opt (fun sc -> sc.sc_name = name) all

@@ -9,9 +9,10 @@
       history rewrites, view-change erasure, tied receipts, and a
       governance fork (each must yield an enforcer-verified uPoM blaming
       only culprits).
-    - {b recovery} — durable-store lifecycles: clean cold restarts and a
-      mid-run storage crash, after which the service must stay live,
-      auditable, and linearizable. *)
+    - {b recovery} — durable-store lifecycles: clean cold restarts, a
+      mid-run storage crash, snapshot-based cold starts, and ledger
+      compaction followed by a stale replica's snapshot catch-up; after
+      each the service must stay live, auditable, and linearizable. *)
 
 val core : Scenario.t list
 val byzantine : Scenario.t list

@@ -262,7 +262,8 @@ let on_message t ~src msg =
   | Wire.Request_msg _ | Wire.Pre_prepare_msg _ | Wire.Prepare_msg _
   | Wire.Commit_msg _ | Wire.View_change_msg _ | Wire.New_view_msg _
   | Wire.Fetch_missing _ | Wire.Batch_package_msg _ | Wire.Fetch_state _
-  | Wire.State_msg _ | Wire.Fetch_snapshot | Wire.Snapshot_msg _
+  | Wire.Fetch_snapshot | Wire.Snapshot_offer _ | Wire.Fetch_snapshot_chunk _
+  | Wire.Snapshot_chunk _ | Wire.Fetch_suffix _ | Wire.Ledger_suffix_chunk _
   | Wire.Replyx_request _ | Wire.Gov_receipts_request _
   | Wire.Ack_msg _ ->
       ()

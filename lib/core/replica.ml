@@ -17,6 +17,11 @@ module Bitmap = Iaccf_util.Bitmap
 module Tree = Iaccf_merkle.Tree
 module Rng = Iaccf_util.Rng
 module Obs = Iaccf_obs.Obs
+module Snapshot = Iaccf_statesync.Snapshot
+module SyncChunk = Iaccf_statesync.Chunk
+module SyncSession = Iaccf_statesync.Session
+module SyncValidate = Iaccf_statesync.Validate
+module SyncMetrics = Iaccf_statesync.Metrics
 
 type params = {
   pipeline : int;
@@ -25,6 +30,7 @@ type params = {
   batch_delay_ms : float;
   vc_timeout_ms : float;
   variant : Variant.t;
+  snapshot_interval : int;
 }
 
 let default_params =
@@ -35,6 +41,7 @@ let default_params =
     batch_delay_ms = 1.0;
     vc_timeout_ms = 400.0;
     variant = Variant.full;
+    snapshot_interval = 0;
   }
 
 type stats = {
@@ -159,6 +166,20 @@ type t = {
   pending_pps : (int, Message.pre_prepare * D.t list) Hashtbl.t;
   checkpoints : (int, Checkpoint.t * D.t) Hashtbl.t;
   mutable latest_cp_seqno : int;
+  (* State sync (lib/statesync): which checkpoint digests a COMMITTED
+     Batch.Checkpoint entry seals (only sealed checkpoints may be served
+     or installed), the in-flight catch-up session if any, and a cache of
+     the last serialized snapshot this replica served. *)
+  sealed_cps : (int, D.t) Hashtbl.t;
+  (* cp_seqno -> seqno of the Batch.Checkpoint that sealed it. A view
+     change can roll the sealing batch back out of the ledger; offers must
+     check it is still inside the served prefix. *)
+  sealed_at : (int, int) Hashtbl.t;
+  mutable latest_sealed_cp : int;
+  mutable pruned_upto : int; (* ledger length pruned from our disk store *)
+  mutable sync_session : SyncSession.t option;
+  mutable snapshot_cache : (int * string) option;
+  sync : SyncMetrics.t;
   mutable gov_receipts_rev : Receipt.t list;
   mutable progress_marker : int;
   mutable batch_timer_armed : bool;
@@ -505,6 +526,64 @@ let post_execute_batch t (pp : Message.pre_prepare) txs =
   | Starting _ | Ending _ | Normal -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint sealing and durable snapshots (state sync)               *)
+
+let storage_dir t =
+  Option.map
+    (fun s -> (Iaccf_storage.Store.config s).Iaccf_storage.Store.dir)
+    t.storage
+
+(* Persist the retained checkpoint whose digest just got sealed, so a
+   restart (ours) or a lagging peer (theirs) can start from it instead of
+   genesis. Only live sealing writes: during cold-start replay the files
+   are already on disk, and writing mid-restore would just slow it down. *)
+let maybe_write_snapshot t cp_seqno cp_digest =
+  match storage_dir t with
+  | Some dir
+    when t.running
+         && t.params.snapshot_interval > 0
+         && cp_seqno mod t.params.snapshot_interval = 0 -> (
+      match Hashtbl.find_opt t.checkpoints cp_seqno with
+      | Some (cp, d) when D.equal d cp_digest -> (
+          try
+            let bytes = Snapshot.write ~dir cp in
+            Snapshot.retain ~dir ~keep:2;
+            Obs.incr t.sync.snapshots_written;
+            if Obs.tracing_enabled t.obs then
+              Obs.instant t.obs ~node:t.rid ~cat:"statesync"
+                ~name:"statesync.snapshot_write"
+                ~args:
+                  [
+                    ("cp_seqno", string_of_int cp_seqno);
+                    ("bytes", string_of_int bytes);
+                  ]
+                ()
+          with Unix.Unix_error _ | Sys_error _ -> ())
+      | _ -> ())
+  | _ -> ()
+
+(* A checkpoint digest is trustworthy for state sync once the
+   Batch.Checkpoint entry recording it has COMMITTED — at that point a
+   quorum signed over a ledger containing it (§3.4). *)
+let seal_checkpoint t ~cp_seqno ~cp_digest ~seal_seqno =
+  (* Always refresh the seal position: a view change may have rolled the
+     original sealing batch back, and a later batch re-sealed the same
+     digest at a different seqno. *)
+  Hashtbl.replace t.sealed_at cp_seqno seal_seqno;
+  match Hashtbl.find_opt t.sealed_cps cp_seqno with
+  | Some d when D.equal d cp_digest -> ()
+  | _ ->
+      Hashtbl.replace t.sealed_cps cp_seqno cp_digest;
+      if cp_seqno > t.latest_sealed_cp then t.latest_sealed_cp <- cp_seqno;
+      maybe_write_snapshot t cp_seqno cp_digest
+
+let seal_from_kind t (pp : Message.pre_prepare) =
+  match pp.Message.kind with
+  | Batch.Checkpoint { cp_seqno; cp_digest } ->
+      seal_checkpoint t ~cp_seqno ~cp_digest ~seal_seqno:pp.Message.seqno
+  | Batch.Regular | Batch.End_of_config _ | Batch.Start_of_config _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Receipts and replies                                                *)
 
 let g_tree_of_txs txs =
@@ -821,6 +900,7 @@ and check_committed t =
         rec_.br_committed <- true;
         t.last_committed <- q;
         t.stall_count <- 0;
+        seal_from_kind t rec_.br_pp;
         Obs.incr t.ctr.c_batches_committed;
         Obs.add t.ctr.c_requests_committed (List.length rec_.br_txs);
         trace_batch_committed t rec_;
@@ -1692,17 +1772,146 @@ and safe_ledger_length t =
     | None -> Ledger.length t.ledger
   end
 
-and on_fetch_state t ~src from_len =
-  if keep_ledger t then begin
-    let upto = min (safe_ledger_length t) (from_len + 400) in
+(* The serialized snapshot for a sealed checkpoint: from the retained
+   in-memory checkpoint, or re-read from the durable snapshot file. Either
+   way the bytes must reproduce the sealed digest before they are served. *)
+and sealed_snapshot_bytes t cp_seqno =
+  match Hashtbl.find_opt t.sealed_cps cp_seqno with
+  | None -> None
+  | Some digest -> (
+      match t.snapshot_cache with
+      | Some (s, data) when s = cp_seqno -> Some data
+      | _ ->
+          let data =
+            match Hashtbl.find_opt t.checkpoints cp_seqno with
+            | Some (cp, d) when D.equal d digest -> Some (Checkpoint.serialize cp)
+            | _ -> (
+                match storage_dir t with
+                | None -> None
+                | Some dir -> (
+                    match Snapshot.load_serialized ~dir cp_seqno with
+                    | None -> None
+                    | Some payload -> (
+                        match Checkpoint.deserialize payload with
+                        | cp
+                          when cp.Checkpoint.seqno = cp_seqno
+                               && D.equal (Checkpoint.digest cp) digest ->
+                            Some payload
+                        | _ -> None
+                        | exception Iaccf_util.Codec.Decode_error _ -> None)))
+          in
+          (match data with
+          | Some d -> t.snapshot_cache <- Some (cp_seqno, d)
+          | None -> ());
+          data)
+
+(* A seal is only usable by a peer if the Batch.Checkpoint that recorded
+   it still sits inside the prefix we serve: a view change can roll the
+   sealing batch out of the ledger (truncation removes its
+   batch_ledger_end entry), leaving the checkpoint sealed for us but
+   unprovable to anyone syncing from us until it re-commits. *)
+and seal_in_served_prefix t cp_seqno =
+  match Hashtbl.find_opt t.sealed_at cp_seqno with
+  | None -> false
+  | Some seal_seqno -> (
+      match Hashtbl.find_opt t.batch_ledger_end seal_seqno with
+      | Some seal_end -> seal_end <= safe_ledger_length t
+      | None -> false)
+
+(* Newest sealed checkpoint we can actually serve the bytes for. *)
+and best_offer t =
+  Hashtbl.fold (fun s _ acc -> s :: acc) t.sealed_cps []
+  |> List.sort (fun a b -> compare b a)
+  |> List.find_map (fun cp_seqno ->
+         match sealed_snapshot_bytes t cp_seqno with
+         | Some payload
+           when Hashtbl.mem t.batch_ledger_end cp_seqno
+                && seal_in_served_prefix t cp_seqno ->
+             Some (cp_seqno, payload)
+         | _ -> None)
+
+and send_offer t ~dst (cp_seqno, payload) =
+  Obs.incr t.sync.offers;
+  send t ~dst
+    (Wire.Snapshot_offer
+       {
+         so_cp_seqno = cp_seqno;
+         so_total =
+           SyncChunk.count ~chunk_bytes:(Network.chunk_bytes t.network) payload;
+         so_bytes = String.length payload;
+         so_upto = safe_ledger_length t;
+         so_view = t.view;
+       })
+
+(* One bounded suffix extent: entries from [from_len] until the per-message
+   byte budget is spent (always at least one entry). The receiver keeps
+   pulling with Fetch_suffix until it reaches [lc_upto]. *)
+and send_suffix_chunk t ~dst from_len =
+  if keep_ledger t && from_len >= 1 then begin
+    let upto = safe_ledger_length t in
     if upto > from_len then begin
-      let entries =
-        List.map snd (Ledger.entries t.ledger ~from:from_len ~until:upto ())
+      let budget = Network.chunk_bytes t.network in
+      let rec take i bytes acc =
+        if i >= upto then List.rev acc
+        else begin
+          let e = Ledger.get t.ledger i in
+          let sz = Entry.size_bytes e in
+          if acc <> [] && bytes + sz > budget then List.rev acc
+          else take (i + 1) (bytes + sz) (e :: acc)
+        end
       in
-      send t ~dst:src
-        (Wire.State_msg { sm_from = from_len; sm_entries = entries; sm_view = t.view })
+      send t ~dst
+        (Wire.Ledger_suffix_chunk
+           {
+             lc_from = from_len;
+             lc_entries = take from_len 0 [];
+             lc_upto = upto;
+             lc_view = t.view;
+           })
     end
   end
+
+(* Fetch_state is the smart entry point: a requester far behind the newest
+   sealed checkpoint — or behind our pruned-from-disk prefix — is offered a
+   snapshot; anyone else gets an incremental suffix extent. Fetch_suffix
+   never offers, so a requester that declined (or finished) a snapshot can
+   always drain the remainder incrementally. *)
+and on_fetch_state t ~src from_len =
+  if keep_ledger t && from_len >= 1 then begin
+    let offer =
+      match best_offer t with
+      | Some (cp_seqno, payload)
+        when from_len < batch_end_length t cp_seqno
+             && (from_len < t.pruned_upto
+                 || safe_ledger_length t - from_len
+                    >= 2 * t.params.checkpoint_interval) ->
+          Some (cp_seqno, payload)
+      | _ -> None
+    in
+    match offer with
+    | Some o -> send_offer t ~dst:src o
+    | None -> send_suffix_chunk t ~dst:src from_len
+  end
+
+and on_fetch_suffix t ~src from_len = send_suffix_chunk t ~dst:src from_len
+
+and on_fetch_snapshot_chunk t ~src ~cp_seqno ~index =
+  match sealed_snapshot_bytes t cp_seqno with
+  | None -> ()
+  | Some payload ->
+      let chunks =
+        SyncChunk.split ~chunk_bytes:(Network.chunk_bytes t.network) payload
+      in
+      let total = List.length chunks in
+      if index >= 0 && index < total then
+        send t ~dst:src
+          (Wire.Snapshot_chunk
+             {
+               sc_cp_seqno = cp_seqno;
+               sc_index = index;
+               sc_total = total;
+               sc_data = List.nth chunks index;
+             })
 
 (* Apply a received ledger suffix: append evidence verbatim, re-execute
    every batch checking roots and recorded results, adopt view changes.
@@ -1759,6 +1968,7 @@ and apply_entries t ?(skip_exec_upto = 0) entries =
             (match pp.Message.kind with
             | Batch.Checkpoint { cp_digest; _ } -> t.current_dc <- cp_digest
             | Batch.Regular | Batch.End_of_config _ | Batch.Start_of_config _ -> ());
+            seal_from_kind t pp;
             Hashtbl.replace t.batch_ledger_end s (ledger_len t);
             t.seqno <- s + 1;
             t.last_prepared <- max t.last_prepared s;
@@ -1860,6 +2070,7 @@ and apply_entries t ?(skip_exec_upto = 0) entries =
             | Some prev when prev.Message.view >= pp.Message.view -> ()
             | _ -> Hashtbl.replace t.prepared_pps s pp);
             post_execute_batch t pp txs;
+            seal_from_kind t pp;
             t.seqno <- s + 1;
             t.last_prepared <- max t.last_prepared s;
             t.last_committed <- max t.last_committed s;
@@ -1904,96 +2115,235 @@ and apply_entries t ?(skip_exec_upto = 0) entries =
   if not !aborted then flush_batch ();
   !progressed
 
-and on_state t ~sm_from ~sm_entries ~sm_view =
-  if t.running && keep_ledger t && sm_from = Ledger.length t.ledger then begin
-    let progressed = apply_entries t sm_entries in
-    if progressed then begin
-      if sm_view > t.view && t.pending_new_view = None then t.view <- sm_view;
-      if in_config t && not t.activated then t.activated <- true;
-      (match t.fetch_target with
-      | Some target when List.length sm_entries >= 400 || not t.activated ->
-          send t ~dst:target (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
-      | _ -> t.fetch_target <- None);
-      try_complete_new_view t;
-      maybe_new_view t;
-      try_process_pending t;
-      check_prepared t;
-      try_send_pre_prepares t
-    end
+and on_ledger_suffix_chunk t ~src ~lc_from ~lc_entries ~lc_upto ~lc_view =
+  if t.running && keep_ledger t then begin
+    match t.sync_session with
+    | Some s when SyncSession.peer s = src ->
+        if SyncSession.on_entries s ~from:lc_from lc_entries ~upto:lc_upto ~view:lc_view
+        then begin
+          if SyncSession.suffix_end s < SyncSession.upto s then
+            send t ~dst:src
+              (Wire.Fetch_suffix { fx_from_len = SyncSession.suffix_end s });
+          try_install_session t s
+        end
+    | _ ->
+        (* No session: incremental catch-up, applied as it arrives. *)
+        if lc_from = Ledger.length t.ledger then begin
+          let progressed = apply_entries t lc_entries in
+          if progressed then begin
+            if lc_view > t.view && t.pending_new_view = None then t.view <- lc_view;
+            if in_config t && not t.activated then t.activated <- true;
+            (match t.fetch_target with
+            | Some target when Ledger.length t.ledger < lc_upto || not t.activated ->
+                send t ~dst:target
+                  (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+            | Some _ -> t.fetch_target <- None
+            | None ->
+                if Ledger.length t.ledger < lc_upto then
+                  send t ~dst:src
+                    (Wire.Fetch_suffix { fx_from_len = Ledger.length t.ledger }));
+            try_complete_new_view t;
+            maybe_new_view t;
+            try_process_pending t;
+            check_prepared t;
+            try_send_pre_prepares t
+          end
+        end
   end
 
-(* Serve a checkpoint-based bootstrap: the newest retained checkpoint whose
-   digest a committed checkpoint transaction records, plus the ledger. *)
+(* Checkpoint-based bootstrap entry point (join_snapshot): offer the newest
+   sealed snapshot, or fall back to serving the ledger incrementally. *)
 and on_fetch_snapshot t ~src =
   if keep_ledger t then begin
-    let recorded = ref None in
-    Ledger.iteri
-      (fun _ e ->
-        match e with
-        | Entry.Pre_prepare pp -> (
-            match pp.Message.kind with
-            | Batch.Checkpoint { cp_seqno; cp_digest }
-              when pp.Message.seqno <= t.last_committed ->
-                recorded := Some (cp_seqno, cp_digest)
-            | _ -> ())
-        | _ -> ())
-      t.ledger;
-    match !recorded with
-    | Some (cp_seqno, _) when Hashtbl.mem t.checkpoints cp_seqno ->
-        let cp, _ = Hashtbl.find t.checkpoints cp_seqno in
-        let upto = safe_ledger_length t in
-        let entries = List.map snd (Ledger.entries t.ledger ~from:0 ~until:upto ()) in
-        send t ~dst:src
-          (Wire.Snapshot_msg { sp_checkpoint = cp; sp_entries = entries; sp_view = t.view })
-    | _ ->
-        (* No recorded checkpoint yet: fall back to plain state transfer. *)
-        on_fetch_state t ~src 1
+    match best_offer t with
+    | Some o -> send_offer t ~dst:src o
+    | None -> send_suffix_chunk t ~dst:src 1
   end
 
-(* Install a snapshot: adopt the ledger up to the checkpoint without
-   re-execution (verifying the Merkle chain and checkpoint signatures),
-   load the key-value store from the checkpoint, then execute the tail. *)
-and on_snapshot t ~sp_checkpoint ~sp_entries ~sp_view =
-  if t.running && keep_ledger t && t.seqno = 1 && Ledger.length t.ledger = 1 then begin
-    let cp_seqno = sp_checkpoint.Checkpoint.seqno in
-    let cp_digest = Checkpoint.digest sp_checkpoint in
-    (* The checkpoint's digest must be recorded by a checkpoint transaction
-       in the offered ledger. *)
-    let recorded =
-      List.exists
-        (fun e ->
-          match e with
-          | Entry.Pre_prepare pp -> (
-              match pp.Message.kind with
-              | Batch.Checkpoint { cp_seqno = s; cp_digest = d } ->
-                  s = cp_seqno && D.equal d cp_digest
-              | _ -> false)
-          | _ -> false)
-        sp_entries
+(* Accept an offer when we are genuinely behind the offered checkpoint and
+   idle: drop the speculative (uncommitted) tail and open a chunked
+   transfer session with the offering peer. Everything received is
+   verified before installation, so a bogus offer costs only the
+   speculative suffix — which a real catch-up would discard anyway. *)
+and on_snapshot_offer t ~src ~cp_seqno ~total ~bytes ~upto ~view =
+  if
+    t.running && keep_ledger t
+    && t.sync_session = None
+    && cp_seqno > t.last_committed
+    && total >= 1 && total <= 65536
+    && bytes >= 0
+    && bytes <= 64 * 1024 * 1024
+  then begin
+    rollback_to t t.last_committed;
+    Ledger.truncate t.ledger (committed_prefix_length t);
+    let s =
+      SyncSession.create ~peer:src ~cp_seqno ~total ~bytes ~upto ~view
+        ~suffix_from:(Ledger.length t.ledger) ~now:(Obs.now t.obs)
     in
-    match sp_entries with
-    | Entry.Genesis g :: rest when recorded && D.equal (Genesis.hash g) t.service ->
-        Store.reset_to t.store sp_checkpoint.Checkpoint.state;
-        let progressed = apply_entries t ~skip_exec_upto:cp_seqno rest in
-        if progressed then begin
-          (* Configuration and phase are read back from the installed
-             state; joining mid-reconfiguration is not supported. *)
-          (match Iaccf_kv.Hamt.find App.config_key (Store.map t.store) with
-          | Some bytes -> (
-              match Config.deserialize bytes with
-              | exception _ -> ()
-              | c -> if c.Config.config_no > t.cfg.Config.config_no then t.cfg <- c)
-          | None -> ());
-          Hashtbl.replace t.checkpoints cp_seqno (sp_checkpoint, cp_digest);
-          t.latest_cp_seqno <- max t.latest_cp_seqno cp_seqno;
-          if sp_view > t.view then t.view <- sp_view;
-          if in_config t && not t.activated then t.activated <- true;
-          try_process_pending t;
-          check_prepared t
-        end
-        else Store.reset_to t.store Iaccf_kv.Hamt.empty
-    | _ -> ()
+    t.sync_session <- Some s;
+    if Obs.tracing_enabled t.obs then
+      Obs.instant t.obs ~node:t.rid ~cat:"statesync" ~name:"statesync.accept"
+        ~args:
+          [
+            ("peer", string_of_int src);
+            ("cp_seqno", string_of_int cp_seqno);
+            ("chunks", string_of_int total);
+          ]
+        ();
+    request_session_chunks t s ~window:4;
+    send t ~dst:src (Wire.Fetch_suffix { fx_from_len = SyncSession.suffix_end s })
   end
+
+and request_session_chunks t s ~window =
+  List.iter
+    (fun i ->
+      send t ~dst:(SyncSession.peer s)
+        (Wire.Fetch_snapshot_chunk
+           { fc_cp_seqno = SyncSession.cp_seqno s; fc_index = i }))
+    (SyncSession.chunks_to_request s ~window)
+
+and on_snapshot_chunk t ~src ~cp_seqno ~index data =
+  match t.sync_session with
+  | Some s when SyncSession.peer s = src && SyncSession.cp_seqno s = cp_seqno -> (
+      match SyncSession.on_chunk s ~index data with
+      | `Added ->
+          Obs.incr t.sync.chunks;
+          Obs.add t.sync.bytes (String.length data);
+          request_session_chunks t s ~window:1;
+          try_install_session t s
+      | `Duplicate | `Invalid -> ())
+  | _ -> ()
+
+(* Abandon the session (stall or failed verification) and restart the
+   catch-up against the next replica, so one bad or dead peer cannot park
+   us forever. *)
+and drop_session_and_retarget t s ~verify_failed reason =
+  if verify_failed then Obs.incr t.sync.verify_fail;
+  if Obs.tracing_enabled t.obs then
+    Obs.instant t.obs ~node:t.rid ~cat:"statesync" ~name:"statesync.abort"
+      ~args:
+        [ ("peer", string_of_int (SyncSession.peer s)); ("reason", reason) ]
+      ();
+  t.sync_session <- None;
+  let peer = SyncSession.peer s in
+  let others = List.filter (fun r -> r <> t.rid && r <> peer) (replica_ids t) in
+  let next =
+    match List.find_opt (fun r -> r > peer) (List.sort compare others) with
+    | Some r -> Some r
+    | None -> ( match others with r :: _ -> Some r | [] -> None)
+  in
+  match next with
+  | None -> ()
+  | Some target ->
+      t.fetch_target <- Some target;
+      send t ~dst:target (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+
+(* Install once the snapshot is assembled and the buffered suffix reaches
+   the batch that seals its digest. The gate, in order: the bytes decode
+   to the offered checkpoint; a signed committed Batch.Checkpoint in the
+   suffix seals exactly that digest; and a side-effect-free dry-run
+   (Validate.check_suffix) confirms the suffix chains from our committed
+   prefix through the checkpoint. Only then is any replica state touched. *)
+and try_install_session t s =
+  match SyncSession.assembled s with
+  | None -> ()
+  | Some payload -> (
+      let cp_seqno = SyncSession.cp_seqno s in
+      let entries = SyncSession.suffix s in
+      let seal =
+        List.find_map
+          (fun e ->
+            match e with
+            | Entry.Pre_prepare pp -> (
+                match pp.Message.kind with
+                | Batch.Checkpoint { cp_seqno = cs; cp_digest }
+                  when cs = cp_seqno ->
+                    Some (pp, cp_digest)
+                | _ -> None)
+            | _ -> None)
+          entries
+      in
+      match seal with
+      | None ->
+          (* The sealing batch is past the buffered suffix; wait unless the
+             peer claims we already have everything. *)
+          if SyncSession.suffix_end s >= SyncSession.upto s then
+            drop_session_and_retarget t s ~verify_failed:true
+              "suffix exhausted without a sealing checkpoint batch"
+      | Some (seal_pp, sealed_digest) -> (
+          match Checkpoint.deserialize payload with
+          | exception Iaccf_util.Codec.Decode_error _ ->
+              drop_session_and_retarget t s ~verify_failed:true
+                "snapshot bytes do not decode"
+          | cp ->
+              if cp.Checkpoint.seqno <> cp_seqno then
+                drop_session_and_retarget t s ~verify_failed:true
+                  "snapshot is for a different checkpoint"
+              else begin
+                let digest = Checkpoint.digest cp in
+                if not (D.equal digest sealed_digest) then
+                  drop_session_and_retarget t s ~verify_failed:true
+                    "snapshot digest does not match the sealed digest"
+                else if not (verify_pp_sig t seal_pp) then
+                  drop_session_and_retarget t s ~verify_failed:true
+                    "sealing checkpoint batch is not properly signed"
+                else begin
+                  match
+                    SyncValidate.check_suffix
+                      ~tree:(Ledger.m_tree_copy t.ledger) ~next_seqno:t.seqno
+                      ~cp_seqno ~verify_pp:(verify_pp_sig t) entries
+                  with
+                  | Error reason ->
+                      drop_session_and_retarget t s ~verify_failed:true reason
+                  | Ok () ->
+                      install_session t s cp digest entries
+                        ~seal_seqno:seal_pp.Message.seqno
+                end
+              end))
+
+and install_session t s cp digest entries ~seal_seqno =
+  let cp_seqno = cp.Checkpoint.seqno in
+  Store.reset_to t.store cp.Checkpoint.state;
+  ignore (apply_entries t ~skip_exec_upto:cp_seqno entries);
+  (* Configuration is read back from the installed state; joining
+     mid-reconfiguration is not supported (as before). *)
+  (match Iaccf_kv.Hamt.find App.config_key (Store.map t.store) with
+  | Some bytes -> (
+      match Config.deserialize bytes with
+      | exception _ -> ()
+      | c -> if c.Config.config_no > t.cfg.Config.config_no then t.cfg <- c)
+  | None -> ());
+  Hashtbl.replace t.checkpoints cp_seqno (cp, digest);
+  t.latest_cp_seqno <- max t.latest_cp_seqno cp_seqno;
+  Hashtbl.replace t.sealed_cps cp_seqno digest;
+  Hashtbl.replace t.sealed_at cp_seqno seal_seqno;
+  if cp_seqno > t.latest_sealed_cp then t.latest_sealed_cp <- cp_seqno;
+  if SyncSession.view s > t.view && t.pending_new_view = None then
+    t.view <- SyncSession.view s;
+  if in_config t && not t.activated then t.activated <- true;
+  let skipped =
+    max 0 (batch_end_length t cp_seqno - SyncSession.suffix_from s)
+  in
+  Obs.incr t.sync.installs;
+  Obs.add t.sync.entries_skipped skipped;
+  Obs.Histogram.observe t.sync.duration_ms (Obs.now t.obs -. SyncSession.started s);
+  if Obs.tracing_enabled t.obs then
+    Obs.instant t.obs ~node:t.rid ~cat:"statesync" ~name:"statesync.install"
+      ~args:
+        [
+          ("cp_seqno", string_of_int cp_seqno);
+          ("entries_skipped", string_of_int skipped);
+        ]
+      ();
+  t.sync_session <- None;
+  if Ledger.length t.ledger < SyncSession.upto s then
+    send t ~dst:(SyncSession.peer s)
+      (Wire.Fetch_suffix { fx_from_len = Ledger.length t.ledger });
+  try_complete_new_view t;
+  maybe_new_view t;
+  try_process_pending t;
+  check_prepared t;
+  try_send_pre_prepares t
 
 and on_batch_package t (bp : Wire.batch_package) =
   if t.running && t.activated then begin
@@ -2023,23 +2373,76 @@ and on_batch_package t (bp : Wire.batch_package) =
 (* ------------------------------------------------------------------ *)
 (* Progress timer: retransmission, then view change                    *)
 
+(* Liveness for an in-flight sync session: a tick without progress
+   re-requests the missing chunks and the next suffix extent from the same
+   peer; a second consecutive silent tick abandons the peer. Returns
+   whether a session is (still) active — while one is, the ordinary
+   stall/view-change escalation stays out of the way. *)
+and tick_sync_session t =
+  match t.sync_session with
+  | None -> false
+  | Some s ->
+      let stalls = SyncSession.tick s in
+      if stalls >= 2 then begin
+        drop_session_and_retarget t s ~verify_failed:false "peer stalled";
+        t.sync_session <> None
+      end
+      else begin
+        if stalls = 1 then begin
+          let peer = SyncSession.peer s in
+          List.iteri
+            (fun k i ->
+              if k < 4 then
+                send t ~dst:peer
+                  (Wire.Fetch_snapshot_chunk
+                     { fc_cp_seqno = SyncSession.cp_seqno s; fc_index = i }))
+            (SyncSession.missing s);
+          send t ~dst:peer
+            (Wire.Fetch_suffix { fx_from_len = SyncSession.suffix_end s })
+        end;
+        true
+      end
+
+(* The periodic tick trace replaces the old IACCF_DEBUG_TICK stderr dump:
+   the env var still opts a run in, but the record now lands in the trace
+   stream with everything else instead of interleaving with test output. *)
+and debug_tick_trace t =
+  if Obs.tracing_enabled t.obs && Sys.getenv_opt "IACCF_DEBUG_TICK" <> None then
+    Obs.instant t.obs ~node:t.rid ~cat:"replica" ~name:"replica.tick"
+      ~args:
+        [
+          ("view", string_of_int t.view);
+          ("seqno", string_of_int t.seqno);
+          ("last_committed", string_of_int t.last_committed);
+          ("last_prepared", string_of_int t.last_prepared);
+          ("stall", string_of_int t.stall_count);
+          ("ready", string_of_bool t.ready);
+          ("requests", string_of_int (Hashtbl.length t.requests));
+          ("pending", string_of_int (Hashtbl.length t.pending_pps));
+        ]
+      ()
+
 and progress_tick t =
   if t.running && not t.activated then begin
     (* Passive joiner: keep pulling state until our configuration includes
        us and we have caught up (§5.1). *)
-    (match t.fetch_target with
-    | Some target ->
-        send t ~dst:target (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
-    | None -> ());
+    if not (tick_sync_session t) then begin
+      match t.fetch_target with
+      | Some target ->
+          send t ~dst:target
+            (Wire.Fetch_state { fs_from_len = Ledger.length t.ledger })
+      | None -> ()
+    end;
     arm_progress_timer t
   end
   else if t.running && t.activated then begin
-    (match Sys.getenv_opt "IACCF_DEBUG_TICK" with
-    | Some _ ->
-        Printf.eprintf "TICK r%d t=%.0f v=%d s=%d lc=%d lp=%d stall=%d ready=%b reqs=%d pends=%d\n%!"
-          t.rid (Sched.now t.sched) t.view t.seqno t.last_committed t.last_prepared
-          t.stall_count t.ready (Hashtbl.length t.requests) (Hashtbl.length t.pending_pps)
-    | None -> ());
+    debug_tick_trace t;
+    if tick_sync_session t then arm_progress_timer t
+    else progress_tick_active t
+  end
+
+and progress_tick_active t =
+  begin
     let working =
       Hashtbl.length t.requests > 0
       || t.last_committed < t.seqno - 1
@@ -2107,11 +2510,17 @@ let on_message t ~src msg =
         | None -> ())
     | Wire.Batch_package_msg bp -> on_batch_package t bp
     | Wire.Fetch_state { fs_from_len } -> on_fetch_state t ~src fs_from_len
-    | Wire.State_msg { sm_from; sm_entries; sm_view } ->
-        on_state t ~sm_from ~sm_entries ~sm_view
     | Wire.Fetch_snapshot -> on_fetch_snapshot t ~src
-    | Wire.Snapshot_msg { sp_checkpoint; sp_entries; sp_view } ->
-        on_snapshot t ~sp_checkpoint ~sp_entries ~sp_view
+    | Wire.Snapshot_offer { so_cp_seqno; so_total; so_bytes; so_upto; so_view } ->
+        on_snapshot_offer t ~src ~cp_seqno:so_cp_seqno ~total:so_total
+          ~bytes:so_bytes ~upto:so_upto ~view:so_view
+    | Wire.Fetch_snapshot_chunk { fc_cp_seqno; fc_index } ->
+        on_fetch_snapshot_chunk t ~src ~cp_seqno:fc_cp_seqno ~index:fc_index
+    | Wire.Snapshot_chunk { sc_cp_seqno; sc_index; sc_total = _; sc_data } ->
+        on_snapshot_chunk t ~src ~cp_seqno:sc_cp_seqno ~index:sc_index sc_data
+    | Wire.Fetch_suffix { fx_from_len } -> on_fetch_suffix t ~src fx_from_len
+    | Wire.Ledger_suffix_chunk { lc_from; lc_entries; lc_upto; lc_view } ->
+        on_ledger_suffix_chunk t ~src ~lc_from ~lc_entries ~lc_upto ~lc_view
     | Wire.Replyx_request { rr_seqno; rr_tx_hash } ->
         (* The client may not know which batch its transaction landed in;
            check the hinted seqno first, then search by request hash. *)
@@ -2178,16 +2587,88 @@ let restore_from_storage t storage =
   let n = S.length storage in
   if n = 0 then false
   else begin
-    (match S.get storage 0 with
-    | Entry.Genesis g ->
+    (* A pruned store only holds entries from its base onward; the prefix
+       lives in the audit package prune_before exported. The combined
+       history goes through exactly the same validation as an unpruned one
+       (signed m_root chain during replay, prefix-root check on attach),
+       so the package carries no extra authority. *)
+    let base = S.pruned_before storage in
+    let prefix =
+      if base = 0 then []
+      else begin
+        let pkg_path = S.package_path storage in
+        if not (Sys.file_exists pkg_path) then
+          raise
+            (S.Storage_error
+               (Printf.sprintf
+                  "store is pruned before entry %d but the audit package %s is \
+                   missing"
+                  base pkg_path));
+        let pkg = Iaccf_storage.Package.read_file pkg_path in
+        let entries = pkg.Iaccf_storage.Package.pkg_entries in
+        if List.length entries < base then
+          raise
+            (S.Storage_error
+               "audit package does not cover the store's pruned prefix");
+        List.filteri (fun i _ -> i < base) entries
+      end
+    in
+    let all = prefix @ List.init (n - base) (fun i -> S.get storage (base + i)) in
+    (match all with
+    | Entry.Genesis g :: _ ->
         if not (D.equal (Genesis.hash g) t.service) then
           raise
             (S.Storage_error
                "persisted store belongs to a different service (genesis mismatch)")
     | _ ->
         raise (S.Storage_error "persisted store does not begin with a genesis entry"));
-    let entries = List.init (n - 1) (fun i -> S.get storage (i + 1)) in
-    ignore (apply_entries t entries);
+    let entries = List.tl all in
+    (* Resume from the newest durable snapshot whose digest a signed
+       checkpoint batch in the durable history seals: install its state and
+       adopt the prefix without re-execution, replaying only the suffix. *)
+    let snapshot =
+      match storage_dir t with
+      | None -> None
+      | Some dir ->
+          Snapshot.list ~dir
+          |> List.find_map (fun cp_seqno ->
+                 match Snapshot.load ~dir cp_seqno with
+                 | None -> None
+                 | Some cp ->
+                     let digest = Checkpoint.digest cp in
+                     if
+                       List.exists
+                         (fun e ->
+                           match e with
+                           | Entry.Pre_prepare pp -> (
+                               match pp.Message.kind with
+                               | Batch.Checkpoint { cp_seqno = cs; cp_digest }
+                                 ->
+                                   cs = cp_seqno
+                                   && D.equal cp_digest digest
+                                   && verify_pp_sig t pp
+                               | _ -> false)
+                           | _ -> false)
+                         entries
+                     then Some (cp, digest)
+                     else None)
+    in
+    (match snapshot with
+    | Some (cp, digest) ->
+        Store.reset_to t.store cp.Checkpoint.state;
+        ignore (apply_entries t ~skip_exec_upto:cp.Checkpoint.seqno entries);
+        (match Iaccf_kv.Hamt.find App.config_key (Store.map t.store) with
+        | Some bytes -> (
+            match Config.deserialize bytes with
+            | exception _ -> ()
+            | c -> if c.Config.config_no > t.cfg.Config.config_no then t.cfg <- c)
+        | None -> ());
+        Hashtbl.replace t.checkpoints cp.Checkpoint.seqno (cp, digest);
+        t.latest_cp_seqno <- max t.latest_cp_seqno cp.Checkpoint.seqno;
+        Obs.incr t.sync.cold_snapshot_restore
+    | None ->
+        ignore (apply_entries t entries);
+        if n > 1 then Obs.incr t.sync.cold_genesis_replay);
     let replayed = Ledger.length t.ledger in
     if replayed >= n then false
     else begin
@@ -2264,6 +2745,13 @@ let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
       pending_pps = Hashtbl.create 8;
       checkpoints = Hashtbl.create 8;
       latest_cp_seqno = 0;
+      sealed_cps = Hashtbl.create 8;
+      sealed_at = Hashtbl.create 8;
+      latest_sealed_cp = 0;
+      pruned_upto = 0;
+      sync_session = None;
+      snapshot_cache = None;
+      sync = SyncMetrics.make obs;
       gov_receipts_rev = [];
       progress_marker = 0;
       batch_timer_armed = false;
@@ -2286,7 +2774,8 @@ let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
          ledger's write-through backend, so attaching never truncates
          anything but a proven crash artifact. *)
       let rollback = restore_from_storage t s in
-      Iaccf_storage.Store.attach ~allow_rollback:rollback s t.ledger
+      Iaccf_storage.Store.attach ~allow_rollback:rollback s t.ledger;
+      t.pruned_upto <- Iaccf_storage.Store.pruned_before s
   | None -> ());
   Network.register network id (fun ~src msg -> on_message t ~src msg);
   t
@@ -2317,3 +2806,36 @@ let join_snapshot t ~from =
     t.fetch_target <- Some from;
     send t ~dst:from Wire.Fetch_snapshot
   end
+
+let pruned_upto t = t.pruned_upto
+let syncing t = t.sync_session <> None
+
+(* Ledger compaction: drop the durable prefix behind the newest sealed,
+   durably-snapshotted checkpoint. The in-memory ledger keeps the full
+   history (live peers are still served everything); only disk shrinks,
+   and the dropped prefix survives as the store's audit package. *)
+let prune t =
+  match t.storage with
+  | None -> invalid_arg "Replica.prune: no durable storage attached"
+  | Some storage -> (
+      let module S = Iaccf_storage.Store in
+      let dir = (S.config storage).S.dir in
+      let candidate =
+        Snapshot.list ~dir
+        |> List.find_opt (fun cp_seqno ->
+               Hashtbl.mem t.batch_ledger_end cp_seqno
+               &&
+               match (Snapshot.load ~dir cp_seqno, Hashtbl.find_opt t.sealed_cps cp_seqno) with
+               | Some cp, Some d -> D.equal (Checkpoint.digest cp) d
+               | _ -> false)
+      in
+      match candidate with
+      | None -> 0
+      | Some cp_seqno ->
+          let cut = Hashtbl.find t.batch_ledger_end cp_seqno in
+          let dropped = S.prune_before storage cut in
+          if dropped > 0 then begin
+            t.pruned_upto <- S.pruned_before storage;
+            Obs.add t.sync.prune_entries dropped
+          end;
+          dropped)

@@ -19,6 +19,10 @@ type params = {
   batch_delay_ms : float;  (** how long the primary waits to fill a batch *)
   vc_timeout_ms : float;  (** progress timeout before a view change *)
   variant : Variant.t;
+  snapshot_interval : int;
+      (** persist a durable snapshot every this many sequence numbers once
+          the checkpoint is sealed (requires [storage]; multiples of
+          [checkpoint_interval] are sensible); [0] disables writing *)
 }
 
 val default_params : params
@@ -128,9 +132,29 @@ val join : t -> from:int -> unit
     configuration (§5.1). *)
 
 val join_snapshot : t -> from:int -> unit
-(** Checkpoint-based bootstrap (§3.4): fetch the latest recorded checkpoint
-    plus the ledger, verify the Merkle chain and checkpoint signatures
-    without re-executing the prefix, and replay only the tail. *)
+(** Checkpoint-based bootstrap (§3.4): ask a peer for its newest sealed
+    snapshot. The peer answers with a chunked snapshot offer (or a plain
+    ledger suffix if it has none); the joiner verifies the assembled
+    snapshot against the digest sealed in a signed checkpoint batch and
+    the suffix against the Merkle root chain before installing, then
+    replays only the tail. *)
+
+val prune : t -> int
+(** Compact the durable store: export everything before the newest sealed,
+    durably-snapshotted checkpoint into the store's audit package, then
+    drop those segments from disk. Returns the number of entries pruned
+    (0 when there is nothing safe to prune). The in-memory ledger is
+    unaffected — peers can still fetch the full history from this replica,
+    and [iaccf audit --package] over the exported package still covers the
+    dropped prefix.
+    @raise Invalid_argument without [storage]. *)
+
+val pruned_upto : t -> int
+(** Ledger length pruned from this replica's own durable store (0 when
+    nothing was pruned). *)
+
+val syncing : t -> bool
+(** Whether a chunked state-sync session is currently in flight. *)
 
 val store_version : t -> int
 (** Transactions executed locally (resets on checkpoint installation);

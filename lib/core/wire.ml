@@ -21,12 +21,31 @@ type t =
   | Fetch_missing of { fm_seqno : int }
   | Batch_package_msg of batch_package
   | Fetch_state of { fs_from_len : int }
-  | State_msg of { sm_from : int; sm_entries : Iaccf_ledger.Entry.t list; sm_view : int }
   | Fetch_snapshot
-  | Snapshot_msg of {
-      sp_checkpoint : Iaccf_kv.Checkpoint.t;
-      sp_entries : Iaccf_ledger.Entry.t list;
-      sp_view : int;
+  (* State sync (chunked): a peer answers Fetch_state/Fetch_snapshot with
+     either bounded Ledger_suffix_chunks or, when the requester is far
+     behind (or behind a pruned prefix), a Snapshot_offer; the requester
+     then pulls snapshot chunks and the remaining suffix explicitly. *)
+  | Snapshot_offer of {
+      so_cp_seqno : int;  (* checkpoint the snapshot captures *)
+      so_total : int;  (* chunk count *)
+      so_bytes : int;  (* serialized snapshot size *)
+      so_upto : int;  (* sender's safe ledger length *)
+      so_view : int;
+    }
+  | Fetch_snapshot_chunk of { fc_cp_seqno : int; fc_index : int }
+  | Snapshot_chunk of {
+      sc_cp_seqno : int;
+      sc_index : int;
+      sc_total : int;
+      sc_data : string;
+    }
+  | Fetch_suffix of { fx_from_len : int }  (* never answered with an offer *)
+  | Ledger_suffix_chunk of {
+      lc_from : int;  (* ledger index of the first entry *)
+      lc_entries : Iaccf_ledger.Entry.t list;
+      lc_upto : int;  (* sender's safe ledger length *)
+      lc_view : int;
     }
   | Replyx_request of { rr_seqno : int; rr_tx_hash : D.t }
   | Gov_receipts_request of { gr_from_index : int }
@@ -46,11 +65,19 @@ let describe = function
   | Fetch_missing { fm_seqno } -> Printf.sprintf "fetch-missing(s=%d)" fm_seqno
   | Batch_package_msg bp -> Printf.sprintf "batch-package(s=%d)" bp.bp_pp.Message.seqno
   | Fetch_state { fs_from_len } -> Printf.sprintf "fetch-state(from=%d)" fs_from_len
-  | State_msg { sm_entries; _ } -> Printf.sprintf "state(%d entries)" (List.length sm_entries)
   | Fetch_snapshot -> "fetch-snapshot"
-  | Snapshot_msg { sp_entries; sp_checkpoint; _ } ->
-      Printf.sprintf "snapshot(cp=%d,%d entries)" sp_checkpoint.Iaccf_kv.Checkpoint.seqno
-        (List.length sp_entries)
+  | Snapshot_offer { so_cp_seqno; so_total; so_bytes; _ } ->
+      Printf.sprintf "snapshot-offer(cp=%d,%d chunks,%dB)" so_cp_seqno so_total
+        so_bytes
+  | Fetch_snapshot_chunk { fc_cp_seqno; fc_index } ->
+      Printf.sprintf "fetch-snapshot-chunk(cp=%d,i=%d)" fc_cp_seqno fc_index
+  | Snapshot_chunk { sc_cp_seqno; sc_index; sc_total; _ } ->
+      Printf.sprintf "snapshot-chunk(cp=%d,%d/%d)" sc_cp_seqno (sc_index + 1)
+        sc_total
+  | Fetch_suffix { fx_from_len } -> Printf.sprintf "fetch-suffix(from=%d)" fx_from_len
+  | Ledger_suffix_chunk { lc_from; lc_entries; _ } ->
+      Printf.sprintf "ledger-suffix(from=%d,%d entries)" lc_from
+        (List.length lc_entries)
   | Replyx_request { rr_seqno; _ } -> Printf.sprintf "replyx-request(s=%d)" rr_seqno
   | Gov_receipts_request { gr_from_index } -> Printf.sprintf "gov-receipts-request(from=%d)" gr_from_index
   | Gov_receipts_msg rs -> Printf.sprintf "gov-receipts(%d)" (List.length rs)

@@ -32,16 +32,34 @@ type t =
       (** ask for the batch package at a sequence number *)
   | Batch_package_msg of batch_package
   | Fetch_state of { fs_from_len : int }
-      (** ask for the ledger suffix starting at this entry index *)
-  | State_msg of { sm_from : int; sm_entries : Iaccf_ledger.Entry.t list; sm_view : int }
-      (** a ledger suffix (view changes included) plus the sender's view *)
+      (** ask for state from this entry index on; the sender may answer
+          with a suffix extent or, if the requester is far behind, a
+          snapshot offer *)
   | Fetch_snapshot
       (** joining replica asks for a checkpoint-based bootstrap (§3.4) *)
-  | Snapshot_msg of {
-      sp_checkpoint : Iaccf_kv.Checkpoint.t;
-      sp_entries : Iaccf_ledger.Entry.t list;  (** the full ledger *)
-      sp_view : int;
+  | Snapshot_offer of {
+      so_cp_seqno : int;  (** checkpoint the snapshot captures *)
+      so_total : int;  (** number of chunks *)
+      so_bytes : int;  (** serialized snapshot size *)
+      so_upto : int;  (** sender's safe ledger length *)
+      so_view : int;
+    }  (** sender has a sealed snapshot the requester should pull *)
+  | Fetch_snapshot_chunk of { fc_cp_seqno : int; fc_index : int }
+  | Snapshot_chunk of {
+      sc_cp_seqno : int;
+      sc_index : int;
+      sc_total : int;
+      sc_data : string;
     }
+  | Fetch_suffix of { fx_from_len : int }
+      (** like [Fetch_state] but never answered with an offer — used to
+          drain the remainder during and after a snapshot transfer *)
+  | Ledger_suffix_chunk of {
+      lc_from : int;  (** ledger index of the first entry *)
+      lc_entries : Iaccf_ledger.Entry.t list;
+      lc_upto : int;  (** sender's safe ledger length *)
+      lc_view : int;
+    }  (** one bounded extent of the ledger (view changes included) *)
   | Replyx_request of { rr_seqno : int; rr_tx_hash : D.t }
       (** client asks any replica for the receipt material of a committed
           transaction (designated-replica failover, §3.3) *)

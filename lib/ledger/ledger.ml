@@ -55,6 +55,7 @@ let get t i = (Vec.get t.slots i).entry
 let append = push
 let m_root t = Tree.root t.tree
 let m_size t = Tree.size t.tree
+let m_tree_copy t = Tree.copy t.tree
 
 let truncate t n =
   if n < 1 then invalid_arg "Ledger.truncate: cannot drop the genesis";

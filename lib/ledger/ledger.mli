@@ -42,6 +42,12 @@ val get : t -> int -> Entry.t
 val append : t -> Entry.t -> int
 val m_root : t -> Iaccf_crypto.Digest32.t
 val m_size : t -> int
+
+val m_tree_copy : t -> Iaccf_merkle.Tree.t
+(** A private copy of M, for side-effect-free validation of a candidate
+    suffix against future roots (state sync dry-runs) without touching the
+    ledger itself. *)
+
 val truncate : t -> int -> unit
 val iteri : (int -> Entry.t -> unit) -> t -> unit
 val entries : t -> ?from:int -> ?until:int -> unit -> (int * Entry.t) list

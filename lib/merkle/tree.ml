@@ -123,3 +123,52 @@ let root_of_leaves leaves =
 
 let copy t =
   { leaves = Vec.copy t.leaves; levels = Array.map Vec.copy t.levels }
+
+(* The peak for set bit [k] of [size t] is the root of the rightmost
+   complete 2^k-aligned subtree, which by the level-length invariant
+   (level k holds exactly n >> k nodes) is always the LAST cached node at
+   level k. *)
+let frontier t =
+  let n = size t in
+  let peaks = ref [] in
+  let k = ref 0 in
+  while n lsr !k > 0 do
+    if n land (1 lsl !k) <> 0 then
+      peaks := Vec.get (level t !k) ((n lsr !k) - 1) :: !peaks;
+    incr k
+  done;
+  !peaks
+
+let of_frontier ~size peaks =
+  if size < 0 then invalid_arg "Merkle.Tree.of_frontier: negative size";
+  let t = create () in
+  (* Pad leaves and every level to the lengths a size-[size] tree would
+     have. The padding is never read: [append]'s cascade only ever looks
+     at the last two nodes of a level (the peak, then post-resume nodes)
+     and [subtree_root] resolves every complete aligned subtree from the
+     cache, recursing only along the right spine, which is exactly the
+     peak set. *)
+  for _ = 1 to size do
+    Vec.push t.leaves empty_root
+  done;
+  let k = ref 0 in
+  while size lsr !k > 0 do
+    let lv = level t !k in
+    for _ = 1 to size lsr !k do
+      Vec.push lv empty_root
+    done;
+    incr k
+  done;
+  let bits = ref [] in
+  let k = ref 0 in
+  while size lsr !k > 0 do
+    if size land (1 lsl !k) <> 0 then bits := !k :: !bits;
+    incr k
+  done;
+  (try
+     List.iter2
+       (fun k d -> Vec.set t.levels.(k) ((size lsr k) - 1) d)
+       !bits peaks
+   with Invalid_argument _ ->
+     invalid_arg "Merkle.Tree.of_frontier: wrong number of peaks");
+  t

@@ -59,3 +59,17 @@ val root_of_leaves : Iaccf_crypto.Digest32.t list -> Iaccf_crypto.Digest32.t
 (** Root of a tree over the given leaves, without building a [t]. *)
 
 val copy : t -> t
+
+val frontier : t -> Iaccf_crypto.Digest32.t list
+(** The peaks of the tree's binary decomposition, highest level first: one
+    interior-node (or leaf-hash) digest per set bit of [size t]. Together
+    with the size these determine the root and every future append, which
+    is what lets a pruned store resume its tree without the leaves. *)
+
+val of_frontier : size:int -> Iaccf_crypto.Digest32.t list -> t
+(** Rebuild a tree of [size] leaves from its [frontier] (as returned by
+    {!frontier}: highest level first). The result supports [append],
+    [root], [size] and [truncate n] for [n >= size] exactly as the
+    original tree; [leaf], [path] and [truncate] below [size] are
+    undefined (they would read pruned nodes).
+    @raise Invalid_argument if the peak count does not match [size]. *)

@@ -11,6 +11,7 @@ type 'msg t = {
      message stream at the network boundary, below the latency/drop model. *)
   intercepts : (int, dst:int -> 'msg -> (int * 'msg) list) Hashtbl.t;
   mutable drop_probability : float;
+  mutable chunk_bytes : int; (* per-message payload budget for state sync *)
   mutable cuts : (int * int) list; (* unordered pairs with severed links *)
   mutable oneway_cuts : (int * int) list; (* directed (src, dst) cuts *)
   (* Tallies live in the obs registry (instance-scoped); the accessors
@@ -34,6 +35,7 @@ let create ~sched ~latency ?drop_rng ?obs () =
     handlers = Hashtbl.create 16;
     intercepts = Hashtbl.create 4;
     drop_probability = 0.0;
+    chunk_bytes = 64 * 1024;
     cuts = [];
     oneway_cuts = [];
     c_sent = Obs.counter obs "net.sent";
@@ -118,6 +120,12 @@ let send t ~src ~dst msg =
       | outs -> List.iter (fun (dst', msg') -> raw_send t ~src ~dst:dst' msg') outs)
 
 let broadcast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let chunk_bytes t = t.chunk_bytes
+
+let set_chunk_bytes t n =
+  if n < 1 then invalid_arg "Network.set_chunk_bytes: must be positive";
+  t.chunk_bytes <- n
 
 let set_drop_probability t p =
   if p > 0.0 && t.drop_rng = None then

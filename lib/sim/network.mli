@@ -57,6 +57,13 @@ val intercepted : 'msg t -> int -> bool
 val set_drop_probability : 'msg t -> float -> unit
 (** Uniform drop probability in [0,1]; requires [drop_rng]. *)
 
+val chunk_bytes : 'msg t -> int
+(** Per-message payload budget for bulk transfers (state sync snapshot
+    chunks and ledger suffix extents). Default 64 KiB. *)
+
+val set_chunk_bytes : 'msg t -> int -> unit
+(** @raise Invalid_argument if not positive. *)
+
 val partition : 'msg t -> int list -> int list -> unit
 (** Cut links between the two groups (both directions). *)
 

@@ -1,0 +1,33 @@
+module Obs = Iaccf_obs.Obs
+
+(* The statesync counter family, resolved once per replica so the hot
+   paths bump cells directly. Names are the stable public surface asserted
+   by tests and chaos scenarios. *)
+type t = {
+  chunks : Obs.counter;  (* snapshot chunks received *)
+  bytes : Obs.counter;  (* snapshot bytes received *)
+  offers : Obs.counter;  (* snapshot offers sent (server side) *)
+  installs : Obs.counter;  (* verified snapshot installs *)
+  verify_fail : Obs.counter;  (* snapshots rejected at install time *)
+  entries_skipped : Obs.counter;  (* suffix entries adopted without re-execution *)
+  snapshots_written : Obs.counter;  (* durable snapshot files persisted *)
+  prune_entries : Obs.counter;  (* ledger entries dropped by compaction *)
+  cold_snapshot_restore : Obs.counter;  (* cold starts resumed from a snapshot *)
+  cold_genesis_replay : Obs.counter;  (* cold starts replayed from genesis *)
+  duration_ms : Obs.Histogram.h;  (* offer-accept to install *)
+}
+
+let make obs =
+  {
+    chunks = Obs.counter obs "statesync.chunks";
+    bytes = Obs.counter obs "statesync.bytes";
+    offers = Obs.counter obs "statesync.offers";
+    installs = Obs.counter obs "statesync.installs";
+    verify_fail = Obs.counter obs "statesync.verify_fail";
+    entries_skipped = Obs.counter obs "statesync.entries_skipped";
+    snapshots_written = Obs.counter obs "statesync.snapshots_written";
+    prune_entries = Obs.counter obs "statesync.prune.entries";
+    cold_snapshot_restore = Obs.counter obs "statesync.cold.snapshot_restore";
+    cold_genesis_replay = Obs.counter obs "statesync.cold.genesis_replay";
+    duration_ms = Obs.histogram obs "statesync.duration_ms";
+  }

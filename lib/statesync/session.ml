@@ -1,0 +1,96 @@
+module Entry = Iaccf_ledger.Entry
+
+(* One in-flight catch-up: (snapshot @ cp_seqno) arriving as chunks from
+   [peer], plus the ledger suffix buffered from [suffix_from] onward. The
+   session only collects and tracks liveness; digest/root verification at
+   install time belongs to the replica, which also decides when the buffered
+   suffix reaches far enough to seal the checkpoint. *)
+type t = {
+  peer : int;
+  cp_seqno : int;
+  asm : Chunk.asm;
+  mutable next_chunk : int;  (* lowest chunk index never yet requested *)
+  mutable upto : int;  (* peer-advertised safe ledger length *)
+  mutable view : int;  (* highest view the peer reported *)
+  suffix_from : int;  (* our ledger length when the session began *)
+  mutable suffix_rev : Entry.t list;
+  mutable suffix_end : int;  (* suffix_from + buffered entries *)
+  mutable progress : int;  (* bumped on every accepted chunk / extent *)
+  mutable marker : int;  (* [progress] at the last liveness tick *)
+  mutable stalls : int;
+  started : float;
+}
+
+let create ~peer ~cp_seqno ~total ~bytes ~upto ~view ~suffix_from ~now =
+  {
+    peer;
+    cp_seqno;
+    asm = Chunk.create ~total ~bytes;
+    next_chunk = 0;
+    upto;
+    view;
+    suffix_from;
+    suffix_rev = [];
+    suffix_end = suffix_from;
+    progress = 0;
+    marker = 0;
+    stalls = 0;
+    started = now;
+  }
+
+let peer t = t.peer
+let cp_seqno t = t.cp_seqno
+let suffix_from t = t.suffix_from
+let suffix_end t = t.suffix_end
+let upto t = t.upto
+let view t = t.view
+let started t = t.started
+let suffix t = List.rev t.suffix_rev
+
+let on_chunk t ~index data =
+  let r = Chunk.add t.asm ~index data in
+  (if r = `Added then t.progress <- t.progress + 1);
+  r
+
+(* Suffix chunks are only accepted when they extend the buffer exactly:
+   anything else (gap, replay, other peer) is dropped and re-requested. *)
+let on_entries t ~from entries ~upto ~view =
+  if from <> t.suffix_end || entries = [] then false
+  else begin
+    List.iter (fun e -> t.suffix_rev <- e :: t.suffix_rev) entries;
+    t.suffix_end <- t.suffix_end + List.length entries;
+    if upto > t.upto then t.upto <- upto;
+    if view > t.view then t.view <- view;
+    t.progress <- t.progress + 1;
+    true
+  end
+
+let snapshot_complete t = Chunk.complete t.asm
+let assembled t = Chunk.assembled t.asm
+let missing t = Chunk.missing t.asm
+let chunk_total t = Chunk.total t.asm
+
+(* Window of chunk indices to request next: the lowest [window] outstanding,
+   preferring never-requested ones; advances [next_chunk]. *)
+let chunks_to_request t ~window =
+  if window < 1 || snapshot_complete t then []
+  else begin
+    let fresh = ref [] and n = ref 0 in
+    let total = Chunk.total t.asm in
+    while !n < window && t.next_chunk < total do
+      fresh := t.next_chunk :: !fresh;
+      t.next_chunk <- t.next_chunk + 1;
+      incr n
+    done;
+    List.rev !fresh
+  end
+
+(* Liveness probe, called from the replica's periodic tick: returns the
+   number of consecutive ticks with no progress. *)
+let tick t =
+  if t.progress <> t.marker then begin
+    t.marker <- t.progress;
+    t.stalls <- 0
+  end
+  else t.stalls <- t.stalls + 1;
+  t.stalls

@@ -1,0 +1,56 @@
+(** One in-flight catch-up session on the fetching replica.
+
+    Created when a peer's snapshot offer is accepted; collects snapshot
+    chunks and the buffered ledger suffix, and tracks liveness so the
+    replica's progress tick can re-request missing pieces or abandon a
+    stalled peer. Verification (checkpoint digest, Merkle roots) is the
+    replica's job at install time — the session is bookkeeping only. *)
+
+type t
+
+val create :
+  peer:int -> cp_seqno:int -> total:int -> bytes:int -> upto:int ->
+  view:int -> suffix_from:int -> now:float -> t
+(** From an accepted [Snapshot_offer]: [total]/[bytes] dimension the chunk
+    assembler, [upto]/[view] are the peer's advertised ledger length and
+    view, [suffix_from] is our ledger length at session start.
+    @raise Invalid_argument if [total < 1] or [bytes < 0]. *)
+
+val peer : t -> int
+val cp_seqno : t -> int
+val suffix_from : t -> int
+
+val suffix_end : t -> int
+(** [suffix_from] plus the entries buffered so far. *)
+
+val upto : t -> int
+val view : t -> int
+
+val started : t -> float
+(** Session start time (registry clock), for the duration histogram. *)
+
+val suffix : t -> Iaccf_ledger.Entry.t list
+(** Buffered suffix entries, ledger order. *)
+
+val on_chunk : t -> index:int -> string -> [ `Added | `Duplicate | `Invalid ]
+(** Record one snapshot chunk. *)
+
+val on_entries :
+  t -> from:int -> Iaccf_ledger.Entry.t list -> upto:int -> view:int -> bool
+(** Buffer a suffix extent. Accepted only when [from] equals
+    {!suffix_end} and the extent is non-empty; gaps and replays return
+    [false] and are simply re-requested. *)
+
+val snapshot_complete : t -> bool
+val assembled : t -> string option
+val missing : t -> int list
+val chunk_total : t -> int
+
+val chunks_to_request : t -> window:int -> int list
+(** Up to [window] never-yet-requested chunk indices, advancing the
+    request cursor; [[]] once all have been requested at least once
+    (retries then come from {!missing}). *)
+
+val tick : t -> int
+(** Liveness probe from the periodic tick: returns the number of
+    consecutive ticks without progress (0 when progress was made). *)

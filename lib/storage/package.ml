@@ -29,13 +29,14 @@ let of_ledger ?checkpoint ?(receipts = []) ledger =
     pkg_m_size = Ledger.m_size ledger;
   }
 
-let of_store ?checkpoint ?(receipts = []) store =
+let of_entries ?checkpoint ?(receipts = []) entries =
+  let ledger = Ledger.of_entries entries in
   {
-    pkg_entries = List.init (Store.length store) (Store.get store);
+    pkg_entries = entries;
     pkg_checkpoint = checkpoint;
     pkg_receipts = receipts;
-    pkg_m_root = Store.m_root store;
-    pkg_m_size = Store.m_size store;
+    pkg_m_root = Ledger.m_root ledger;
+    pkg_m_size = Ledger.m_size ledger;
   }
 
 let to_ledger t = Ledger.of_entries t.pkg_entries

@@ -26,8 +26,12 @@ type t = {
 val of_ledger :
   ?checkpoint:Checkpoint.t -> ?receipts:string list -> Ledger.t -> t
 
-val of_store : ?checkpoint:Checkpoint.t -> ?receipts:string list -> Store.t -> t
-(** Bundle a persisted store's recovered contents. *)
+val of_entries :
+  ?checkpoint:Checkpoint.t -> ?receipts:string list -> Entry.t list -> t
+(** Bundle an explicit entry sequence (genesis first); the Merkle root and
+    size are computed from the entries. This is how a store packages its
+    own contents ([Store.prune_before], [export-package --from]) without a
+    dependency cycle between the two modules. *)
 
 val to_ledger : t -> Ledger.t
 (** Rebuild the in-memory ledger (root already verified on import). *)

@@ -45,7 +45,9 @@ type t = {
   c_append_bytes : Obs.counter;
   c_fsyncs : Obs.counter;
   c_truncates : Obs.counter;
-  slots : slot Vec.t;
+  slots : slot Vec.t; (* entries [base, base + length), in order *)
+  mutable base : int; (* first on-disk entry index (> 0 after a prune) *)
+  mutable base_msize : int; (* Merkle tree size covering [0, base) *)
   tree : Tree.t;
   cache : (int, Entry.t) Lru.t;
   mutable tail_first : int;  (* first index of the open tail segment *)
@@ -64,6 +66,9 @@ type t = {
 let seg_name first = Printf.sprintf "segment-%016d.iaccf" first
 let seg_path t first = Filename.concat t.cfg.dir (seg_name first)
 let root_path dir = Filename.concat dir "root.iaccf"
+let prune_path dir = Filename.concat dir "prune.iaccf"
+let audit_package_name = "audit-prefix.iapkg"
+let audit_package_path dir = Filename.concat dir audit_package_name
 
 let parse_seg_name name =
   match String.length name = 30 && String.sub name 0 8 = "segment-"
@@ -124,17 +129,48 @@ let decode_root s =
   | v -> v
   | exception Codec.Decode_error m -> fail "corrupt root-of-trust file: %s" m
 
-let write_root_file t =
-  let m_size = Tree.size t.tree in
-  let data = encode_root ~length:(Vec.length t.slots) ~m_size ~m_root:(Tree.root t.tree) in
-  let path = root_path t.cfg.dir in
+let write_file_atomic ~dir path data =
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
       write_all fd data;
       Unix.fsync fd);
   Unix.rename tmp path;
-  fsync_dir t.cfg.dir
+  fsync_dir dir
+
+let write_root_file t =
+  let m_size = Tree.size t.tree in
+  let data =
+    encode_root ~length:(t.base + Vec.length t.slots) ~m_size
+      ~m_root:(Tree.root t.tree)
+  in
+  write_file_atomic ~dir:t.cfg.dir (root_path t.cfg.dir) data
+
+(* ------------------------------------------------------------------ *)
+(* Prune marker: which prefix was compacted away, and the Merkle tree
+   frontier needed to resume M without the pruned leaves.              *)
+
+let prune_magic = "IACCF-PRUNE-v1"
+
+let encode_prune ~base ~base_msize ~frontier =
+  Codec.encode (fun w ->
+      Codec.W.bytes w prune_magic;
+      Codec.W.u64 w base;
+      Codec.W.u64 w base_msize;
+      Codec.W.list w (fun d -> Codec.W.raw w (D.to_raw d)) frontier)
+
+let decode_prune s =
+  match
+    Codec.decode s (fun r ->
+        let magic = Codec.R.bytes r in
+        if magic <> prune_magic then raise (Codec.Decode_error "bad prune magic");
+        let base = Codec.R.u64 r in
+        let base_msize = Codec.R.u64 r in
+        let frontier = Codec.R.list r (fun r -> D.of_raw (Codec.R.raw r D.size)) in
+        (base, base_msize, frontier))
+  with
+  | v -> v
+  | exception Codec.Decode_error m -> fail "corrupt prune marker: %s" m
 
 (* ------------------------------------------------------------------ *)
 (* Open + recovery                                                     *)
@@ -144,11 +180,20 @@ let append_slot t ~seg ~off ~len entry =
   Vec.push t.slots { s_seg = seg; s_off = off; s_len = len; s_msize = Tree.size t.tree };
   t.disk <- t.disk + len
 
+(* Merkle tree size after entry [length - 1]. Only defined for
+   [length >= base]: anything shorter is inside the pruned prefix. *)
+let msize_at t length =
+  if length = 0 then 0
+  else if length = t.base then t.base_msize
+  else if length < t.base then
+    fail "length %d is inside the pruned prefix (first retained entry %d)" length t.base
+  else (Vec.get t.slots (length - 1 - t.base)).s_msize
+
 (* Root the recovered prefix at [length] using the recorded tree sizes. *)
 let m_root_at_length t length =
   if length = 0 then Tree.empty_root
   else begin
-    let m_size = (Vec.get t.slots (length - 1)).s_msize in
+    let m_size = msize_at t length in
     if m_size = Tree.size t.tree then Tree.root t.tree
     else begin
       let tree = Tree.copy t.tree in
@@ -202,6 +247,21 @@ let open_store ?(readonly = false) ?obs ?(owner = 0) cfg =
   end
   else mkdir_p cfg.dir;
   let obs = match obs with Some o -> o | None -> Obs.passive () in
+  (* A prune marker means the prefix [0, base) was compacted away: resume
+     the binding tree M from its recorded frontier instead of replaying
+     leaves we no longer hold. *)
+  let base, base_msize, tree =
+    if Sys.file_exists (prune_path cfg.dir) then begin
+      let base, base_msize, frontier = decode_prune (read_file (prune_path cfg.dir)) in
+      if base < 1 || base_msize < 0 || base_msize > base then
+        fail "prune marker claims base %d with tree size %d" base base_msize;
+      match Tree.of_frontier ~size:base_msize frontier with
+      | tree -> (base, base_msize, tree)
+      | exception Invalid_argument _ ->
+          fail "prune marker frontier does not match tree size %d" base_msize
+    end
+    else (0, 0, Tree.create ())
+  in
   let t =
     {
       cfg;
@@ -213,7 +273,9 @@ let open_store ?(readonly = false) ?obs ?(owner = 0) cfg =
       c_fsyncs = Obs.counter obs "storage.fsyncs";
       c_truncates = Obs.counter obs "storage.truncates";
       slots = Vec.create ();
-      tree = Tree.create ();
+      base;
+      base_msize;
+      tree;
       cache = Lru.create ~capacity:cfg.cache_capacity;
       tail_first = 0;
       tail_fd = None;
@@ -233,12 +295,18 @@ let open_store ?(readonly = false) ?obs ?(owner = 0) cfg =
     }
   in
   let segs = list_segments cfg.dir in
+  (* Segments wholly behind the prune marker are leftovers of a crash
+     between marker write and unlink; their contents live on in the audit
+     package, so finish the unlink (read-only opens just skip them). *)
+  let stale, segs = List.partition (fun seg -> seg < t.base) segs in
+  if not readonly then List.iter (fun seg -> Sys.remove (seg_path t seg)) stale;
   let n_segs = List.length segs in
   let torn_frames = ref 0 and torn_bytes = ref 0 in
   List.iteri
     (fun k seg ->
-      if seg <> Vec.length t.slots then
-        fail "segment %s: expected first index %d" (seg_name seg) (Vec.length t.slots);
+      if seg <> t.base + Vec.length t.slots then
+        fail "segment %s: expected first index %d" (seg_name seg)
+          (t.base + Vec.length t.slots);
       let tail = k = n_segs - 1 in
       let data = read_file (seg_path t seg) in
       let survive, torn = scan_segment t ~seg ~tail data in
@@ -271,10 +339,14 @@ let open_store ?(readonly = false) ?obs ?(owner = 0) cfg =
   let root_verified =
     if Sys.file_exists (root_path cfg.dir) then begin
       let length, m_size, m_root = decode_root (read_file (root_path cfg.dir)) in
-      if length > Vec.length t.slots then
+      if length > t.base + Vec.length t.slots then
         fail "recovered %d entries but the root-of-trust covers %d: durable data lost"
-          (Vec.length t.slots) length;
-      if length > 0 && (Vec.get t.slots (length - 1)).s_msize <> m_size then
+          (t.base + Vec.length t.slots) length;
+      if length < t.base then
+        fail "root-of-trust covers %d entries but the prune marker claims %d were \
+              compacted: marker cannot postdate the durable root"
+          length t.base;
+      if length > 0 && msize_at t length <> m_size then
         fail "root-of-trust tree size mismatch at length %d" length;
       if not (D.equal (m_root_at_length t length) m_root) then
         fail "recovered Merkle root does not match the root-of-trust at length %d" length;
@@ -301,7 +373,9 @@ let open_store ?(readonly = false) ?obs ?(owner = 0) cfg =
 
 let recovery t = t.recovered
 let config t = t.cfg
-let length t = Vec.length t.slots
+let length t = t.base + Vec.length t.slots
+let pruned_before t = t.base
+let package_path t = audit_package_path t.cfg.dir
 let segments t = t.seg_count
 let disk_bytes t = t.disk
 let m_root t = Tree.root t.tree
@@ -323,7 +397,7 @@ let sync t =
   write_root_file t;
   Obs.incr t.c_fsyncs;
   Obs.instant t.obs ~node:t.owner ~cat:"storage" ~name:"storage.fsync"
-    ~args:[ ("entries", string_of_int (Vec.length t.slots)) ]
+    ~args:[ ("entries", string_of_int (length t)) ]
     ();
   t.unsynced <- 0
 
@@ -337,7 +411,7 @@ let roll_segment t =
       Unix.close fd
   | None -> ());
   t.tail_fd <- None;
-  open_tail_fd t ~first:(Vec.length t.slots) ~size:0;
+  open_tail_fd t ~first:(length t) ~size:0;
   t.seg_count <- t.seg_count + 1
 
 let append t entry =
@@ -348,7 +422,7 @@ let append t entry =
   then roll_segment t;
   let fd = Option.get t.tail_fd in
   write_all fd frame;
-  let index = Vec.length t.slots in
+  let index = length t in
   append_slot t ~seg:t.tail_first ~off:t.tail_size ~len entry;
   t.tail_size <- t.tail_size + len;
   Lru.put t.cache index entry;
@@ -370,11 +444,14 @@ let append t entry =
 
 let get t i =
   check_open t "get";
-  if i < 0 || i >= Vec.length t.slots then invalid_arg "Store.get: index out of range";
+  if i < 0 || i >= length t then invalid_arg "Store.get: index out of range";
+  if i < t.base then
+    fail "Store.get: entry %d was pruned (first retained entry %d); read it from \
+          the audit package" i t.base;
   match Lru.find t.cache i with
   | Some e -> e
   | None ->
-      let slot = Vec.get t.slots i in
+      let slot = Vec.get t.slots (i - t.base) in
       let ic = open_in_bin (seg_path t slot.s_seg) in
       let raw =
         Fun.protect
@@ -398,25 +475,29 @@ let get t i =
 let truncate t n =
   check_rw t "truncate";
   if n < 1 then invalid_arg "Store.truncate: cannot drop the genesis";
-  if n < Vec.length t.slots then begin
+  if n <= t.base then
+    fail "Store.truncate: cannot roll back to %d, entries before %d were pruned"
+      n t.base;
+  if n < length t then begin
     Obs.incr t.c_truncates;
     Obs.instant t.obs ~node:t.owner ~cat:"storage" ~name:"storage.truncate"
-      ~args:
-        [ ("to", string_of_int n); ("from", string_of_int (Vec.length t.slots)) ]
+      ~args:[ ("to", string_of_int n); ("from", string_of_int (length t)) ]
       ();
-    let last = Vec.get t.slots (n - 1) in
+    let last = Vec.get t.slots (n - 1 - t.base) in
     let cut = last.s_off + last.s_len in
-    for i = n to Vec.length t.slots - 1 do
-      let s = Vec.get t.slots i in
+    for i = n to length t - 1 do
+      let s = Vec.get t.slots (i - t.base) in
       t.disk <- t.disk - s.s_len;
       Lru.remove t.cache i;
-      if s.s_seg <> last.s_seg && (i = n || (Vec.get t.slots (i - 1)).s_seg <> s.s_seg)
+      if
+        s.s_seg <> last.s_seg
+        && (i = n || (Vec.get t.slots (i - 1 - t.base)).s_seg <> s.s_seg)
       then begin
         Sys.remove (seg_path t s.s_seg);
         t.seg_count <- t.seg_count - 1
       end
     done;
-    Vec.truncate t.slots n;
+    Vec.truncate t.slots (n - t.base);
     Tree.truncate t.tree last.s_msize;
     (match t.tail_fd with Some fd -> Unix.close fd | None -> ());
     t.tail_fd <- None;
@@ -429,6 +510,97 @@ let truncate t n =
     (* A rollback is a deliberate history change: refresh the root-of-trust
        now so a crash cannot resurrect the truncated suffix's promise. *)
     sync t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+
+(* Drop whole segments strictly behind [upto], but only after the pruned
+   prefix is safe in the cumulative audit package: accountability evidence
+   must survive compaction, so the package always covers [0, max so far)
+   from genesis and is re-verified against the store's own Merkle history
+   before any unlink. Crash ordering: sync -> package -> prune marker ->
+   unlink; every intermediate state reopens correctly (a marker without
+   unlinks just finishes the unlink on open). *)
+let prune_before t upto =
+  check_rw t "prune_before";
+  if upto < 1 || upto > length t then
+    invalid_arg "Store.prune_before: index out of range";
+  (* The cut lands on a segment boundary at or before [upto]; the open
+     tail segment itself survives even when it starts before [upto]. *)
+  let cut = ref t.base in
+  Vec.iter
+    (fun s -> if s.s_seg <= upto && s.s_seg > !cut then cut := s.s_seg)
+    t.slots;
+  let cut = !cut in
+  if cut <= t.base then 0
+  else begin
+    sync t;
+    let pkg_path = package_path t in
+    let prev_entries =
+      if Sys.file_exists pkg_path then (Package.read_file pkg_path).Package.pkg_entries
+      else if t.base > 0 then
+        fail "prune_before: audit package %s is missing but entries before %d \
+              were already pruned" pkg_path t.base
+      else []
+    in
+    let prev_end = List.length prev_entries in
+    if prev_end < t.base then
+      fail "prune_before: audit package covers only %d entries but entries \
+            before %d were already pruned" prev_end t.base;
+    let pkg_end = max prev_end upto in
+    if pkg_end > prev_end then begin
+      let entries =
+        prev_entries @ List.init (pkg_end - prev_end) (fun i -> get t (prev_end + i))
+      in
+      let pkg = Package.of_entries entries in
+      if not (D.equal pkg.Package.pkg_m_root (m_root_at_length t pkg_end)) then
+        fail
+          "prune_before: audit package would not reproduce the store's Merkle \
+           root at %d (stale or foreign %s?)"
+          pkg_end audit_package_name;
+      Package.write_file pkg_path pkg
+    end;
+    let cut_msize = msize_at t cut in
+    let frontier =
+      let tree = Tree.copy t.tree in
+      Tree.truncate tree cut_msize;
+      Tree.frontier tree
+    in
+    write_file_atomic ~dir:t.cfg.dir (prune_path t.cfg.dir)
+      (encode_prune ~base:cut ~base_msize:cut_msize ~frontier);
+    (* The marker is durable: from here on a crash leaves at worst stale
+       pre-cut segments, which open_store unlinks. *)
+    let dropped = cut - t.base in
+    let dropped_bytes = ref 0 in
+    for i = t.base to cut - 1 do
+      let s = Vec.get t.slots (i - t.base) in
+      dropped_bytes := !dropped_bytes + s.s_len;
+      Lru.remove t.cache i;
+      if i = t.base || (Vec.get t.slots (i - 1 - t.base)).s_seg <> s.s_seg then begin
+        Sys.remove (seg_path t s.s_seg);
+        t.seg_count <- t.seg_count - 1
+      end
+    done;
+    fsync_dir t.cfg.dir;
+    let live = Vec.sub_list t.slots dropped (Vec.length t.slots - dropped) in
+    Vec.truncate t.slots 0;
+    List.iter (Vec.push t.slots) live;
+    t.disk <- t.disk - !dropped_bytes;
+    t.base <- cut;
+    t.base_msize <- cut_msize;
+    Obs.incr (Obs.counter t.obs "storage.prunes");
+    Obs.add (Obs.counter t.obs "storage.pruned_entries") dropped;
+    Obs.add (Obs.counter t.obs "storage.pruned_bytes") !dropped_bytes;
+    Obs.instant t.obs ~node:t.owner ~cat:"storage" ~name:"storage.prune"
+      ~args:
+        [
+          ("base", string_of_int cut);
+          ("entries", string_of_int dropped);
+          ("bytes", string_of_int !dropped_bytes);
+        ]
+      ();
+    dropped
   end
 
 (* ------------------------------------------------------------------ *)
@@ -454,13 +626,21 @@ let crash t =
 
 let to_ledger t =
   check_open t "to_ledger";
-  if Vec.length t.slots = 0 then fail "to_ledger: store is empty";
-  Ledger.of_entries (List.init (Vec.length t.slots) (get t))
+  if length t = 0 then fail "to_ledger: store is empty";
+  if t.base > 0 then
+    fail
+      "to_ledger: entries before %d were pruned; reconstruct the full history \
+       from the audit package (%s)"
+      t.base audit_package_name;
+  Ledger.of_entries (List.init (length t) (get t))
 
 let attach ?(allow_rollback = false) t ledger =
   check_rw t "attach";
   let ll = Ledger.length ledger in
-  let sl = Vec.length t.slots in
+  let sl = length t in
+  if ll < t.base then
+    fail "attach: ledger holds %d entries but entries before %d were pruned" ll
+      t.base;
   (* Prove agreement on the shared prefix BEFORE any destructive step: a
      mis-addressed or diverging ledger must never cost persisted history. *)
   let common = min sl ll in

@@ -86,7 +86,32 @@ val truncate : t -> int -> unit
 (** Drop all entries at indices [>= n] (view-change rollback of an
     uncommitted suffix, mirroring {!Ledger.truncate}): later segment files
     are unlinked, the cut segment is file-truncated, and the Merkle tree is
-    rolled back. @raise Invalid_argument if [n < 1]. *)
+    rolled back. @raise Invalid_argument if [n < 1].
+    @raise Storage_error if [n] is at or behind the pruned prefix. *)
+
+val prune_before : t -> int -> int
+(** [prune_before t upto] compacts the store: every whole segment strictly
+    behind [upto] (a ledger index the caller has covered with a durable
+    checkpoint snapshot) is dropped, {e after} the pruned prefix is
+    exported to the cumulative audit package [audit-prefix.iapkg] in the
+    store directory — accountability evidence survives compaction, so
+    [iaccf audit --package] over the export still replays the full history
+    offline. The package always covers [0, upto) from genesis (it extends
+    any previous export) and is verified against the store's own Merkle
+    history before anything is unlinked. A durable prune marker records the
+    new base and the Merkle frontier so reopening resumes the binding tree
+    without the pruned leaves. Returns the number of entries dropped (0 if
+    no whole segment lies behind [upto]; the open tail segment is never
+    dropped). @raise Invalid_argument if [upto] is out of range. *)
+
+val pruned_before : t -> int
+(** First entry index still on disk: [0] for an unpruned store, otherwise
+    the base set by the latest {!prune_before}. [get] below this index and
+    [truncate]/[to_ledger] into the pruned region raise. *)
+
+val package_path : t -> string
+(** Path of the cumulative audit package written by {!prune_before}
+    ([<dir>/audit-prefix.iapkg]); the file exists iff a prune happened. *)
 
 val sync : t -> unit
 (** fsync the tail segment and atomically rewrite the root-of-trust file
@@ -105,7 +130,8 @@ val cache_stats : t -> int * int
 
 val to_ledger : t -> Ledger.t
 (** Materialize the persisted entries as an in-memory ledger (recovery
-    cold-start and package export). *)
+    cold-start and package export). @raise Storage_error on a pruned store
+    — reconstruct the full history from the audit package instead. *)
 
 val attach : ?allow_rollback:bool -> t -> Ledger.t -> unit
 (** Make the store the write-through backend of a ledger. The Merkle roots

@@ -300,15 +300,43 @@ let test_snapshot_rejects_unrecorded_checkpoint () =
   Cluster.run cluster ~ms:1000.0;
   let r0 = Cluster.replica cluster 0 in
   let r5 = Cluster.spawn_replica cluster ~id:5 in
-  (* Deliver a snapshot whose checkpoint does not match any recorded
-     digest: the joiner must refuse it and stay empty. *)
-  let bogus = Iaccf_kv.Checkpoint.make ~seqno:10 (Iaccf_kv.Hamt.of_list [ ("evil", "1") ]) in
-  let entries = List.map snd (Iaccf_ledger.Ledger.entries (Replica.ledger r0) ()) in
-  Network.send (Cluster.network cluster) ~src:0 ~dst:5
-    (Wire.Snapshot_msg { sp_checkpoint = bogus; sp_entries = entries; sp_view = 0 });
-  Cluster.run cluster ~ms:1000.0;
-  check Alcotest.int "rejected: ledger still genesis-only" 1
-    (Iaccf_ledger.Ledger.length (Replica.ledger r5))
+  (* Offer a snapshot whose bytes decode to a checkpoint no committed
+     checkpoint batch records, then deliver its chunks. The joiner
+     assembles it, fails digest verification at install time, and must
+     never adopt the forged key-value state. *)
+  (* seqno 7 is never a checkpoint (interval 10), so no committed batch can
+     seal it and the serving replicas never answer chunk requests for it —
+     the only bytes the joiner sees are the forged ones below. *)
+  let bogus = Iaccf_kv.Checkpoint.make ~seqno:7 (Iaccf_kv.Hamt.of_list [ ("evil", "1") ]) in
+  let payload = Iaccf_kv.Checkpoint.serialize bogus in
+  let chunks = Iaccf_statesync.Chunk.split ~chunk_bytes:4096 payload in
+  let net = Cluster.network cluster in
+  Network.send net ~src:0 ~dst:5
+    (Wire.Snapshot_offer
+       {
+         so_cp_seqno = 7;
+         so_total = List.length chunks;
+         so_bytes = String.length payload;
+         so_upto = Iaccf_ledger.Ledger.length (Replica.ledger r0);
+         so_view = 0;
+       });
+  Cluster.run cluster ~ms:50.0;
+  List.iteri
+    (fun i c ->
+      Network.send net ~src:0 ~dst:5
+        (Wire.Snapshot_chunk
+           {
+             sc_cp_seqno = 7;
+             sc_index = i;
+             sc_total = List.length chunks;
+             sc_data = c;
+           }))
+    chunks;
+  Cluster.run cluster ~ms:3000.0;
+  check Alcotest.bool "forged snapshot rejected at install" true
+    (Iaccf_obs.Obs.counter_value (Replica.obs r5) "statesync.verify_fail" >= 1);
+  check Alcotest.(option string) "forged state never installed" None
+    (Iaccf_kv.Hamt.find "evil" (Iaccf_kv.Store.map (Replica.store r5)))
 
 
 let () =

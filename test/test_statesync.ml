@@ -1,0 +1,327 @@
+(* State-sync building blocks (lib/statesync) and install-time rejection:
+   checkpoint digest/serialization properties under random HAMT workloads,
+   snapshot file durability, chunk assembly, and cluster-level negative
+   tests where a forged or mismatched snapshot must fail verification at
+   install and never reach the joiner's key-value store. *)
+
+open Iaccf_core
+module Checkpoint = Iaccf_kv.Checkpoint
+module Hamt = Iaccf_kv.Hamt
+module Snapshot = Iaccf_statesync.Snapshot
+module Chunk = Iaccf_statesync.Chunk
+module Network = Iaccf_sim.Network
+module Ledger = Iaccf_ledger.Ledger
+module D = Iaccf_crypto.Digest32
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let temp_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "iaccf-statesync-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o700;
+  dir
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint digest / serialization properties                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A random workload: unique keys (duplicates would make insertion order
+   semantically significant), values derived from a seed. *)
+let workload_gen =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "(%d keys, seed %d)" n seed)
+    QCheck.Gen.(pair (int_range 0 200) (int_bound 1_000_000))
+
+let workload (n, seed) =
+  List.init n (fun i ->
+      ( Printf.sprintf "key/%d/%x" i (seed + (i * 7)),
+        Printf.sprintf "value-%d-%d" seed i ))
+
+(* Deterministic permutation so the property needs no global RNG state. *)
+let permute seed xs =
+  let rng = Iaccf_util.Rng.create seed in
+  xs
+  |> List.map (fun x -> (Iaccf_util.Rng.int rng 1_000_000, x))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let prop_digest_order_independent =
+  QCheck.Test.make ~name:"digest is insertion-order independent" ~count:50
+    workload_gen (fun (n, seed) ->
+      let kvs = workload (n, seed) in
+      let a = Checkpoint.make ~seqno:42 (Hamt.of_list kvs) in
+      let b = Checkpoint.make ~seqno:42 (Hamt.of_list (permute seed kvs)) in
+      let c = Checkpoint.make ~seqno:42 (Hamt.of_list (List.rev kvs)) in
+      D.equal (Checkpoint.digest a) (Checkpoint.digest b)
+      && D.equal (Checkpoint.digest a) (Checkpoint.digest c))
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize/deserialize round-trip" ~count:50
+    workload_gen (fun (n, seed) ->
+      let kvs = workload (n, seed) in
+      let cp = Checkpoint.make ~seqno:(seed mod 997) (Hamt.of_list kvs) in
+      let cp' = Checkpoint.deserialize (Checkpoint.serialize cp) in
+      cp'.Checkpoint.seqno = cp.Checkpoint.seqno
+      && D.equal (Checkpoint.digest cp') (Checkpoint.digest cp)
+      && List.for_all
+           (fun (k, v) -> Hamt.find k cp'.Checkpoint.state = Some v)
+           kvs)
+
+let prop_digest_binds_seqno =
+  QCheck.Test.make ~name:"digest binds the sequence number" ~count:20
+    workload_gen (fun (n, seed) ->
+      let state = Hamt.of_list (workload (n, seed)) in
+      not
+        (D.equal
+           (Checkpoint.digest (Checkpoint.make ~seqno:1 state))
+           (Checkpoint.digest (Checkpoint.make ~seqno:2 state))))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot files                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cp_of_seqno seqno =
+  Checkpoint.make ~seqno
+    (Hamt.of_list (List.init 20 (fun i -> (Printf.sprintf "k%d" i, string_of_int (seqno + i)))))
+
+let test_snapshot_roundtrip () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cp = cp_of_seqno 50 in
+  let bytes = Snapshot.write ~dir cp in
+  check Alcotest.bool "file has content" true (bytes > 0);
+  (match Snapshot.load ~dir 50 with
+  | None -> Alcotest.fail "snapshot did not load"
+  | Some cp' ->
+      check Alcotest.int "seqno" 50 cp'.Checkpoint.seqno;
+      check Alcotest.bool "digest" true
+        (D.equal (Checkpoint.digest cp) (Checkpoint.digest cp')));
+  check Alcotest.(option string) "missing seqno" None
+    (Option.map Checkpoint.serialize (Snapshot.load ~dir 60))
+
+let test_snapshot_list_retain () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  List.iter (fun s -> ignore (Snapshot.write ~dir (cp_of_seqno s))) [ 50; 100; 150 ];
+  check Alcotest.(list int) "newest first" [ 150; 100; 50 ] (Snapshot.list ~dir);
+  Snapshot.retain ~dir ~keep:2;
+  check Alcotest.(list int) "oldest dropped" [ 150; 100 ] (Snapshot.list ~dir)
+
+let test_snapshot_corruption_rejected () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  ignore (Snapshot.write ~dir (cp_of_seqno 50));
+  let file = Snapshot.path ~dir 50 in
+  let fd = Unix.openfile file [ Unix.O_WRONLY ] 0 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd (len / 2) Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "\xff" 0 1);
+  Unix.close fd;
+  check Alcotest.bool "corrupt snapshot rejected" true (Snapshot.load ~dir 50 = None)
+
+let test_snapshot_renamed_rejected () =
+  (* A snapshot file renamed to claim a different checkpoint must not
+     load: the embedded seqno is authoritative. *)
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  ignore (Snapshot.write ~dir (cp_of_seqno 50));
+  Sys.rename (Snapshot.path ~dir 50) (Snapshot.path ~dir 100);
+  check Alcotest.bool "renamed snapshot rejected" true (Snapshot.load ~dir 100 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Chunk assembly                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_chunk_roundtrip =
+  QCheck.Test.make ~name:"split/assemble round-trip" ~count:100
+    QCheck.(pair (string_of_size Gen.(int_bound 5000)) (int_range 1 700))
+    (fun (data, chunk_bytes) ->
+      let chunks = Chunk.split ~chunk_bytes data in
+      let asm =
+        Chunk.create ~total:(List.length chunks) ~bytes:(String.length data)
+      in
+      (* Deliver out of order: odd indices first. *)
+      let indexed = List.mapi (fun i c -> (i, c)) chunks in
+      let odd, even = List.partition (fun (i, _) -> i mod 2 = 1) indexed in
+      List.iter (fun (i, c) -> ignore (Chunk.add asm ~index:i c)) (odd @ even);
+      Chunk.assembled asm = Some data)
+
+let test_chunk_tamper_detected () =
+  (* The assembler is mechanical: a tampered chunk reassembles, and the
+     forgery is caught by checkpoint decode / digest verification. *)
+  let cp = cp_of_seqno 50 in
+  let payload = Checkpoint.serialize cp in
+  let chunks = Chunk.split ~chunk_bytes:64 payload in
+  let asm = Chunk.create ~total:(List.length chunks) ~bytes:(String.length payload) in
+  List.iteri
+    (fun i c ->
+      let c =
+        if i = 1 then (
+          let b = Bytes.of_string c in
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+          Bytes.to_string b)
+        else c
+      in
+      ignore (Chunk.add asm ~index:i c))
+    chunks;
+  match Chunk.assembled asm with
+  | None -> Alcotest.fail "tampered payload should still assemble"
+  | Some data ->
+      check Alcotest.bool "bytes differ" true (data <> payload);
+      let caught =
+        match Checkpoint.deserialize data with
+        | cp' -> not (D.equal (Checkpoint.digest cp') (Checkpoint.digest cp))
+        | exception Iaccf_util.Codec.Decode_error _ -> true
+      in
+      check Alcotest.bool "tamper detected" true caught
+
+let test_chunk_duplicates_and_bounds () =
+  let asm = Chunk.create ~total:3 ~bytes:9 in
+  check Alcotest.bool "add 0" true (Chunk.add asm ~index:0 "abc" = `Added);
+  check Alcotest.bool "dup 0" true (Chunk.add asm ~index:0 "abc" = `Duplicate);
+  check Alcotest.bool "out of range" true (Chunk.add asm ~index:7 "x" = `Invalid);
+  check Alcotest.bool "negative" true (Chunk.add asm ~index:(-1) "x" = `Invalid);
+  check Alcotest.bool "oversized rejected" true
+    (Chunk.add asm ~index:1 (String.make 100 'y') = `Invalid);
+  check Alcotest.(list int) "missing" [ 1; 2 ] (Chunk.missing asm);
+  ignore (Chunk.add asm ~index:1 "def");
+  ignore (Chunk.add asm ~index:2 "ghi");
+  check Alcotest.(option string) "assembled" (Some "abcdefghi") (Chunk.assembled asm)
+
+(* ------------------------------------------------------------------ *)
+(* Install-time rejection (cluster level)                              *)
+(* ------------------------------------------------------------------ *)
+
+let drive cluster client n ~timeout_ms =
+  let completed = ref 0 in
+  for i = 1 to n do
+    Client.submit client ~proc:"counter/add" ~args:(string_of_int i)
+      ~on_complete:(fun _ -> incr completed)
+      ()
+  done;
+  Cluster.run_until cluster ~timeout_ms (fun () -> !completed >= n)
+
+(* Build a cluster whose checkpoint at [cp_seqno] is sealed (its digest is
+   recorded in a later committed checkpoint batch), then offer joiner [jid]
+   a forged snapshot for that checkpoint from a silent, unregistered
+   network address. The joiner can assemble only the forged bytes; the real
+   suffix is injected directly, so verification runs all the way to the
+   digest-vs-sealed check. Returns the joiner. *)
+let offer_forged_snapshot ~payload ~cp_seqno =
+  let params =
+    { Replica.default_params with checkpoint_interval = 10; max_batch = 2 }
+  in
+  let cluster = Cluster.make ~n:4 ~params () in
+  let client = Cluster.add_client cluster () in
+  let ok = drive cluster client 60 ~timeout_ms:300_000.0 in
+  check Alcotest.bool "workload ran" true ok;
+  Cluster.run cluster ~ms:1000.0;
+  let r0 = Cluster.replica cluster 0 in
+  check Alcotest.bool "checkpoint sealed" true
+    (Replica.last_committed r0 > cp_seqno + params.Replica.checkpoint_interval);
+  let joiner = Cluster.spawn_replica cluster ~id:5 in
+  let net = Cluster.network cluster in
+  let chunks = Chunk.split ~chunk_bytes:4096 payload in
+  let attacker = 9 (* no handler: the joiner's requests to it vanish *) in
+  Network.send net ~src:attacker ~dst:5
+    (Wire.Snapshot_offer
+       {
+         so_cp_seqno = cp_seqno;
+         so_total = List.length chunks;
+         so_bytes = String.length payload;
+         so_upto = Ledger.length (Replica.ledger r0);
+         so_view = 0;
+       });
+  Cluster.run cluster ~ms:50.0;
+  List.iteri
+    (fun i c ->
+      Network.send net ~src:attacker ~dst:5
+        (Wire.Snapshot_chunk
+           { sc_cp_seqno = cp_seqno; sc_index = i; sc_total = List.length chunks; sc_data = c }))
+    chunks;
+  (* The genuine suffix, carrying the sealing checkpoint batch. *)
+  let entries = List.map snd (Ledger.entries (Replica.ledger r0) ~from:1 ()) in
+  Network.send net ~src:attacker ~dst:5
+    (Wire.Ledger_suffix_chunk
+       {
+         lc_from = 1;
+         lc_entries = entries;
+         lc_upto = Ledger.length (Replica.ledger r0);
+         lc_view = 0;
+       });
+  Cluster.run cluster ~ms:3000.0;
+  joiner
+
+let verify_fails r =
+  Iaccf_obs.Obs.counter_value (Replica.obs r) "statesync.verify_fail"
+
+let test_install_rejects_wrong_digest () =
+  (* Chunks assemble to a checkpoint for the right seqno but the wrong
+     state: the digest sealed in the committed checkpoint batch must win. *)
+  let forged = Checkpoint.make ~seqno:10 (Hamt.of_list [ ("evil", "1") ]) in
+  let joiner =
+    offer_forged_snapshot ~payload:(Checkpoint.serialize forged) ~cp_seqno:10
+  in
+  check Alcotest.bool "digest mismatch rejected" true (verify_fails joiner >= 1);
+  check Alcotest.(option string) "forged state never installed" None
+    (Iaccf_kv.Hamt.find "evil" (Iaccf_kv.Store.map (Replica.store joiner)))
+
+let test_install_rejects_wrong_seqno () =
+  (* The payload decodes cleanly but for a different checkpoint than the
+     offer named: rejected before any state is touched. *)
+  let forged = Checkpoint.make ~seqno:9 (Hamt.of_list [ ("evil", "1") ]) in
+  let joiner =
+    offer_forged_snapshot ~payload:(Checkpoint.serialize forged) ~cp_seqno:10
+  in
+  check Alcotest.bool "wrong-seqno snapshot rejected" true (verify_fails joiner >= 1);
+  check Alcotest.(option string) "forged state never installed" None
+    (Iaccf_kv.Hamt.find "evil" (Iaccf_kv.Store.map (Replica.store joiner)))
+
+let test_install_rejects_garbage_bytes () =
+  let joiner =
+    offer_forged_snapshot ~payload:(String.make 2000 '\x42') ~cp_seqno:10
+  in
+  check Alcotest.bool "garbage rejected" true (verify_fails joiner >= 1)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "iaccf_statesync"
+    [
+      ( "checkpoint-properties",
+        [
+          qtest prop_digest_order_independent;
+          qtest prop_serialize_roundtrip;
+          qtest prop_digest_binds_seqno;
+        ] );
+      ( "snapshot-files",
+        [
+          Alcotest.test_case "write/load round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "list and retain" `Quick test_snapshot_list_retain;
+          Alcotest.test_case "corruption rejected" `Quick test_snapshot_corruption_rejected;
+          Alcotest.test_case "renamed file rejected" `Quick test_snapshot_renamed_rejected;
+        ] );
+      ( "chunks",
+        [
+          qtest prop_chunk_roundtrip;
+          Alcotest.test_case "tampered chunk detected" `Quick test_chunk_tamper_detected;
+          Alcotest.test_case "duplicates and bounds" `Quick test_chunk_duplicates_and_bounds;
+        ] );
+      ( "install-rejection",
+        [
+          Alcotest.test_case "wrong digest" `Quick test_install_rejects_wrong_digest;
+          Alcotest.test_case "wrong seqno" `Quick test_install_rejects_wrong_seqno;
+          Alcotest.test_case "garbage bytes" `Quick test_install_rejects_garbage_bytes;
+        ] );
+    ]

@@ -401,7 +401,7 @@ let test_readonly_open_untouched () =
     (match Store.append s (sample_pp ~seqno:51 ()) with
     | (_ : int) -> false
     | exception Store.Storage_error _ -> true);
-  let pkg = Package.of_store s in
+  let pkg = Package.of_entries (List.init (Store.length s) (Store.get s)) in
   check Alcotest.int "package built from read-only store" 9
     (List.length pkg.Package.pkg_entries);
   Store.close s;
@@ -596,7 +596,10 @@ let test_package_file_roundtrip_from_store () =
   let dir = fresh_dir () in
   let s = open_cfg dir in
   fill s (sample_entries 9);
-  let pkg = Package.of_store ~receipts:[ "r1" ] s in
+  let pkg =
+    Package.of_entries ~receipts:[ "r1" ]
+      (List.init (Store.length s) (Store.get s))
+  in
   Store.close s;
   let file = Filename.concat dir "bundle.iapkg" in
   Package.write_file file pkg;
