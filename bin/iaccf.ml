@@ -1,6 +1,8 @@
 (* iaccf — command-line driver for the IA-CCF reproduction.
 
      iaccf run             simulate a cluster under SmallBank load
+     iaccf status          report a transaction ID's status (GET /app/tx shape)
+     iaccf observe         serve client-verified reads from observer replicas
      iaccf stats           run a workload and print the full metrics breakdown
      iaccf ledger          run a workload and dump the resulting ledger
      iaccf audit           run the ledger-rewrite attack and audit it
@@ -649,6 +651,212 @@ let chaos_cmd =
       const run $ suite_arg $ seeds_arg $ scenario_arg $ jobs_arg
       $ chaos_metrics_arg)
 
+(* iaccf status VIEW.SEQNO — CCF's GET /app/tx over a freshly simulated
+   service: run a workload, then report what every replica says about the
+   given transaction ID. COMMITTED and INVALID come only from the stable
+   prefix and are final; PENDING covers everything a replica has seen but
+   cannot yet vouch for; UNKNOWN is a sequence number past the high-water
+   mark. [--view-change] forces a view change after the workload and runs
+   a little more load in the new view, so IDs re-proposed under a higher
+   view report INVALID under the old one. *)
+let status_cmd =
+  let txid_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VIEW.SEQNO"
+          ~doc:"Transaction ID to query, e.g. 0.12 (the view and sequence \
+                number a replica stamps on the reply).")
+  in
+  let view_change_arg =
+    Arg.(
+      value & flag
+      & info [ "view-change" ]
+          ~doc:"Force a view change after the workload (and append a little \
+                more load in the new view) before answering.")
+  in
+  let run txid_str n txs seed latency view_change =
+    let txid =
+      match Status.txid_of_string txid_str with
+      | Some t -> t
+      | None ->
+          Printf.eprintf
+            "iaccf status: bad transaction ID %S (expected VIEW.SEQNO, e.g. \
+             0.12)\n"
+            txid_str;
+          exit 2
+    in
+    (* Small batches so the workload spreads over many sequence numbers —
+       with the default batch size a whole run fits in a handful of them. *)
+    let params = { Replica.default_params with Replica.max_batch = 4 } in
+    let cluster =
+      Cluster.make ~seed ~n ~params ~latency:(latency_fn latency)
+        ~app:(Smallbank.app ()) ()
+    in
+    let _ = drive_smallbank cluster ~txs ~seed in
+    if view_change then begin
+      List.iter Replica.inject_view_change (Cluster.replicas cluster);
+      Cluster.run cluster ~ms:3_000.0;
+      let _ = drive_smallbank cluster ~txs:8 ~seed:(seed + 1) in
+      ()
+    end;
+    Cluster.run cluster ~ms:2_000.0;
+    let r0 = Cluster.replica cluster 0 in
+    Printf.printf "service view:        %d\n" (Replica.view r0);
+    Printf.printf "last committed:      %d\n" (Replica.last_committed r0);
+    Printf.printf "stable horizon:      %d (terminal answers end here)\n"
+      (Replica.stable_committed r0);
+    List.iter
+      (fun r ->
+        Printf.printf "replica %d:           %s\n" (Replica.id r)
+          (Status.to_string
+             (Replica.tx_status r ~view:txid.Status.view ~seqno:txid.Status.seqno)))
+      (Cluster.replicas cluster);
+    Printf.printf "{\"transaction_id\": \"%s\", \"status\": \"%s\"}\n"
+      (Status.txid_to_string txid)
+      (Status.to_string
+         (Replica.tx_status r0 ~view:txid.Status.view ~seqno:txid.Status.seqno))
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Report a transaction ID's status (UNKNOWN, PENDING, COMMITTED, or \
+          INVALID) after a simulated workload — the shape of CCF's GET \
+          /app/tx.")
+    Term.(
+      const run $ txid_arg $ replicas_arg $ txs_arg $ seed_arg $ latency_arg
+      $ view_change_arg)
+
+(* iaccf observe — run the read tier: a cluster under SmallBank load, then
+   non-voting observers tailing the ledger and serving reads through a
+   verifying client. Every answer is checked against the service
+   configuration (receipt, write-set binding, freshness floor), so the
+   printed verified-read count is evidence, not trust in the observer. *)
+let observe_cmd =
+  let module Observer = Iaccf_observer.Observer in
+  let module Reader = Iaccf_observer.Reader in
+  let observers_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "observers" ] ~docv:"N"
+          ~doc:"Non-voting observer nodes to attach to the cluster.")
+  in
+  let reads_arg =
+    Arg.(
+      value
+      & opt int 40
+      & info [ "reads" ] ~docv:"COUNT"
+          ~doc:"Verified reads to issue across the observers.")
+  in
+  let run n txs seed latency observers reads =
+    let obs = Obs.create ~metrics:true ~tracing:false () in
+    let params = { Replica.default_params with Replica.max_batch = 4 } in
+    let cluster =
+      Cluster.make ~seed ~n ~params ~latency:(latency_fn latency)
+        ~app:(Smallbank.app ()) ~obs ()
+    in
+    let client, _ = drive_smallbank cluster ~txs ~seed in
+    (* Settle with read-only ops strictly after the writes: commit evidence
+       for batch s only reaches the ledger with the pre-prepare of s+P, so
+       the freshest writes cannot carry receipts until more batches land. *)
+    let settled = ref 0 in
+    for _ = 1 to 8 do
+      Client.submit client ~proc:"sb/balance"
+        ~args:(Smallbank.balance_args ~account:0)
+        ~on_complete:(fun _ -> incr settled)
+        ()
+    done;
+    if
+      not
+        (Cluster.run_until cluster ~timeout_ms:600_000.0 (fun () -> !settled >= 8))
+    then failwith "settle workload did not complete";
+    let obs_nodes =
+      List.init observers (fun i ->
+          Observer.spawn cluster
+            ~addr:(Observer.default_base + i)
+            ~source:(i mod n) ())
+    in
+    let head () = Replica.last_committed (Cluster.replica cluster 0) in
+    if
+      not
+        (Cluster.run_until cluster ~timeout_ms:600_000.0 (fun () ->
+             List.for_all (fun o -> Observer.synced_upto o >= head ()) obs_nodes))
+    then failwith "observers did not catch up";
+    Printf.printf "observers:           %d (addresses %d..%d), all synced to seqno %d\n"
+      observers Observer.default_base
+      (Observer.default_base + observers - 1)
+      (head ());
+    let reader =
+      Reader.create ~address:300 ~genesis:(Cluster.genesis cluster)
+        ~pipeline:Replica.default_params.Replica.pipeline
+        ~sched:(Cluster.sched cluster) ~network:(Cluster.network cluster) ~obs ()
+    in
+    let done_reads = ref 0 in
+    let sample = ref None in
+    for i = 0 to reads - 1 do
+      let o = List.nth obs_nodes (i mod observers) in
+      let key = Printf.sprintf "sb/c/%d" (i mod 20) in
+      Reader.read reader ~observer:(Observer.address o) ~key (fun r ->
+          if !sample = None && r.Reader.rd_verified then sample := Some r;
+          incr done_reads)
+    done;
+    if
+      not
+        (Cluster.run_until cluster ~timeout_ms:600_000.0 (fun () ->
+             !done_reads >= reads))
+    then failwith "reads did not complete";
+    (match !sample with
+    | Some r ->
+        Printf.printf
+          "sample read:         %s = %s (receipt verified; writer at ledger tx index %d)\n"
+          r.Reader.rd_key
+          (match r.Reader.rd_value with Some v -> v | None -> "<absent>")
+          (match r.Reader.rd_index with Some i -> i | None -> 0)
+    | None -> ());
+    Printf.printf "reads:               %d issued, %d verified, %d failed, %d stale\n"
+      reads (Reader.verified_reads reader)
+      (Reader.failed_verifications reader)
+      (Reader.stale_detected reader);
+    (* Status through the observer front door: wait for a deep, committed
+       transaction by polling, exactly as a disconnected client would. *)
+    let txid =
+      { Status.view = Replica.view (Cluster.replica cluster 0); seqno = 1 }
+    in
+    let final = ref Status.Unknown in
+    Reader.wait_for_commit reader
+      ~observer:(Observer.address (List.hd obs_nodes))
+      ~txid
+      (fun s -> final := s);
+    Cluster.run cluster ~ms:2_000.0;
+    Printf.printf "wait_for_commit:     %s -> %s\n"
+      (Status.txid_to_string txid)
+      (Status.to_string !final);
+    Printf.printf "status violations:   %d (terminal answers never flipped)\n"
+      (Reader.status_violations reader);
+    List.iter
+      (fun o ->
+        let c k =
+          Obs.counter_value obs
+            (Printf.sprintf "observer.%d.%s" (Observer.address o) k)
+        in
+        Printf.printf
+          "observer %d:         %d reads, %d status, %d audit paths served \
+           (consensus votes: none)\n"
+          (Observer.address o) (c "reads_served") (c "status_served")
+          (c "audit_paths_served"))
+      obs_nodes
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Attach non-voting observer replicas to a simulated cluster and \
+          serve client-verified reads and transaction status from them, off \
+          the quorum path.")
+    Term.(
+      const run $ replicas_arg $ txs_arg $ seed_arg $ latency_arg
+      $ observers_arg $ reads_arg)
+
 let () =
   let info =
     Cmd.info "iaccf" ~version:"1.0.0"
@@ -658,6 +866,8 @@ let () =
     Cmd.group info
       [
         run_cmd;
+        status_cmd;
+        observe_cmd;
         stats_cmd;
         ledger_cmd;
         audit_cmd;

@@ -359,6 +359,123 @@ let prune_stale_rejoin =
       finish ~cluster ~obs ~receipts:(r1 @ r2 @ r3) ~submitted:56
         ~completed:(c1 + c2 + c3) ~lincheck_closed:true)
 
+(* --- observer scenarios: the read tier is untrusted (lib/observer) ---
+
+   Observers sit outside the replica fault threshold, so a stale or lying
+   observer must be caught by the client-side verification in
+   {!Iaccf_observer.Reader}, with the consensus tier — and hence the
+   accountability oracle — unaffected. *)
+
+module Observer = Iaccf_observer.Observer
+module Reader = Iaccf_observer.Reader
+module Network = Iaccf_sim.Network
+
+(* Small batches so the stable horizon (pipeline batches behind commit)
+   passes the workload's writes and observer reads can carry receipts. *)
+let observer_params = { Replica.default_params with max_batch = 2 }
+
+let observer_setup ~seed ~requests =
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let cluster = Cluster.make ~seed ~n:4 ~params:observer_params ~obs () in
+  let client = Cluster.add_client cluster () in
+  let r1, c1 = workload ~timeout_ms:600_000.0 cluster client requests in
+  (* A few no-op batches push the pipeline past the last counter write, so
+     its commit evidence is in the ledger and observer reads of "counter"
+     can carry a receipt. *)
+  let r2, c2 =
+    workload ~timeout_ms:600_000.0 ~proc:"noop" ~args:(fun _ -> "") cluster
+      client 6
+  in
+  let receipts, completed = (r1 @ r2, c1 + c2) in
+  let observer = Observer.spawn cluster ~addr:Observer.default_base () in
+  require "observer caught up"
+    (Cluster.run_until cluster ~timeout_ms:60_000.0 (fun () ->
+         Observer.synced_upto observer
+         >= Replica.last_committed (Cluster.replica cluster 0)));
+  let reader =
+    Reader.create ~address:300 ~genesis:(Cluster.genesis cluster)
+      ~pipeline:observer_params.Replica.pipeline ~sched:(Cluster.sched cluster)
+      ~network:(Cluster.network cluster) ~obs ()
+  in
+  (obs, cluster, client, observer, reader, receipts, completed)
+
+let read_counter cluster reader ~min_index =
+  let result = ref None in
+  Reader.read reader ~observer:Observer.default_base ~key:"counter" ~min_index
+    (fun r -> result := Some r);
+  require "observer answered the read"
+    (Cluster.run_until cluster ~timeout_ms:60_000.0 (fun () -> !result <> None));
+  Option.get !result
+
+let observer_stale_reads =
+  custom ~name:"observer-stale-reads" ~suite:Byzantine (fun ~seed ~scratch:_ ->
+      let obs, cluster, client, observer, reader, r1, c1 =
+        observer_setup ~seed ~requests:8
+      in
+      (* Freeze the observer's tail, then move the service on: the frozen
+         observer keeps serving its old state with perfectly valid (old)
+         receipts. Only the reader's freshness floor can catch it. *)
+      Observer.stop_tailing observer;
+      let r2, c2 =
+        workload ~timeout_ms:600_000.0
+          ~args:(fun i -> string_of_int (10 + i))
+          cluster client 6
+      in
+      let r = read_counter cluster reader ~min_index:(Client.min_index client) in
+      require "stale answer not accepted as verified" (not r.Reader.rd_verified);
+      require "staleness detected by the freshness floor"
+        (Reader.stale_detected reader >= 1);
+      finish ~cluster ~obs ~receipts:(r1 @ r2) ~submitted:20 ~completed:(c1 + c2)
+        ~lincheck_closed:true)
+
+let observer_forged_answer =
+  custom ~name:"observer-forged-answer" ~suite:Byzantine (fun ~seed ~scratch:_ ->
+      let obs, cluster, _client, _observer, reader, receipts, completed =
+        observer_setup ~seed ~requests:8
+      in
+      (* Establish an honest status baseline for a committed transaction. *)
+      let txid =
+        match receipts with
+        | rc :: _ -> { Status.view = Receipt.view rc; seqno = Receipt.seqno rc }
+        | [] -> failwith "no receipts"
+      in
+      Reader.poll_status reader ~observer:Observer.default_base ~txid;
+      Cluster.run cluster ~ms:1_000.0;
+      require "baseline status is committed"
+        (Status.equal (Reader.last_status reader ~txid) Status.Committed);
+      (* Now the observer turns Byzantine: its read answers carry a forged
+         value (the genuine receipt cannot cover it) and its status answers
+         flip terminal verdicts. *)
+      Network.set_intercept (Cluster.network cluster) Observer.default_base
+        (fun ~dst msg ->
+          match msg with
+          | Wire.Read_answer
+              { ra_key; ra_nonce; ra_value = _; ra_seqno; ra_tx_position;
+                ra_write_set; ra_receipt } ->
+              [
+                ( dst,
+                  Wire.Read_answer
+                    { ra_key; ra_nonce; ra_value = Some "999999"; ra_seqno;
+                      ra_tx_position; ra_write_set; ra_receipt } );
+              ]
+          | Wire.Status_info { si_view; si_seqno; si_status; si_committed }
+            when Status.equal si_status Status.Committed ->
+              [
+                ( dst,
+                  Wire.Status_info
+                    { si_view; si_seqno; si_status = Status.Invalid; si_committed } );
+              ]
+          | m -> [ (dst, m) ]);
+      let r = read_counter cluster reader ~min_index:0 in
+      require "forged value not accepted as verified" (not r.Reader.rd_verified);
+      require "forged value rejected by receipt verification"
+        (Reader.failed_verifications reader >= 1);
+      Reader.poll_status reader ~observer:Observer.default_base ~txid;
+      Cluster.run cluster ~ms:1_000.0;
+      require "status flip caught by the transition tracker"
+        (Reader.status_violations reader >= 1);
+      finish ~cluster ~obs ~receipts ~submitted:14 ~completed ~lincheck_closed:true)
+
 (* --- registry --- *)
 
 let core = [ crash_restart; primary_crash; partition_heal; oneway_partition; loss_ramp ]
@@ -374,6 +491,8 @@ let byzantine =
     collusion_viewchange_erasure;
     collusion_tied_receipts;
     collusion_governance_fork;
+    observer_stale_reads;
+    observer_forged_answer;
   ]
 
 let recovery =
@@ -396,6 +515,8 @@ let smoke =
     cold_restart;
     snapshot_cold_restart;
     prune_stale_rejoin;
+    observer_stale_reads;
+    observer_forged_answer;
   ]
 
 let find name = List.find_opt (fun sc -> sc.sc_name = name) all

@@ -8,7 +8,10 @@
       (masked); above threshold, a colluding quorum forges wrong execution,
       history rewrites, view-change erasure, tied receipts, and a
       governance fork (each must yield an enforcer-verified uPoM blaming
-      only culprits).
+      only culprits); and two observer faults — a frozen observer serving
+      stale state and an observer forging read/status answers — both
+      caught by the reader's receipt verification and freshness floor,
+      with the consensus tier untouched.
     - {b recovery} — durable-store lifecycles: clean cold restarts, a
       mid-run storage crash, snapshot-based cold starts, and ledger
       compaction followed by a stale replica's snapshot catch-up; after

@@ -125,28 +125,32 @@ let decode_output s =
     match s.[0] with '\x01' -> Ok rest | _ -> Error rest
   end
 
-let execute t ~config ~caller ~store ~proc ~args =
+let execute_ws t ~config ~caller ~store ~proc ~args =
   match find t proc with
   | None ->
       let tx = Store.begin_tx store in
-      let wsh = Store.commit tx in
-      (output_error ("unknown procedure: " ^ proc), wsh)
+      let wsh, ws = Store.commit_with_writes tx in
+      (output_error ("unknown procedure: " ^ proc), wsh, ws)
   | Some p ->
       let tx = Store.begin_tx store in
       let ctx = { caller; tx; config } in
       (match p ctx args with
       | Ok out ->
-          let wsh = Store.commit tx in
-          (output_ok out, wsh)
+          let wsh, ws = Store.commit_with_writes tx in
+          (output_ok out, wsh, ws)
       | Error e ->
           (* Failed procedures must not write; abort and commit an empty
              transaction so every request still has a ledger entry. *)
           Store.abort tx;
           let tx = Store.begin_tx store in
-          let wsh = Store.commit tx in
-          (output_error e, wsh)
+          let wsh, ws = Store.commit_with_writes tx in
+          (output_error e, wsh, ws)
       | exception _ ->
           Store.abort tx;
           let tx = Store.begin_tx store in
-          let wsh = Store.commit tx in
-          (output_error "procedure raised", wsh))
+          let wsh, ws = Store.commit_with_writes tx in
+          (output_error "procedure raised", wsh, ws))
+
+let execute t ~config ~caller ~store ~proc ~args =
+  let out, wsh, _ = execute_ws t ~config ~caller ~store ~proc ~args in
+  (out, wsh)

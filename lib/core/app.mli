@@ -39,6 +39,18 @@ val execute :
     encoded output [o] (a tagged ok/error string) and the write-set hash.
     Unknown procedures yield an error output with an empty write set. *)
 
+val execute_ws :
+  t ->
+  config:Iaccf_types.Config.t ->
+  caller:Iaccf_crypto.Schnorr.public_key ->
+  store:Iaccf_kv.Store.t ->
+  proc:string ->
+  args:string ->
+  string * Iaccf_crypto.Digest32.t * (string * Iaccf_kv.Store.write) list
+(** Like {!execute} but additionally returns the normalized write set whose
+    digest is the write-set hash, so replicas can index which transaction
+    last wrote each key and observers can serve verifiable reads. *)
+
 val config_key : string
 (** Reserved key under which a passed referendum installs the serialized
     next configuration; replicas watch it to trigger reconfiguration. *)

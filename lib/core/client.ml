@@ -13,6 +13,7 @@ module Obs = Iaccf_obs.Obs
 type outcome = {
   oc_output : (string, string) result;
   oc_receipt : Receipt.t;
+  oc_txid : Status.txid;
   oc_index : int;
   oc_latency_ms : float;
 }
@@ -175,6 +176,11 @@ let try_complete t p =
                       {
                         oc_output = output;
                         oc_receipt = receipt;
+                        oc_txid =
+                          {
+                            Status.view = pp.Message.view;
+                            seqno = pp.Message.seqno;
+                          };
                         oc_index = idx;
                         oc_latency_ms = latency;
                       }
@@ -265,7 +271,9 @@ let on_message t ~src msg =
   | Wire.Fetch_snapshot | Wire.Snapshot_offer _ | Wire.Fetch_snapshot_chunk _
   | Wire.Snapshot_chunk _ | Wire.Fetch_suffix _ | Wire.Ledger_suffix_chunk _
   | Wire.Replyx_request _ | Wire.Gov_receipts_request _
-  | Wire.Ack_msg _ ->
+  | Wire.Ack_msg _ | Wire.Status_query _ | Wire.Status_info _
+  | Wire.Read_query _ | Wire.Read_answer _ | Wire.Audit_query _
+  | Wire.Audit_answer _ ->
       ()
 
 let create ~address ~seed ~genesis ~pipeline ~sched ~network

@@ -10,6 +10,9 @@
 type outcome = {
   oc_output : (string, string) result;  (** decoded procedure output *)
   oc_receipt : Receipt.t;
+  oc_txid : Status.txid;
+      (** the transaction's [view.seqno] ID, as surfaced on replies — the
+          handle for {!Replica.tx_status} / observer status polls *)
   oc_index : int;  (** ledger index the transaction executed at *)
   oc_latency_ms : float;
 }

@@ -178,6 +178,8 @@ let replicas t = List.map snd t.replicas
 let replica t id = List.assoc id t.replicas
 let members t = t.members
 let params t = t.params
+let app t = t.app
+let fork_rng t = Rng.split t.rng
 let replica_sk t id = fst (replica_keys t.seed id)
 let storage t id = Replica.storage (replica t id)
 

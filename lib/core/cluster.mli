@@ -59,6 +59,11 @@ val replicas : t -> Replica.t list
 val replica : t -> int -> Replica.t
 val members : t -> member_identity list
 val params : t -> Replica.params
+val app : t -> App.t
+
+val fork_rng : t -> Iaccf_util.Rng.t
+(** A deterministic child of the cluster's RNG, for components built on
+    top of the cluster (observers) that need their own stream. *)
 
 val replica_sk : t -> int -> Schnorr.secret_key
 (** Secret key of a replica — used by tests that forge Byzantine messages. *)

@@ -200,6 +200,24 @@ type t = {
          stay valid across view changes (Alg. 2). *)
       (* during a reconfiguration, the outgoing configuration's replicas
          still receive protocol messages until they retire at s+2P (5.1) *)
+  (* Transaction-status table (observer/read tier). A locally committed
+     batch is only *stable* once a batch P past it commits: commit of s+P
+     proves a quorum prepared s+P, any later view-change quorum intersects
+     that prepare quorum in an honest replica, so the new-view rollback
+     target max(0, s_lp - P) can never reach back to s. Only stable
+     sequence numbers may be reported COMMITTED/INVALID — both terminal —
+     which is what makes the status monotone under view changes. *)
+  committed_views : (int, int) Hashtbl.t; (* seqno -> view at local commit *)
+  stable_views : (int, int) Hashtbl.t; (* append-only: seqno -> final view *)
+  mutable stable_upto : int; (* highest stabilized seqno *)
+  mutable hw_seqno : int; (* high-water next_seqno-1 ever reached *)
+  (* Read index (observer/read tier): which committed transaction last
+     wrote each key, plus per-batch write sets so an observer can hand a
+     reader the evidence to recompute the receipt-bound write-set hash. *)
+  tx_writes : (int, (string * Iaccf_kv.Store.write) list array) Hashtbl.t;
+  key_writer : (string, int * int) Hashtbl.t; (* key -> seqno, tx position *)
+  mutable last_exec_writes : (string * Iaccf_kv.Store.write) list list;
+      (* write sets of the batch execute_requests just ran, newest call *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -435,19 +453,91 @@ let is_gov_request (req : Request.t) =
   String.length req.Request.proc >= 4 && String.sub req.Request.proc 0 4 = "gov/"
 
 let execute_requests t ~base_index reqs =
-  List.mapi
-    (fun k (req : Request.t) ->
-      let output, write_set_hash =
-        App.execute t.app ~config:t.cfg ~caller:req.Request.client_pk
-          ~store:t.store ~proc:req.Request.proc ~args:req.Request.args
-      in
-      Obs.incr t.ctr.c_txs_executed;
-      {
-        Batch.request = req;
-        index = base_index + k;
-        result = { Batch.output; write_set_hash };
-      })
-    reqs
+  let writes_rev = ref [] in
+  let txs =
+    List.mapi
+      (fun k (req : Request.t) ->
+        let output, write_set_hash, writes =
+          App.execute_ws t.app ~config:t.cfg ~caller:req.Request.client_pk
+            ~store:t.store ~proc:req.Request.proc ~args:req.Request.args
+        in
+        writes_rev := writes :: !writes_rev;
+        Obs.incr t.ctr.c_txs_executed;
+        {
+          Batch.request = req;
+          index = base_index + k;
+          result = { Batch.output; write_set_hash };
+        })
+      reqs
+  in
+  t.last_exec_writes <- List.rev !writes_rev;
+  txs
+
+(* ------------------------------------------------------------------ *)
+(* Transaction status (observer/read tier)                             *)
+
+(* Record the write sets of the batch [execute_requests] just produced;
+   called right after each record-creation site so [tx_writes] lines up
+   with [records]. Re-executions (re-proposals, state-transfer replay)
+   overwrite with identical content. *)
+let stash_batch_writes t s =
+  Hashtbl.replace t.tx_writes s (Array.of_list t.last_exec_writes)
+
+let note_committed t s v = Hashtbl.replace t.committed_views s v
+
+(* Fold a stabilized-or-committed batch's writes into the key index, in
+   commit order (callers only invoke this with ascending seqnos, so plain
+   replace gives last-writer-wins). *)
+let index_batch_writes t s =
+  match Hashtbl.find_opt t.tx_writes s with
+  | None -> ()
+  | Some arr ->
+      Array.iteri
+        (fun i ws ->
+          List.iter (fun (k, _) -> Hashtbl.replace t.key_writer k (s, i)) ws)
+        arr
+
+(* Promote every sequence number at least P behind the committed horizon
+   into the append-only stable table. Entries are never removed: stability
+   is rollback-proof (see the field comment), so a COMMITTED or INVALID
+   answer derived from it can never flip. *)
+let advance_stable t =
+  let horizon = t.last_committed - t.params.pipeline in
+  while t.stable_upto < horizon do
+    let s = t.stable_upto + 1 in
+    (match Hashtbl.find_opt t.committed_views s with
+    | Some v -> Hashtbl.replace t.stable_views s v
+    | None -> ());
+    t.stable_upto <- s
+  done
+
+let tx_status t ~view ~seqno =
+  if t.seqno - 1 > t.hw_seqno then t.hw_seqno <- t.seqno - 1;
+  if seqno <= 0 then Status.Invalid
+  else begin
+    match Hashtbl.find_opt t.stable_views seqno with
+    | Some v -> if v = view then Status.Committed else Status.Invalid
+    | None ->
+        (* Not yet stable: even a locally committed batch inside the last
+           pipeline window could still be rolled back by a new-view and
+           re-proposed under a higher view, so the only safe non-terminal
+           answers are PENDING (we have seen the seqno) and UNKNOWN. *)
+        if
+          seqno <= t.stable_upto
+          || Hashtbl.mem t.records seqno
+          || seqno <= t.hw_seqno
+        then Status.Pending
+        else Status.Unknown
+  end
+
+let stable_committed t = t.stable_upto
+let last_write t key = Hashtbl.find_opt t.key_writer key
+
+let tx_write_set t ~seqno ~tx_position =
+  match Hashtbl.find_opt t.tx_writes seqno with
+  | Some arr when tx_position >= 0 && tx_position < Array.length arr ->
+      Some arr.(tx_position)
+  | _ -> None
 
 let append_ledger t entry = if keep_ledger t then ignore (Ledger.append t.ledger entry)
 let ledger_len t = if keep_ledger t then Ledger.length t.ledger else t.seqno * 4
@@ -899,6 +989,9 @@ and check_committed t =
       if valid >= quorum t then begin
         rec_.br_committed <- true;
         t.last_committed <- q;
+        note_committed t q v;
+        index_batch_writes t q;
+        advance_stable t;
         t.stall_count <- 0;
         seal_from_kind t rec_.br_pp;
         Obs.incr t.ctr.c_batches_committed;
@@ -1079,6 +1172,7 @@ and emit_batch t ?fixed_txs ~kind ~reqs ~ev_prepares ~ev_nonces ~ev_bitmap () =
   in
   Hashtbl.replace t.records s rec_;
   Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+  stash_batch_writes t s;
   trace_batch_begin t rec_;
   post_execute_batch t pp txs;
   t.seqno <- s + 1;
@@ -1262,6 +1356,7 @@ and process_pre_prepare t (pp : Message.pre_prepare) batch_hashes =
             in
             Hashtbl.replace t.records s rec_;
             Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+            stash_batch_writes t s;
             trace_batch_begin t rec_;
             post_execute_batch t pp txs;
             t.seqno <- s + 1;
@@ -1452,6 +1547,10 @@ and rollback_to t target =
         t.rid target t.seqno t.last_committed t.last_prepared t.view
   | _ -> ());
   let top = t.seqno - 1 in
+  (* Remember the highest seqno ever reached before forgetting records:
+     the status table keeps answering PENDING (never back to UNKNOWN) for
+     rolled-back ids awaiting re-proposal. *)
+  if top > t.hw_seqno then t.hw_seqno <- top;
   if top > target then begin
     (match Hashtbl.find_opt t.records (target + 1) with
     | Some rec_ ->
@@ -1973,6 +2072,10 @@ and apply_entries t ?(skip_exec_upto = 0) entries =
             t.seqno <- s + 1;
             t.last_prepared <- max t.last_prepared s;
             t.last_committed <- max t.last_committed s;
+            (* Skip region: no execution, so there are no write sets to
+               index, but the status table still learns the batch's view. *)
+            note_committed t s pp.Message.view;
+            advance_stable t;
             progressed := true
           end
         end
@@ -2066,6 +2169,7 @@ and apply_entries t ?(skip_exec_upto = 0) entries =
             in
             Hashtbl.replace t.records s rec_;
             Hashtbl.replace t.batch_ledger_end s (ledger_len t);
+            stash_batch_writes t s;
             (match Hashtbl.find_opt t.prepared_pps s with
             | Some prev when prev.Message.view >= pp.Message.view -> ()
             | _ -> Hashtbl.replace t.prepared_pps s pp);
@@ -2074,6 +2178,9 @@ and apply_entries t ?(skip_exec_upto = 0) entries =
             t.seqno <- s + 1;
             t.last_prepared <- max t.last_prepared s;
             t.last_committed <- max t.last_committed s;
+            note_committed t s pp.Message.view;
+            index_batch_writes t s;
+            advance_stable t;
             progressed := true
           end
         end
@@ -2563,9 +2670,28 @@ let on_message t ~src msg =
             (gov_receipts t)
         in
         send t ~dst:src (Wire.Gov_receipts_msg receipts)
+    | Wire.Status_query { sq_view; sq_seqno } ->
+        (* Status answers are cheap table lookups — no signatures, no
+           consensus-path work — so replicas serve them directly; the
+           observer tier serves the same queries off the quorum path. *)
+        send t ~dst:src
+          (Wire.Status_info
+             {
+               si_view = sq_view;
+               si_seqno = sq_seqno;
+               si_status = tx_status t ~view:sq_view ~seqno:sq_seqno;
+               si_committed = t.stable_upto;
+             })
     | Wire.Gov_receipts_msg _ | Wire.Reply_msg _ | Wire.Replyx_msg _ -> ()
     | Wire.Ack_msg _ -> ()
+    | Wire.Status_info _ | Wire.Read_query _ | Wire.Read_answer _
+    | Wire.Audit_query _ | Wire.Audit_answer _ ->
+        (* Read/audit serving belongs to observers (Iaccf_observer);
+           replicas ignore these to keep the consensus path untouched. *)
+        ()
   end
+
+let dispatch = on_message
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -2762,6 +2888,13 @@ let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
       prepared_pps = Hashtbl.create 16;
       batch_ledger_end = Hashtbl.create 32;
       archived_content = Hashtbl.create 16;
+      committed_views = Hashtbl.create 64;
+      stable_views = Hashtbl.create 64;
+      stable_upto = 0;
+      hw_seqno = 0;
+      tx_writes = Hashtbl.create 64;
+      key_writer = Hashtbl.create 64;
+      last_exec_writes = [];
     }
   in
   Hashtbl.replace t.checkpoints 0 (cp0, Checkpoint.digest cp0);

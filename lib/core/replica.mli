@@ -108,6 +108,41 @@ val pending_requests : t -> int
 val checkpoint_at : t -> int -> Iaccf_kv.Checkpoint.t option
 (** The checkpoint taken at a given sequence number, if retained. *)
 
+val tx_status : t -> view:int -> seqno:int -> Status.t
+(** The status of transaction ID [view.seqno] (CCF's [GET /app/tx] shape).
+    COMMITTED and INVALID are terminal and only ever reported for the
+    {e stable} prefix — sequence numbers at least [pipeline] behind the
+    committed horizon, which no view-change rollback can reach (commit of
+    [s+P] proves a quorum prepared [s+P]; any view-change quorum intersects
+    that prepare quorum in an honest replica, so the new-view rollback
+    target [max 0 (s_lp - P)] is at least [s]). Everything else the replica
+    has seen is PENDING — even locally committed batches inside the last
+    pipeline window, which a new-view may still roll back and re-propose in
+    a higher view. Unseen sequence numbers are UNKNOWN. Consequently, for a
+    fixed ID the answer never moves between COMMITTED and INVALID in either
+    direction, and never regresses from PENDING to UNKNOWN. *)
+
+val stable_committed : t -> int
+(** The stable committed horizon: the highest seqno whose status can be
+    answered terminally (see {!tx_status}). *)
+
+val last_write : t -> string -> (int * int) option
+(** [(seqno, tx_position)] of the committed transaction that last wrote the
+    key, if indexed (keys last written before an installed snapshot's
+    horizon are not — their writer was never executed locally). *)
+
+val tx_write_set :
+  t -> seqno:int -> tx_position:int -> (string * Iaccf_kv.Store.write) list option
+(** The normalized write set of a locally executed transaction; its
+    {!Iaccf_kv.Store.write_set_hash} equals the hash bound into the
+    transaction's ledger entry (and hence into any receipt for it). *)
+
+val dispatch : t -> src:int -> Wire.t -> unit
+(** Feed one wire message through the replica's normal dispatch, as if it
+    had arrived from network address [src]. Observers wrap a passive
+    replica and register their own network handler, delegating every
+    non-observer message here. *)
+
 val build_receipt : t -> seqno:int -> tx_position:int option -> Receipt.t option
 (** Assemble a receipt for a committed batch from stored evidence:
     [tx_position] selects a transaction in the batch, [None] makes a

@@ -51,6 +51,39 @@ type t =
   | Gov_receipts_request of { gr_from_index : int }
   | Gov_receipts_msg of Receipt.t list
   | Ack_msg of { a_replica : int; a_digest : D.t; a_signature : string }
+  (* Observer/read tier: status polls, verifiable reads, and Merkle audit
+     paths, served by non-voting observers (or any replica) off the quorum
+     path. Answers carry the evidence the querier needs to verify them —
+     the receipt of the writing transaction plus its full write set for
+     reads, an inclusion path for audit queries. *)
+  | Status_query of { sq_view : int; sq_seqno : int }
+  | Status_info of {
+      si_view : int;
+      si_seqno : int;
+      si_status : Status.t;
+      si_committed : int;  (* responder's stable committed horizon *)
+    }
+  | Read_query of { rq_key : string; rq_nonce : int }
+  | Read_answer of {
+      ra_key : string;
+      ra_nonce : int;  (* echoed from the query *)
+      ra_value : string option;  (* observer's current value *)
+      ra_seqno : int;  (* batch of the writing tx; 0 = writer not indexed *)
+      ra_tx_position : int;  (* position of that tx within its batch *)
+      ra_write_set : (string * Iaccf_kv.Store.write) list;
+          (* the writing tx's normalized write set; its hash is bound into
+             the receipt's transaction entry *)
+      ra_receipt : Receipt.t option;  (* receipt of the writing tx *)
+    }
+  | Audit_query of { aq_index : int (* ledger entry index *) }
+  | Audit_answer of {
+      au_index : int;
+      au_leaf : D.t;  (* leaf digest of the entry *)
+      au_m_index : int;  (* index among Merkle-bound entries *)
+      au_m_size : int;  (* tree size the path proves against *)
+      au_path : D.t list;
+      au_root : D.t;
+    }
 
 let describe = function
   | Request_msg r -> Printf.sprintf "request(%s)" r.Request.proc
@@ -82,3 +115,14 @@ let describe = function
   | Gov_receipts_request { gr_from_index } -> Printf.sprintf "gov-receipts-request(from=%d)" gr_from_index
   | Gov_receipts_msg rs -> Printf.sprintf "gov-receipts(%d)" (List.length rs)
   | Ack_msg { a_replica; _ } -> Printf.sprintf "ack(r=%d)" a_replica
+  | Status_query { sq_view; sq_seqno } ->
+      Printf.sprintf "status-query(%d.%d)" sq_view sq_seqno
+  | Status_info { si_view; si_seqno; si_status; _ } ->
+      Printf.sprintf "status-info(%d.%d=%s)" si_view si_seqno
+        (Status.to_string si_status)
+  | Read_query { rq_key; _ } -> Printf.sprintf "read-query(%s)" rq_key
+  | Read_answer { ra_key; ra_seqno; _ } ->
+      Printf.sprintf "read-answer(%s@s=%d)" ra_key ra_seqno
+  | Audit_query { aq_index } -> Printf.sprintf "audit-query(i=%d)" aq_index
+  | Audit_answer { au_index; au_m_size; _ } ->
+      Printf.sprintf "audit-answer(i=%d,size=%d)" au_index au_m_size

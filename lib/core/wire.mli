@@ -67,5 +67,38 @@ type t =
   | Gov_receipts_msg of Receipt.t list
   | Ack_msg of { a_replica : int; a_digest : D.t; a_signature : string }
       (** PeerReview-variant acknowledgement (§6 baselines) *)
+  | Status_query of { sq_view : int; sq_seqno : int }
+      (** what happened to transaction ID [view.seqno]? Served by replicas
+          and observers alike ({!Replica.tx_status}) *)
+  | Status_info of {
+      si_view : int;
+      si_seqno : int;
+      si_status : Status.t;
+      si_committed : int;  (** responder's stable committed horizon *)
+    }
+  | Read_query of { rq_key : string; rq_nonce : int }
+      (** verifiable observer read; [rq_nonce] correlates the answer *)
+  | Read_answer of {
+      ra_key : string;
+      ra_nonce : int;  (** echoed from the query *)
+      ra_value : string option;  (** responder's current value *)
+      ra_seqno : int;  (** batch of the writing tx; 0 = writer not indexed *)
+      ra_tx_position : int;  (** that tx's position within its batch *)
+      ra_write_set : (string * Iaccf_kv.Store.write) list;
+          (** the writing tx's normalized write set, whose hash is bound
+              into the receipt's transaction entry *)
+      ra_receipt : Receipt.t option;  (** receipt of the writing tx *)
+    }  (** everything a reader needs to verify the value without trusting
+           the responder: receipt -> write-set hash -> (key, value) *)
+  | Audit_query of { aq_index : int }
+      (** Merkle audit path for the ledger entry at this index *)
+  | Audit_answer of {
+      au_index : int;
+      au_leaf : D.t;  (** leaf digest of the entry *)
+      au_m_index : int;  (** index among Merkle-bound entries *)
+      au_m_size : int;  (** tree size the path proves against *)
+      au_path : D.t list;
+      au_root : D.t;
+    }
 
 val describe : t -> string

@@ -48,14 +48,18 @@ let delete tx k =
   tx.working <- Hamt.remove k tx.working;
   tx.writes <- (k, Delete) :: tx.writes
 
-let write_set_hash writes =
-  (* Last write per key wins; canonical order by key. *)
+let normalize_writes writes =
+  (* Last write per key wins; canonical order by key. The raw list is
+     newest-first, so the first occurrence of a key is its final write. *)
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun (k, w) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k w)
     writes;
   let entries = Hashtbl.fold (fun k w acc -> (k, w) :: acc) tbl [] in
-  let entries = List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) entries in
+  List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) entries
+
+let write_set_hash writes =
+  let entries = normalize_writes writes in
   let payload =
     Codec.encode (fun w ->
         Codec.W.list w
@@ -70,7 +74,7 @@ let write_set_hash writes =
   in
   D.of_string payload
 
-let commit tx =
+let commit_with_writes tx =
   check_live tx;
   tx.live <- false;
   let store = tx.store in
@@ -78,7 +82,10 @@ let commit tx =
   store.log <- (store.version, tx.base) :: store.log;
   store.current <- tx.working;
   store.version <- store.version + 1;
-  write_set_hash tx.writes
+  let writes = normalize_writes tx.writes in
+  (write_set_hash writes, writes)
+
+let commit tx = fst (commit_with_writes tx)
 
 let abort tx =
   check_live tx;

@@ -14,6 +14,10 @@ type t
 type tx
 (** An open transaction handle. *)
 
+type write = Put of string | Delete
+(** One write in a transaction's write set: the value installed under a
+    key, or a tombstone. *)
+
 val create : unit -> t
 val of_map : Hamt.t -> t
 
@@ -38,6 +42,20 @@ val delete : tx -> string -> unit
 val commit : tx -> Iaccf_crypto.Digest32.t
 (** Commit the transaction; the result is the write-set hash: the digest of
     the sorted (key, value-or-tombstone) pairs written. *)
+
+val commit_with_writes : tx -> Iaccf_crypto.Digest32.t * (string * write) list
+(** Like {!commit}, additionally returning the normalized write set (one
+    entry per key, sorted) whose digest is the write-set hash. A party
+    holding the write set can recompute the hash with {!write_set_hash}
+    and check key membership — the basis for verifiable observer reads. *)
+
+val normalize_writes : (string * write) list -> (string * write) list
+(** Canonical form of a raw (newest-first) write list: last write per key
+    wins, sorted by key. Idempotent. *)
+
+val write_set_hash : (string * write) list -> Iaccf_crypto.Digest32.t
+(** The digest {!commit} returns, computed from an explicit write list
+    (normalized first). *)
 
 val abort : tx -> unit
 

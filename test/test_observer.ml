@@ -1,0 +1,395 @@
+(* Observer/read tier (lib/observer): transaction-status semantics on
+   replicas, the QCheck stability property across forced view changes
+   (COMMITTED and INVALID are terminal, PENDING never regresses to
+   UNKNOWN), observer nodes serving verified reads / receipts / audit
+   paths off the quorum path, rejection of tampered suffix chunks, and a
+   same-seed determinism check over the whole read tier. *)
+
+open Iaccf_core
+module Observer = Iaccf_observer.Observer
+module Reader = Iaccf_observer.Reader
+module Network = Iaccf_sim.Network
+module Ledger = Iaccf_ledger.Ledger
+module Entry = Iaccf_ledger.Entry
+module Batch = Iaccf_types.Batch
+module Obs = Iaccf_obs.Obs
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let status_t =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Status.to_string s))
+    Status.equal
+
+(* Small batches so a short workload spans many sequence numbers — the
+   stable horizon sits [pipeline] batches behind the committed one, and
+   these tests need transactions on both sides of it. *)
+let small_batches = { Replica.default_params with max_batch = 2 }
+
+let drive cluster client n ~timeout_ms =
+  let outcomes = ref [] in
+  for i = 1 to n do
+    Client.submit client ~proc:"counter/add" ~args:(string_of_int 1)
+      ~on_complete:(fun oc -> outcomes := oc :: !outcomes)
+      ();
+    ignore i
+  done;
+  let ok =
+    Cluster.run_until cluster ~timeout_ms (fun () ->
+        List.length !outcomes >= n)
+  in
+  check Alcotest.bool "workload completed" true ok;
+  List.rev !outcomes
+
+(* Push the stable horizon (and commit evidence) past everything the
+   workload wrote: P no-op batches plus slack. *)
+let settle cluster client =
+  let done_ = ref 0 in
+  for _ = 1 to 8 do
+    Client.submit client ~proc:"noop" ~args:""
+      ~on_complete:(fun _ -> incr done_)
+      ()
+  done;
+  ignore (Cluster.run_until cluster ~timeout_ms:60_000.0 (fun () -> !done_ >= 8));
+  Cluster.run cluster ~ms:2_000.0
+
+(* ------------------------------------------------------------------ *)
+(* Status semantics on replicas                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_status_lifecycle () =
+  let cluster = Cluster.make ~seed:11 ~n:4 ~params:small_batches () in
+  let client = Cluster.add_client cluster () in
+  let r0 = Cluster.replica cluster 0 in
+  check status_t "nothing submitted yet" Status.Unknown
+    (Replica.tx_status r0 ~view:0 ~seqno:5);
+  check status_t "seqno 0 is invalid" Status.Invalid
+    (Replica.tx_status r0 ~view:0 ~seqno:0);
+  let outcomes = drive cluster client 12 ~timeout_ms:120_000.0 in
+  settle cluster client;
+  let oc = List.nth outcomes 2 in
+  let txid = oc.Client.oc_txid in
+  List.iter
+    (fun r ->
+      check status_t "deep transaction committed" Status.Committed
+        (Replica.tx_status r ~view:txid.Status.view ~seqno:txid.Status.seqno);
+      check status_t "same seqno, wrong view" Status.Invalid
+        (Replica.tx_status r ~view:(txid.Status.view + 7) ~seqno:txid.Status.seqno);
+      check status_t "far-future seqno unknown" Status.Unknown
+        (Replica.tx_status r ~view:0 ~seqno:10_000);
+      check Alcotest.bool "stable horizon advanced" true
+        (Replica.stable_committed r >= txid.Status.seqno))
+    (Cluster.replicas cluster)
+
+let test_status_invalid_after_view_change () =
+  (* Commit work in view 0, force a view change, commit more work in view
+     1: a view-1 seqno queried under view 0 must read INVALID, and the
+     same seqno under view 1 COMMITTED — never both. *)
+  let cluster = Cluster.make ~seed:12 ~n:4 ~params:small_batches () in
+  let client = Cluster.add_client cluster () in
+  ignore (drive cluster client 6 ~timeout_ms:120_000.0);
+  List.iter Replica.inject_view_change (Cluster.replicas cluster);
+  Cluster.run cluster ~ms:3_000.0;
+  let outcomes = drive cluster client 6 ~timeout_ms:120_000.0 in
+  settle cluster client;
+  match List.find_opt (fun oc -> oc.Client.oc_txid.Status.view > 0) outcomes with
+  | None -> Alcotest.fail "no transaction committed in the new view"
+  | Some oc ->
+      let txid = oc.Client.oc_txid in
+      List.iter
+        (fun r ->
+          check status_t "committed under its own view" Status.Committed
+            (Replica.tx_status r ~view:txid.Status.view ~seqno:txid.Status.seqno);
+          check status_t "invalid under the old view" Status.Invalid
+            (Replica.tx_status r ~view:0 ~seqno:txid.Status.seqno))
+        (Cluster.replicas cluster)
+
+(* The stability property (ISSUE acceptance): across forced view changes,
+   no transaction ID ever transitions COMMITTED -> INVALID or INVALID ->
+   COMMITTED (nor PENDING -> UNKNOWN), on any replica. We sample a whole
+   grid of IDs — plausible and implausible — at every step. *)
+let prop_status_monotonic =
+  QCheck.Test.make ~name:"status never flips between terminal answers"
+    ~count:4
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let params =
+        { Replica.default_params with max_batch = 4; vc_timeout_ms = 300.0 }
+      in
+      let cluster = Cluster.make ~seed:(seed + 1) ~n:4 ~params () in
+      let client = Cluster.add_client cluster () in
+      let grid =
+        List.concat_map
+          (fun v -> List.init 30 (fun s -> (v, s + 1)))
+          [ 0; 1; 2; 3 ]
+      in
+      let seen = Hashtbl.create 1024 in
+      let ok = ref true in
+      let sample () =
+        List.iter
+          (fun r ->
+            List.iter
+              (fun (v, s) ->
+                let st = Replica.tx_status r ~view:v ~seqno:s in
+                let key = (Replica.id r, v, s) in
+                (match Hashtbl.find_opt seen key with
+                | Some prev when not (Status.transition_ok ~from:prev ~to_:st)
+                  ->
+                    ok := false
+                | _ -> ());
+                Hashtbl.replace seen key st)
+              grid)
+          (Cluster.replicas cluster)
+      in
+      let submitted = ref 0 in
+      for _ = 1 to 36 do
+        Client.submit client ~proc:"counter/add" ~args:"1"
+          ~on_complete:(fun _ -> incr submitted)
+          ()
+      done;
+      for round = 0 to 7 do
+        Cluster.run cluster ~ms:250.0;
+        sample ();
+        if round mod 2 = 1 then
+          List.iter Replica.inject_view_change (Cluster.replicas cluster);
+        sample ()
+      done;
+      Cluster.run cluster ~ms:8_000.0;
+      sample ();
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Observer nodes: verified reads, receipts, audit paths               *)
+(* ------------------------------------------------------------------ *)
+
+let make_reader cluster ~address =
+  Reader.create ~address ~genesis:(Cluster.genesis cluster)
+    ~pipeline:(Cluster.params cluster).Replica.pipeline
+    ~sched:(Cluster.sched cluster) ~network:(Cluster.network cluster)
+    ~obs:(Cluster.obs cluster) ()
+
+let synced_with ~cluster obs_node =
+  Cluster.run_until cluster ~timeout_ms:60_000.0 (fun () ->
+      Observer.synced_upto obs_node
+      >= Replica.last_committed (Cluster.replica cluster 0))
+
+let test_observer_serves_verified_reads () =
+  let cluster = Cluster.make ~seed:21 ~n:4 ~params:small_batches () in
+  let client = Cluster.add_client cluster () in
+  let outcomes = drive cluster client 15 ~timeout_ms:120_000.0 in
+  settle cluster client;
+  let obs_node = Observer.spawn cluster ~addr:Observer.default_base () in
+  check Alcotest.bool "observer catches up" true
+    (synced_with ~cluster obs_node);
+  let reader = make_reader cluster ~address:200 in
+  let last = List.nth outcomes 14 in
+  (* The read must verify and return the final counter value, with the
+     writing transaction's index at least the last writer's index. *)
+  let result = ref None in
+  Reader.read reader ~observer:Observer.default_base ~key:"counter"
+    ~min_index:last.Client.oc_index (fun r -> result := Some r);
+  ignore (Cluster.run_until cluster ~timeout_ms:30_000.0 (fun () -> !result <> None));
+  (match !result with
+  | None -> Alcotest.fail "no read answer"
+  | Some r ->
+      check Alcotest.(option string) "final counter value" (Some "15") r.Reader.rd_value;
+      check Alcotest.bool "read verified" true r.Reader.rd_verified;
+      check Alcotest.(option string) "no error" None r.Reader.rd_error);
+  check Alcotest.int "reader counted the verification" 1
+    (Reader.verified_reads reader);
+  (* Absent key: answer carries no evidence, reported unverified-clean. *)
+  let absent = ref None in
+  Reader.read reader ~observer:Observer.default_base ~key:"no-such-key"
+    (fun r -> absent := Some r);
+  ignore (Cluster.run_until cluster ~timeout_ms:30_000.0 (fun () -> !absent <> None));
+  (match !absent with
+  | Some r ->
+      check Alcotest.(option string) "absent key" None r.Reader.rd_value;
+      check Alcotest.bool "absent key unverified" false r.Reader.rd_verified;
+      check Alcotest.(option string) "absent key carries no error" None
+        r.Reader.rd_error
+  | None -> Alcotest.fail "no answer for absent key");
+  (* The observer never touched the quorum path: it is not activated and
+     never signed anything. *)
+  check Alcotest.bool "observer stayed passive" false
+    (Replica.active (Observer.replica obs_node))
+
+let test_observer_status_and_wait () =
+  let cluster = Cluster.make ~seed:22 ~n:4 ~params:small_batches () in
+  let client = Cluster.add_client cluster () in
+  let outcomes = drive cluster client 10 ~timeout_ms:120_000.0 in
+  settle cluster client;
+  let obs_node = Observer.spawn cluster ~addr:Observer.default_base () in
+  check Alcotest.bool "observer catches up" true
+    (synced_with ~cluster obs_node);
+  let reader = make_reader cluster ~address:201 in
+  let txid = (List.nth outcomes 1).Client.oc_txid in
+  let got = ref None in
+  Reader.wait_for_commit reader ~observer:Observer.default_base ~txid
+    (fun st -> got := Some st);
+  ignore (Cluster.run_until cluster ~timeout_ms:30_000.0 (fun () -> !got <> None));
+  check (Alcotest.option status_t) "deep transaction committed"
+    (Some Status.Committed) !got;
+  (* An ID the service never assigned polls UNKNOWN until the deadline. *)
+  let unknown = ref None in
+  Reader.wait_for_commit reader ~observer:Observer.default_base
+    ~txid:{ Status.view = 0; seqno = 10_000 } ~deadline_ms:500.0
+    (fun st -> unknown := Some st);
+  ignore (Cluster.run_until cluster ~timeout_ms:30_000.0 (fun () -> !unknown <> None));
+  check (Alcotest.option status_t) "unassigned ID stays unknown"
+    (Some Status.Unknown) !unknown;
+  check Alcotest.int "no status-machine violations" 0
+    (Reader.status_violations reader)
+
+let test_observer_audit_paths () =
+  let cluster = Cluster.make ~seed:23 ~n:4 ~params:small_batches () in
+  let client = Cluster.add_client cluster () in
+  ignore (drive cluster client 10 ~timeout_ms:120_000.0);
+  settle cluster client;
+  let obs_node = Observer.spawn cluster ~addr:Observer.default_base () in
+  check Alcotest.bool "observer catches up" true
+    (synced_with ~cluster obs_node);
+  let reader = make_reader cluster ~address:202 in
+  let ledger = Replica.ledger (Observer.replica obs_node) in
+  (* One Merkle-bound entry and one transaction entry (bound via its
+     batch's g_root instead, so the observer must refuse a tree path). *)
+  let find_index p =
+    let found = ref None in
+    Ledger.iteri
+      (fun i e -> if !found = None && p e then found := Some i)
+      ledger;
+    Option.get !found
+  in
+  let merkle_idx =
+    find_index (fun e -> Entry.in_merkle_tree e && Ledger.length ledger > 0)
+  in
+  let tx_idx = find_index (fun e -> not (Entry.in_merkle_tree e)) in
+  let got = ref None in
+  Reader.fetch_audit_path reader ~observer:Observer.default_base
+    ~index:merkle_idx (fun r -> got := Some r);
+  ignore (Cluster.run_until cluster ~timeout_ms:30_000.0 (fun () -> !got <> None));
+  (match !got with
+  | Some r -> check Alcotest.bool "audit path verifies" true r.Reader.au_ok
+  | None -> Alcotest.fail "no audit answer");
+  let refused_before =
+    Obs.counter_value (Cluster.obs cluster)
+      (Printf.sprintf "observer.%d.audit_refused" Observer.default_base)
+  in
+  Reader.fetch_audit_path reader ~observer:Observer.default_base ~index:tx_idx
+    (fun _ -> Alcotest.fail "tx entries have no tree path");
+  Cluster.run cluster ~ms:2_000.0;
+  check Alcotest.int "tx-entry path refused" (refused_before + 1)
+    (Obs.counter_value (Cluster.obs cluster)
+       (Printf.sprintf "observer.%d.audit_refused" Observer.default_base))
+
+let test_observer_rejects_tampered_suffix () =
+  (* The observer's tail goes through the same state-transfer validation
+     as replica catch-up: a suffix chunk whose transaction entry was
+     doctored must not apply. Source the observer from a silent address so
+     the attacker fully controls what it is fed. *)
+  let cluster = Cluster.make ~seed:24 ~n:4 ~params:small_batches () in
+  let client = Cluster.add_client cluster () in
+  ignore (drive cluster client 10 ~timeout_ms:120_000.0);
+  settle cluster client;
+  let attacker = 9 (* unregistered: requests to it vanish *) in
+  let obs_node =
+    Observer.spawn cluster ~addr:Observer.default_base ~source:attacker ()
+  in
+  Cluster.run cluster ~ms:500.0;
+  let obs_ledger = Replica.ledger (Observer.replica obs_node) in
+  check Alcotest.int "only genesis before any chunk" 1 (Ledger.length obs_ledger);
+  let r0 = Cluster.replica cluster 0 in
+  let entries = List.map snd (Ledger.entries (Replica.ledger r0) ~from:1 ()) in
+  let upto = Ledger.length (Replica.ledger r0) in
+  let tampered =
+    let doctored = ref false in
+    List.map
+      (fun e ->
+        match e with
+        | Entry.Tx tx when not !doctored ->
+            doctored := true;
+            Entry.Tx
+              {
+                tx with
+                Batch.result =
+                  { tx.Batch.result with Batch.output = "doctored" };
+              }
+        | e -> e)
+      entries
+  in
+  let net = Cluster.network cluster in
+  Network.send net ~src:attacker ~dst:Observer.default_base
+    (Wire.Ledger_suffix_chunk
+       { lc_from = 1; lc_entries = tampered; lc_upto = upto; lc_view = 0 });
+  Cluster.run cluster ~ms:2_000.0;
+  check Alcotest.int "tampered suffix not applied" 1 (Ledger.length obs_ledger);
+  check Alcotest.int "no batch committed from it" 0
+    (Observer.synced_upto obs_node);
+  (* The genuine suffix still installs afterwards. *)
+  Network.send net ~src:attacker ~dst:Observer.default_base
+    (Wire.Ledger_suffix_chunk
+       { lc_from = 1; lc_entries = entries; lc_upto = upto; lc_view = 0 });
+  Cluster.run cluster ~ms:2_000.0;
+  check Alcotest.int "genuine suffix applied" upto (Ledger.length obs_ledger);
+  check Alcotest.bool "observer committed the tail" true
+    (Observer.synced_upto obs_node > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Same-seed determinism over the whole read tier                      *)
+(* ------------------------------------------------------------------ *)
+
+let read_tier_run seed =
+  let cluster = Cluster.make ~seed ~n:4 ~params:small_batches () in
+  let client = Cluster.add_client cluster () in
+  let outcomes = drive cluster client 12 ~timeout_ms:120_000.0 in
+  settle cluster client;
+  let obs_node = Observer.spawn cluster ~addr:Observer.default_base () in
+  ignore (synced_with ~cluster obs_node);
+  let reader = make_reader cluster ~address:200 in
+  let value = ref None in
+  Reader.read reader ~observer:Observer.default_base ~key:"counter"
+    (fun r -> value := r.Reader.rd_value);
+  let status = ref Status.Unknown in
+  Reader.wait_for_commit reader ~observer:Observer.default_base
+    ~txid:(List.nth outcomes 0).Client.oc_txid (fun st -> status := st);
+  Cluster.run cluster ~ms:5_000.0;
+  ( !value,
+    Status.to_string !status,
+    Observer.synced_upto obs_node,
+    Reader.verified_reads reader,
+    Obs.counter_value (Cluster.obs cluster)
+      (Printf.sprintf "observer.%d.reads_served" Observer.default_base) )
+
+let test_read_tier_deterministic () =
+  let a = read_tier_run 31 in
+  let b = read_tier_run 31 in
+  check Alcotest.bool "same seed, same read-tier trace" true (a = b)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "iaccf_observer"
+    [
+      ( "status",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_status_lifecycle;
+          Alcotest.test_case "invalidation across view change" `Quick
+            test_status_invalid_after_view_change;
+          qtest prop_status_monotonic;
+        ] );
+      ( "observer",
+        [
+          Alcotest.test_case "verified reads" `Quick
+            test_observer_serves_verified_reads;
+          Alcotest.test_case "status polling + wait_for_commit" `Quick
+            test_observer_status_and_wait;
+          Alcotest.test_case "audit paths" `Quick test_observer_audit_paths;
+          Alcotest.test_case "tampered suffix rejected" `Quick
+            test_observer_rejects_tampered_suffix;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same-seed read tier" `Quick
+            test_read_tier_deterministic;
+        ] );
+    ]
