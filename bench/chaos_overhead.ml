@@ -80,4 +80,19 @@ let () =
     fail "identity intercepts cost %.2fx wall-clock (limit 3x)" best_ratio;
   Printf.printf
     "chaos-overhead ok: %d tx, virtual time identical (%.2f ms), best wall ratio %.2fx\n"
-    requests direct.virtual_ms best_ratio
+    requests direct.virtual_ms best_ratio;
+  let module Report = Iaccf_report.Report in
+  let bench = "chaos_overhead" in
+  let series = "identity_intercept" in
+  Report.write_rows ~file:"BENCH_chaos_overhead.json" ~bench
+    [
+      Report.row ~bench ~series ~metric:"txs" ~gate:Report.Exact
+        (float_of_int requests);
+      (* Exact by construction: the guard above already failed if the
+         intercepted run's virtual time diverged at all. *)
+      Report.row ~bench ~series ~metric:"virtual_ms" ~gate:Report.Exact
+        direct.virtual_ms;
+      Report.row ~bench ~series ~metric:"best_wall_ratio" ~gate:Report.Info
+        best_ratio;
+    ];
+  Printf.eprintf "wrote BENCH_chaos_overhead.json\n%!"

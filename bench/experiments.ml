@@ -11,6 +11,7 @@ module Request = Iaccf_types.Request
 module Genesis = Iaccf_types.Genesis
 module Schnorr = Iaccf_crypto.Schnorr
 module D = Iaccf_crypto.Digest32
+module Report = Iaccf_report.Report
 open Harness
 
 (* A forge world of n colluding-capable replicas for offline construction. *)
@@ -66,26 +67,47 @@ let table1 () =
   Printf.printf "%-28s %10d %10s\n" "Transaction (SmallBank)" t1 "-";
   Printf.printf "%-28s %10d %10s\n" "Pre-prepare" p1 "-";
   Printf.printf "%-28s %10d %10d\n" "Prepare evidence" e1 e3;
-  Printf.printf "%-28s %10d %10d\n" "Nonces" n1 n3
+  Printf.printf "%-28s %10d %10d\n" "Nonces" n1 n3;
+  (* Entry sizes are fully deterministic: gate them exactly. *)
+  let bench = "table1" in
+  let brow ~series ~metric v =
+    Report.row ~bench ~series ~metric ~gate:Report.Exact (float_of_int v)
+  in
+  Report.write_rows ~file:"BENCH_table1.json" ~bench
+    [
+      brow ~series:"f=1" ~metric:"tx_bytes" t1;
+      brow ~series:"f=1" ~metric:"pre_prepare_bytes" p1;
+      brow ~series:"f=1" ~metric:"prepare_evidence_bytes" e1;
+      brow ~series:"f=1" ~metric:"nonce_evidence_bytes" n1;
+      brow ~series:"f=3" ~metric:"prepare_evidence_bytes" e3;
+      brow ~series:"f=3" ~metric:"nonce_evidence_bytes" n3;
+    ];
+  Printf.eprintf "wrote BENCH_table1.json\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 4: throughput/latency under increasing load (f=1)               *)
 
 let fig4 ?(total = 240) () =
   print_header "Fig. 4: throughput/latency as load increases (f=1, dedicated cluster)";
+  let acc = ref [] in
+  let keep r = print_result r; acc := r :: !acc in
   List.iter
     (fun concurrency ->
       Printf.printf "-- offered load: %d concurrent clients' worth --\n" concurrency;
-      print_result
-        (run_iaccf ~label:"IA-CCF" ~total ~concurrency ());
-      print_result
-        (run_iaccf ~label:"IA-CCF-NoReceipt" ~variant:Variant.no_receipt ~total
-           ~concurrency ());
-      print_result
-        (run_iaccf ~label:"IA-CCF-PeerReview" ~variant:Variant.peer_review
+      (* Labels carry the sweep point so JSON series stay distinct. *)
+      let lbl name = Printf.sprintf "%s c=%d" name concurrency in
+      keep (run_iaccf ~label:(lbl "IA-CCF") ~total ~concurrency ());
+      keep
+        (run_iaccf ~label:(lbl "IA-CCF-NoReceipt") ~variant:Variant.no_receipt
+           ~total ~concurrency ());
+      keep
+        (run_iaccf ~label:(lbl "IA-CCF-PeerReview") ~variant:Variant.peer_review
            ~total:(total / 4) ~concurrency ());
-      print_result (run_fabric ~label:"Fabric (CFT)" ~total ~concurrency ()))
-    [ 16; 64; 192 ]
+      keep (run_fabric ~label:(lbl "Fabric (CFT)") ~total ~concurrency ()))
+    [ 16; 64; 192 ];
+  write_bench_json ~file:"BENCH_fig4.json" ~bench:"fig4"
+    ~meta:[ ("total", string_of_int total) ]
+    (List.rev !acc)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: request latency under low load (WAN)                        *)
@@ -102,55 +124,76 @@ let table2 () =
   Printf.printf "%-12s %9.1f ms %9.1f ms %14s\n" "IA-CCF" ia.rr_avg_latency_ms
     ia.rr_p99_latency_ms "2";
   Printf.printf "%-12s %9.1f ms %9.1f ms %14s\n" "HotStuff" hs.rr_avg_latency_ms
-    hs.rr_p99_latency_ms "4.5"
+    hs.rr_p99_latency_ms "4.5";
+  write_bench_json ~file:"BENCH_table2.json" ~bench:"table2" [ ia; hs ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 5: throughput vs replica count (WAN)                            *)
 
 let fig5 ?(total = 150) () =
   print_header "Fig. 5: throughput vs replica count (WAN)";
+  let acc = ref [] in
+  let keep r = print_result r; acc := r :: !acc in
   List.iter
     (fun n ->
       Printf.printf "-- N = %d replicas --\n" n;
-      print_result
-        (run_iaccf ~label:"IA-CCF (WAN)" ~n ~latency:Latency.wan ~total
+      let lbl name = Printf.sprintf "%s N=%d" name n in
+      keep
+        (run_iaccf ~label:(lbl "IA-CCF (WAN)") ~n ~latency:Latency.wan ~total
            ~pipeline:6 ~max_batch:200 ());
-      print_result
-        (run_iaccf ~label:"IA-CCF (LAN)" ~n ~latency:Latency.lan ~total ());
-      print_result
-        (run_iaccf ~label:"IA-CCF-PeerReview (WAN)" ~n ~latency:Latency.wan
+      keep (run_iaccf ~label:(lbl "IA-CCF (LAN)") ~n ~latency:Latency.lan ~total ());
+      keep
+        (run_iaccf ~label:(lbl "IA-CCF-PeerReview (WAN)") ~n ~latency:Latency.wan
            ~variant:Variant.peer_review ~total:(total / 3) ~pipeline:6 ());
-      print_result (run_hotstuff ~label:"HotStuff (WAN)" ~n ~latency:Latency.wan ~total ()))
-    [ 4; 7; 10 ]
+      keep
+        (run_hotstuff ~label:(lbl "HotStuff (WAN)") ~n ~latency:Latency.wan ~total ()))
+    [ 4; 7; 10 ];
+  write_bench_json ~file:"BENCH_fig5.json" ~bench:"fig5"
+    ~meta:[ ("total", string_of_int total) ]
+    (List.rev !acc)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 6: checkpoint interval x key-value store size                   *)
 
 let fig6 ?(total = 200) () =
   print_header "Fig. 6: throughput/latency vs accounts and checkpoint interval (f=1)";
+  let acc = ref [] in
   List.iter
     (fun accounts ->
       List.iter
         (fun checkpoint_interval ->
-          print_result
-            (run_iaccf
-               ~label:
-                 (Printf.sprintf "IA-CCF acct=%d C=%d" accounts checkpoint_interval)
-               ~accounts ~checkpoint_interval ~total ()))
+          let r =
+            run_iaccf
+              ~label:
+                (Printf.sprintf "IA-CCF acct=%d C=%d" accounts checkpoint_interval)
+              ~accounts ~checkpoint_interval ~total ()
+          in
+          print_result r;
+          acc := r :: !acc)
         [ 10; 50; 200 ])
-    [ 100; 1000; 10000 ]
+    [ 100; 1000; 10000 ];
+  write_bench_json ~file:"BENCH_fig6.json" ~bench:"fig6"
+    ~meta:[ ("total", string_of_int total) ]
+    (List.rev !acc)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: key-value store size sweep                                   *)
 
 let fig7 ?(total = 200) () =
   print_header "Fig. 7: throughput/latency vs number of accounts (f=1)";
+  let acc = ref [] in
   List.iter
     (fun accounts ->
-      print_result
-        (run_iaccf ~label:(Printf.sprintf "IA-CCF accounts=%d" accounts) ~accounts
-           ~total ()))
-    [ 10; 100; 1000; 10000; 50000 ]
+      let r =
+        run_iaccf ~label:(Printf.sprintf "IA-CCF accounts=%d" accounts) ~accounts
+          ~total ()
+      in
+      print_result r;
+      acc := r :: !acc)
+    [ 10; 100; 1000; 10000; 50000 ];
+  write_bench_json ~file:"BENCH_fig7.json" ~bench:"fig7"
+    ~meta:[ ("total", string_of_int total) ]
+    (List.rev !acc)
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: breakdown of IA-CCF features                                *)
@@ -213,27 +256,38 @@ let table3 ?(total = 240) () =
         true );
     ]
   in
+  let acc = ref [] in
+  let keep r = print_result r; acc := r :: !acc in
   List.iter
     (fun (label, variant, accounts, empty_requests) ->
-      print_result (run_iaccf ~label ~variant ~accounts ~empty_requests ~total ()))
+      keep (run_iaccf ~label ~variant ~accounts ~empty_requests ~total ()))
     rows;
   (* Ablation of the nonce-commitment scheme (§3.1, Lemma 3): signing
      commit messages adds one signature + N-1 verifications per replica per
      batch — the saving the paper's scheme exists to capture. *)
-  print_result
+  keep
     (run_iaccf ~label:"[ablation] signed commits" ~variant:Variant.signed_commits
        ~total ());
-  print_result (run_hotstuff ~label:"HotStuff (empty requests)" ~total ());
+  keep (run_hotstuff ~label:"HotStuff (empty requests)" ~total ());
   let p = Iaccf_baselines.Pompe.run ~n:4 ~commands:(total / 2) ~batch:100 in
   Printf.printf "%-28s %6d tx  %8.1f tx/s  (analytic fast path; %d signatures)\n%!"
     "Pompe (empty requests)" p.Iaccf_baselines.Pompe.r_commands
-    p.Iaccf_baselines.Pompe.r_throughput p.Iaccf_baselines.Pompe.r_signatures
+    p.Iaccf_baselines.Pompe.r_throughput p.Iaccf_baselines.Pompe.r_signatures;
+  write_bench_json ~file:"BENCH_table3.json" ~bench:"table3"
+    ~meta:
+      [
+        ("total", string_of_int total);
+        ("pompe_txs", string_of_int p.Iaccf_baselines.Pompe.r_commands);
+        ("pompe_signatures", string_of_int p.Iaccf_baselines.Pompe.r_signatures);
+      ]
+    (List.rev !acc)
 
 (* ------------------------------------------------------------------ *)
 (* §6.3: receipt validation cost                                        *)
 
 let receipts_bench () =
   print_header "Receipt validation (6.3): Merkle path + signature checks";
+  let rows = ref [] in
   List.iter
     (fun (n, fstr) ->
       List.iter
@@ -259,19 +313,38 @@ let receipts_bench () =
             | Error e -> failwith e
           done;
           let dt = (Unix.gettimeofday () -. t0) /. float_of_int iterations in
+          let path_hashes =
+            match receipt.Receipt.subject with
+            | Receipt.Tx_subject { path; _ } -> List.length path
+            | Receipt.Batch_subject -> 0
+          in
           Printf.printf "%s batch=%4d: verify %8.2f ms  (receipt %5d bytes, path %d hashes)\n%!"
             fstr batch_size (1000.0 *. dt) (Receipt.size_bytes receipt)
-            (match receipt.Receipt.subject with
-            | Receipt.Tx_subject { path; _ } -> List.length path
-            | Receipt.Batch_subject -> 0))
+            path_hashes;
+          let bench = "receipts" in
+          let series = Printf.sprintf "%s batch=%d" fstr batch_size in
+          rows :=
+            !rows
+            @ [
+                Report.row ~bench ~series ~metric:"verify_wall_ms"
+                  ~gate:Report.Info (1000.0 *. dt);
+                Report.row ~bench ~series ~metric:"receipt_bytes"
+                  ~gate:Report.Exact
+                  (float_of_int (Receipt.size_bytes receipt));
+                Report.row ~bench ~series ~metric:"path_hashes"
+                  ~gate:Report.Exact (float_of_int path_hashes);
+              ])
         [ 300; 800 ])
-    [ (4, "f=1"); (10, "f=3") ]
+    [ (4, "f=1"); (10, "f=3") ];
+  Report.write_rows ~file:"BENCH_receipts.json" ~bench:"receipts" !rows;
+  Printf.eprintf "wrote BENCH_receipts.json\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* §6.4: governance sub-ledger sizes                                    *)
 
 let governance_bench () =
   print_header "Governance sub-ledger (6.4): receipt sizes";
+  let rows = ref [] in
   List.iter
     (fun (n, fstr) ->
       let genesis, forge = forge_world ~n () in
@@ -286,14 +359,28 @@ let governance_bench () =
       Printf.printf "%s: end-of-config receipt %5d bytes; gov-tx receipt %5d bytes\n%!"
         fstr
         (Receipt.size_bytes batch_receipt)
-        (Receipt.size_bytes tx_receipt))
-    [ (4, "f=1"); (10, "f=3") ]
+        (Receipt.size_bytes tx_receipt);
+      let bench = "governance" in
+      rows :=
+        !rows
+        @ [
+            Report.row ~bench ~series:fstr ~metric:"end_of_config_receipt_bytes"
+              ~gate:Report.Exact
+              (float_of_int (Receipt.size_bytes batch_receipt));
+            Report.row ~bench ~series:fstr ~metric:"gov_tx_receipt_bytes"
+              ~gate:Report.Exact
+              (float_of_int (Receipt.size_bytes tx_receipt));
+          ])
+    [ (4, "f=1"); (10, "f=3") ];
+  Report.write_rows ~file:"BENCH_governance.json" ~bench:"governance" !rows;
+  Printf.eprintf "wrote BENCH_governance.json\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* §6.5: auditing vs execution speed                                    *)
 
 let audit_bench () =
   print_header "Ledger auditing (6.5): replay vs execution";
+  let rows = ref [] in
   List.iter
     (fun (n, fstr, total) ->
       let params =
@@ -355,8 +442,21 @@ let audit_bench () =
         audit_time
         (float_of_int total /. audit_time)
         (100.0 *. Float.abs ((per_replica /. audit_time) -. 1.0))
-        (if audit_time < per_replica then "faster" else "slower"))
-    [ (4, "f=1", 200); (13, "f=4", 60) ]
+        (if audit_time < per_replica then "faster" else "slower");
+      let bench = "audit" in
+      rows :=
+        !rows
+        @ [
+            Report.row ~bench ~series:fstr ~metric:"txs" ~gate:Report.Exact
+              (float_of_int total);
+            Report.row ~bench ~series:fstr ~metric:"exec_wall_s_per_replica"
+              ~gate:Report.Info per_replica;
+            Report.row ~bench ~series:fstr ~metric:"audit_wall_s"
+              ~gate:Report.Info audit_time;
+          ])
+    [ (4, "f=1", 200); (13, "f=4", 60) ];
+  Report.write_rows ~file:"BENCH_audit.json" ~bench:"audit" !rows;
+  Printf.eprintf "wrote BENCH_audit.json\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Durable storage: append throughput and recovery time vs segment     *)
@@ -403,6 +503,7 @@ let storage_bench ?(appends = 2000) () =
       ("fsync=64", Store.Fsync_interval 64);
       ("fsync=always", Store.Fsync_always) ]
   in
+  let rows = ref [] in
   List.iter
     (fun seg_kb ->
       List.iter
@@ -435,6 +536,25 @@ let storage_bench ?(appends = 2000) () =
             seg_kb pname appends
             (float_of_int appends /. append_s)
             (float_of_int bytes /. 1048576.0 /. append_s)
-            segs (1000.0 *. recover_s))
+            segs (1000.0 *. recover_s);
+          let bench = "storage" in
+          let series = Printf.sprintf "seg=%dKB %s" seg_kb pname in
+          rows :=
+            !rows
+            @ [
+                Report.row ~bench ~series ~metric:"appends" ~gate:Report.Exact
+                  (float_of_int appends);
+                Report.row ~bench ~series ~metric:"disk_bytes"
+                  ~gate:Report.Exact (float_of_int bytes);
+                Report.row ~bench ~series ~metric:"segments" ~gate:Report.Exact
+                  (float_of_int segs);
+                Report.row ~bench ~series ~metric:"appends_per_s"
+                  ~gate:Report.Info
+                  (float_of_int appends /. append_s);
+                Report.row ~bench ~series ~metric:"recovery_wall_ms"
+                  ~gate:Report.Info (1000.0 *. recover_s);
+              ])
         policies)
-    [ 64; 1024 ]
+    [ 64; 1024 ];
+  Report.write_rows ~file:"BENCH_storage.json" ~bench:"storage" !rows;
+  Printf.eprintf "wrote BENCH_storage.json\n%!"

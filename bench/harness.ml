@@ -311,6 +311,33 @@ let json_of_result r =
     r.rr_sigs_made r.rr_sigs_verified
     (String.concat "," phases)
 
+(* Flatten a [run_result] into the report layer's gated rows: counts are
+   seed-deterministic (exact gate), virtual-clock latencies get the ms
+   tolerance gate, wall-clock-derived numbers are informational. Used by
+   the regress bench so every table row lands in the trajectory. *)
+let rows_of_result ~bench r =
+  let open Iaccf_report.Report in
+  let series = r.rr_label in
+  [
+    row ~bench ~series ~metric:"txs" ~gate:Exact (float_of_int r.rr_txs);
+    row ~bench ~series ~metric:"sigs_made" ~gate:Exact (float_of_int r.rr_sigs_made);
+    row ~bench ~series ~metric:"sigs_verified" ~gate:Exact
+      (float_of_int r.rr_sigs_verified);
+    row ~bench ~series ~metric:"avg_latency_ms" ~gate:Ms r.rr_avg_latency_ms;
+    row ~bench ~series ~metric:"p50_latency_ms" ~gate:Ms r.rr_p50_latency_ms;
+    row ~bench ~series ~metric:"p99_latency_ms" ~gate:Ms r.rr_p99_latency_ms;
+    row ~bench ~series ~metric:"wall_s" ~gate:Info r.rr_wall_s;
+    row ~bench ~series ~metric:"throughput_tx_s" ~gate:Info r.rr_throughput;
+  ]
+  @ List.concat_map
+      (fun (name, p50, p90, p99) ->
+        [
+          row ~bench ~series ~metric:(name ^ ".p50_ms") ~gate:Ms p50;
+          row ~bench ~series ~metric:(name ^ ".p90_ms") ~gate:Ms p90;
+          row ~bench ~series ~metric:(name ^ ".p99_ms") ~gate:Ms p99;
+        ])
+      r.rr_phases
+
 let write_bench_json ~file ~bench ?(meta = []) results =
   let oc = open_out file in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->

@@ -1,0 +1,221 @@
+(* The @bench-regress gate: tiny, seed-deterministic bench runs whose
+   gated metrics (transaction/signature counts, virtual-clock latencies)
+   must match the committed baselines in bench/baselines/.
+
+   Three miniature benches ride the same code paths as the full suite:
+
+   - smallbank: closed-loop SmallBank load through Harness.run_iaccf, in
+     the full, no-receipt and signed-commit-ablation variants;
+   - statesync: one chunked catch-up of a joining replica (the
+     @statesync-bench path at its smallest size);
+   - chaos: the identity-intercept equivalence run from @chaos-overhead.
+
+   Each writes its BENCH_regress_*.json, which is schema-checked and then
+   compared against the baseline with the report layer's gate semantics
+   (exact counts, tolerant virtual ms, informational wall clock). Exit is
+   nonzero on any regression, so `dune runtest` fails when the bench
+   trajectory moves.
+
+   Regenerate baselines after an intentional change with
+     dune exec bench/regress.exe -- --write-baselines bench/baselines
+   from the repo root. *)
+
+open Iaccf_core
+module Network = Iaccf_sim.Network
+module Sched = Iaccf_sim.Sched
+module Obs = Iaccf_obs.Obs
+module Ledger = Iaccf_ledger.Ledger
+module Report = Iaccf_report.Report
+open Harness
+
+let fail fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("bench-regress: " ^ s); exit 1) fmt
+
+(* --- smallbank: three variants through the shared harness ------------- *)
+
+let smallbank_results () =
+  let total = 60 and concurrency = 16 and accounts = 20 in
+  [
+    run_iaccf ~label:"full" ~total ~concurrency ~accounts ();
+    run_iaccf ~label:"no_receipt" ~variant:Variant.no_receipt ~total ~concurrency
+      ~accounts ();
+    run_iaccf ~label:"signed_commits" ~variant:Variant.signed_commits ~total
+      ~concurrency ~accounts ();
+  ]
+
+(* --- statesync: smallest catch-up run (mirrors bench/statesync.ml,
+   whose module has a toplevel main and so cannot be linked here) ------- *)
+
+let statesync_rows () =
+  let params =
+    {
+      Replica.default_params with
+      checkpoint_interval = 10;
+      max_batch = 4;
+      snapshot_interval = 10;
+    }
+  in
+  let txs = 100 in
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let cluster = Cluster.make ~seed:7 ~n:4 ~params ~obs () in
+  let client = Cluster.add_client cluster () in
+  let completed = ref 0 in
+  let submitted = ref 0 in
+  let rec submit_one () =
+    if !submitted < txs then begin
+      incr submitted;
+      Client.submit client ~proc:"counter/add" ~args:(string_of_int !submitted)
+        ~on_complete:(fun _ ->
+          incr completed;
+          submit_one ())
+        ()
+    end
+  in
+  for _ = 1 to 16 do
+    submit_one ()
+  done;
+  if
+    not
+      (Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
+           !completed >= txs))
+  then fail "statesync workload did not complete";
+  Cluster.run cluster ~ms:2_000.0;
+  let r0 = Cluster.replica cluster 0 in
+  let target = Replica.last_committed r0 - params.Replica.checkpoint_interval in
+  let entries = Ledger.length (Replica.ledger r0) in
+  let joiner = Cluster.spawn_replica cluster ~id:4 in
+  Replica.join_snapshot joiner ~from:0;
+  if
+    not
+      (Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
+           Replica.last_committed joiner >= target))
+  then fail "statesync joiner did not catch up";
+  let c name = Obs.counter_value obs name in
+  if c "statesync.installs" < 1 then fail "statesync installed no snapshot";
+  let bench = "regress_statesync" in
+  let series = Printf.sprintf "catchup txs=%d" txs in
+  let exact metric v =
+    Report.row ~bench ~series ~metric ~gate:Report.Exact (float_of_int v)
+  in
+  [
+    exact "ledger_entries" entries;
+    exact "snapshot_bytes" (c "statesync.bytes");
+    exact "chunks" (c "statesync.chunks");
+    exact "entries_skipped" (c "statesync.entries_skipped");
+  ]
+
+(* --- chaos: identity-intercept equivalence (mirrors
+   bench/chaos_overhead.ml at a smaller size) --------------------------- *)
+
+let chaos_rows () =
+  let requests = 20 in
+  let run ~intercepted =
+    let cluster = Cluster.make ~seed:42 ~n:4 () in
+    if intercepted then
+      for id = 0 to 3 do
+        Network.set_intercept (Cluster.network cluster) id (fun ~dst msg ->
+            [ (dst, msg) ])
+      done;
+    let client = Cluster.add_client cluster () in
+    let completions = ref [] in
+    for i = 1 to requests do
+      let args = string_of_int i in
+      Client.submit client ~proc:"counter/add" ~args
+        ~on_complete:(fun oc -> completions := (args, oc.Client.oc_output) :: !completions)
+        ()
+    done;
+    if
+      not
+        (Cluster.run_until cluster (fun () ->
+             List.length !completions = requests))
+    then fail "chaos run stalled";
+    Cluster.run cluster ~ms:500.0;
+    (Sched.now (Cluster.sched cluster), List.rev !completions)
+  in
+  let vt_direct, out_direct = run ~intercepted:false in
+  let vt_wrapped, out_wrapped = run ~intercepted:true in
+  if vt_direct <> vt_wrapped || out_direct <> out_wrapped then
+    fail "identity intercept changed a fault-free run";
+  let bench = "regress_chaos" in
+  let series = "identity_intercept" in
+  [
+    Report.row ~bench ~series ~metric:"txs" ~gate:Report.Exact
+      (float_of_int requests);
+    Report.row ~bench ~series ~metric:"virtual_ms" ~gate:Report.Exact vt_direct;
+  ]
+
+(* --- driver ----------------------------------------------------------- *)
+
+let files = (* (emitted file, what writes it) *)
+  [ "BENCH_regress_smallbank.json"; "BENCH_regress_statesync.json";
+    "BENCH_regress_chaos.json" ]
+
+let emit ~dir =
+  let path f = Filename.concat dir f in
+  write_bench_json
+    ~file:(path "BENCH_regress_smallbank.json")
+    ~bench:"regress_smallbank" (smallbank_results ());
+  Report.write_rows
+    ~file:(path "BENCH_regress_statesync.json")
+    ~bench:"regress_statesync" (statesync_rows ());
+  Report.write_rows
+    ~file:(path "BENCH_regress_chaos.json")
+    ~bench:"regress_chaos" (chaos_rows ())
+
+let load_rows file =
+  match Report.load_file file with
+  | Ok rows -> rows
+  | Error e -> fail "%s" e
+
+let () =
+  let baselines = ref None and write_to = ref None and tolerance = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--baselines" :: dir :: rest -> baselines := Some dir; parse rest
+    | "--write-baselines" :: dir :: rest -> write_to := Some dir; parse rest
+    | "--tolerance" :: t :: rest -> tolerance := Some (float_of_string t); parse rest
+    | arg :: _ -> fail "unknown argument %s" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !write_to with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      emit ~dir;
+      List.iter
+        (fun f ->
+          match Report.check_file (Filename.concat dir f) with
+          | Ok n -> Printf.printf "baseline %s: %d rows\n%!" f n
+          | Error e -> fail "%s" e)
+        files
+  | None ->
+      emit ~dir:".";
+      (* Schema gate: every emitted file must parse into metric rows. *)
+      let current =
+        List.concat_map
+          (fun f ->
+            match Report.check_file f with
+            | Ok _ -> load_rows f
+            | Error e -> fail "%s" e)
+          files
+      in
+      let dir = Option.value !baselines ~default:"baselines" in
+      let baseline =
+        List.concat_map
+          (fun f ->
+            let path = Filename.concat dir f in
+            if Sys.file_exists path then load_rows path
+            else begin
+              Printf.eprintf "bench-regress: no baseline %s (skipping)\n%!" path;
+              []
+            end)
+          files
+      in
+      let comparisons =
+        Report.compare_rows ?tolerance:!tolerance ~baseline ~current ()
+      in
+      print_string (Report.render_comparison comparisons);
+      match Report.regressions comparisons with
+      | [] -> Printf.printf "bench-regress: ok (%d metrics)\n%!" (List.length current)
+      | rs ->
+          Printf.eprintf "bench-regress: %d metric(s) regressed\n%!" (List.length rs);
+          exit 1

@@ -16,6 +16,7 @@ open Iaccf_core
 module Obs = Iaccf_obs.Obs
 module Store = Iaccf_storage.Store
 module Ledger = Iaccf_ledger.Ledger
+module Report = Iaccf_report.Report
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("statesync-bench: " ^ s); exit 1) fmt
 
@@ -84,12 +85,24 @@ let bench_catchup () =
     params.Replica.checkpoint_interval params.Replica.snapshot_interval;
   Printf.printf "%8s %10s %10s %12s %8s %10s\n" "txs" "entries" "wall s"
     "snap bytes" "chunks" "skipped";
-  List.iter
+  List.concat_map
     (fun txs ->
       let entries, wall, bytes, chunks, skipped, installs = catchup_run ~txs in
       if installs < 1 then fail "catch-up at %d txs installed no snapshot" txs;
       Printf.printf "%8d %10d %10.3f %12d %8d %10d\n%!" txs entries wall bytes
-        chunks skipped)
+        chunks skipped;
+      let bench = "statesync" in
+      let series = Printf.sprintf "catchup txs=%d" txs in
+      let exact metric v =
+        Report.row ~bench ~series ~metric ~gate:Report.Exact (float_of_int v)
+      in
+      [
+        exact "ledger_entries" entries;
+        exact "snapshot_bytes" bytes;
+        exact "chunks" chunks;
+        exact "entries_skipped" skipped;
+        Report.row ~bench ~series ~metric:"wall_s" ~gate:Report.Info wall;
+      ])
     [ 100; 300; 900 ]
 
 (* --- 2. cold start: snapshot restore vs full replay ------------------- *)
@@ -159,8 +172,21 @@ let bench_cold_start () =
   Printf.printf "  full replay:      %7.3f s  (replicas from genesis:  %d)\n%!"
     wall' replayed';
   if wall' > 0.0 then
-    Printf.printf "  speedup:          %7.2fx\n%!" (wall' /. wall)
+    Printf.printf "  speedup:          %7.2fx\n%!" (wall' /. wall);
+  let bench = "statesync" in
+  let series = "cold_start" in
+  [
+    Report.row ~bench ~series ~metric:"persisted_entries" ~gate:Report.Exact
+      (float_of_int entries);
+    Report.row ~bench ~series ~metric:"snapshot_restores" ~gate:Report.Exact
+      (float_of_int restored);
+    Report.row ~bench ~series ~metric:"genesis_replays" ~gate:Report.Exact
+      (float_of_int replayed');
+    Report.row ~bench ~series ~metric:"restore_wall_s" ~gate:Report.Info wall;
+    Report.row ~bench ~series ~metric:"replay_wall_s" ~gate:Report.Info wall';
+  ]
 
 let () =
-  bench_catchup ();
-  bench_cold_start ()
+  let rows = bench_catchup () @ bench_cold_start () in
+  Report.write_rows ~file:"BENCH_statesync.json" ~bench:"statesync" rows;
+  Printf.eprintf "wrote BENCH_statesync.json\n%!"

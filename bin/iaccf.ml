@@ -27,6 +27,9 @@ module Store = Iaccf_storage.Store
 module Package = Iaccf_storage.Package
 module Snapshot = Iaccf_statesync.Snapshot
 module Obs = Iaccf_obs.Obs
+module Critical_path = Iaccf_obs.Critical_path
+module Profile = Iaccf_crypto.Profile
+module Report = Iaccf_report.Report
 
 let replicas_arg =
   Arg.(value & opt int 4 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Number of replicas.")
@@ -160,10 +163,11 @@ let latency_fn = function
   | `Lan -> Latency.lan
   | `Wan -> Latency.wan
 
-let make_cluster ?persist ?obs ?(snapshot_interval = 0) ~n ~seed ~latency () =
+let make_cluster ?persist ?obs ?profile ?(snapshot_interval = 0) ~n ~seed
+    ~latency () =
   let params = { Replica.default_params with Replica.snapshot_interval } in
   Cluster.make ~seed ~n ~params ~latency:(latency_fn latency)
-    ~app:(Smallbank.app ()) ?persist ?obs ()
+    ~app:(Smallbank.app ()) ?persist ?obs ?profile ()
 
 (* A client identity whose requests are not already in the (possibly
    restored) ledger: replicas deduplicate executed requests by hash, so a
@@ -301,6 +305,13 @@ let run_cmd =
         (Cluster.replicas cluster)
     end;
     write_obs_outputs ?obs ~cluster ~metrics ~trace ();
+    (* With tracing on, the events also carry everything the critical-path
+       reconstructor needs: print where each request's latency went. *)
+    (match (obs, trace) with
+    | Some obs, Some _ ->
+        let segs = Critical_path.of_events (Obs.events obs) in
+        if segs <> [] then print_string (Critical_path.render segs)
+    | _ -> ());
     Cluster.close_storage cluster;
     ignore receipts
   in
@@ -857,6 +868,130 @@ let observe_cmd =
       const run $ replicas_arg $ txs_arg $ seed_arg $ latency_arg
       $ observers_arg $ reads_arg)
 
+(* iaccf profile — the crypto cost profiler: run a SmallBank workload with
+   every sign/verify/MAC/apply on the replicas' hot paths charged to a
+   per-(operation, message class, principal) wall-clock account, then
+   print the Table-3-shaped breakdown. On any signature-verifying
+   configuration the dominant row is client-signature verification —
+   the paper's headline cost. *)
+let profile_cmd =
+  let run n txs seed latency =
+    let profile = Profile.create () in
+    let cluster = make_cluster ~profile ~n ~seed ~latency () in
+    let _ = drive_smallbank cluster ~txs ~seed in
+    Cluster.run cluster ~ms:5_000.0;
+    Printf.printf
+      "crypto cost profile: %d replicas, %d txs, seed %d (%.3f s profiled)\n\n"
+      n txs seed (Profile.elapsed_s profile);
+    print_string (Profile.render profile);
+    match Profile.rows profile with
+    | { Profile.r_op = Profile.Verify; r_cls = "request";
+        r_principal = Profile.Client_key; _ } :: _ ->
+        print_endline
+          "\ndominant cost: client request signature verification (paper §6.2, Table 3)"
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a SmallBank workload with per-operation crypto cost accounting \
+          and print the breakdown by operation, message class, and principal \
+          kind (client vs replica keys), sorted by wall time.")
+    Term.(const run $ replicas_arg $ txs_arg $ seed_arg $ latency_arg)
+
+(* iaccf bench-report — aggregate BENCH_*.json files into a trend table
+   and, with --baseline-dir, gate the current numbers against committed
+   baselines (exact counts, tolerant virtual-clock ms, informational wall
+   clock), exiting nonzero on regression. *)
+let bench_report_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "BENCH_*.json files to aggregate. Default: every BENCH_*.json in \
+             the current directory.")
+  in
+  let baseline_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline-dir" ] ~docv:"DIR"
+          ~doc:
+            "Compare against the baseline files of the same names in $(docv) \
+             and exit 1 if any gated metric regressed.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt float Report.default_tolerance
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Relative tolerance for ms-gated metrics (default 0.10).")
+  in
+  let run files baseline_dir tolerance =
+    let files =
+      match files with
+      | [] ->
+          Sys.readdir "."
+          |> Array.to_list
+          |> List.filter (fun f ->
+                 String.length f > 6
+                 && String.sub f 0 6 = "BENCH_"
+                 && Filename.check_suffix f ".json")
+          |> List.sort compare
+      | fs -> fs
+    in
+    if files = [] then begin
+      prerr_endline
+        "iaccf bench-report: no BENCH_*.json files found (run a bench first)";
+      exit 2
+    end;
+    let load file =
+      match Report.load_file file with
+      | Ok rows -> rows
+      | Error e ->
+          Printf.eprintf "iaccf bench-report: %s\n" e;
+          exit 2
+    in
+    let current = List.concat_map load files in
+    match baseline_dir with
+    | None ->
+        Printf.printf "bench trajectory: %d metrics from %d file(s)\n\n"
+          (List.length current) (List.length files);
+        print_string (Report.render_trend current)
+    | Some dir ->
+        let baseline =
+          List.concat_map
+            (fun f ->
+              let path = Filename.concat dir (Filename.basename f) in
+              if Sys.file_exists path then load path
+              else begin
+                Printf.eprintf "iaccf bench-report: no baseline %s (skipping)\n"
+                  path;
+                []
+              end)
+            files
+        in
+        let comparisons = Report.compare_rows ~tolerance ~baseline ~current () in
+        print_string (Report.render_comparison comparisons);
+        let rs = Report.regressions comparisons in
+        if rs <> [] then begin
+          Printf.eprintf "iaccf bench-report: %d metric(s) regressed\n"
+            (List.length rs);
+          exit 1
+        end
+        else
+          Printf.printf "bench-report: ok (%d metrics vs %s)\n"
+            (List.length current) dir
+  in
+  Cmd.v
+    (Cmd.info "bench-report"
+       ~doc:
+         "Aggregate BENCH_*.json bench output into a trend table, or gate it \
+          against committed baselines with --baseline-dir (exit 1 on \
+          regression).")
+    Term.(const run $ files_arg $ baseline_dir_arg $ tolerance_arg)
+
 let () =
   let info =
     Cmd.info "iaccf" ~version:"1.0.0"
@@ -869,6 +1004,8 @@ let () =
         status_cmd;
         observe_cmd;
         stats_cmd;
+        profile_cmd;
+        bench_report_cmd;
         ledger_cmd;
         audit_cmd;
         export_package_cmd;

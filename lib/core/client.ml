@@ -159,7 +159,7 @@ let try_complete t p =
                       (Obs.now t.obs -. t_commit)
                 | None -> ());
                 if Obs.tracing_enabled t.obs then begin
-                  let id = String.sub (D.to_hex p.p_hash) 0 12 in
+                  let id = Request.trace_id p.p_req in
                   Obs.instant t.obs ~node:t.addr ~cat:"request"
                     ~name:"receipt.issued" ~id
                     ~args:[ ("seqno", string_of_int pp.Message.seqno) ]
@@ -345,8 +345,10 @@ let submit t ~proc ~args ?on_complete () =
   Hashtbl.replace t.pending (D.to_raw h) p;
   Obs.incr t.c_submitted;
   if Obs.tracing_enabled t.obs then
+    (* The e2e span id IS the request's causal trace id: flow events and
+       the request.batched instant key off the same hash prefix. *)
     Obs.span_begin t.obs ~node:t.addr ~cat:"request" ~name:"e2e"
-      ~id:(String.sub (D.to_hex h) 0 12)
+      ~id:(Request.trace_id req)
       ~args:[ ("proc", proc) ]
       ();
   broadcast t (Wire.Request_msg req);

@@ -7,6 +7,7 @@ module Schnorr = Iaccf_crypto.Schnorr
 module Rng = Iaccf_util.Rng
 module D = Iaccf_crypto.Digest32
 module Obs = Iaccf_obs.Obs
+module Profile = Iaccf_crypto.Profile
 
 let client_base = 100
 
@@ -21,6 +22,7 @@ type t = {
   sched : Sched.t;
   network : Wire.t Network.t;
   obs : Obs.t;
+  profile : Profile.t; (* shared crypto cost profiler, one per cluster *)
   rng : Rng.t;
   genesis : Genesis.t;
   app : App.t;
@@ -107,9 +109,10 @@ let counter_app_procs =
   ]
 
 let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
-    ?(latency = Latency.dedicated_cluster) ?app ?persist ?obs ~n () =
+    ?(latency = Latency.dedicated_cluster) ?app ?persist ?obs ?profile ~n () =
   let n_members = Option.value n_members ~default:n in
   let obs = match obs with Some o -> o | None -> Obs.passive () in
+  let profile = match profile with Some p -> p | None -> Profile.disabled in
   let rng = Rng.create seed in
   let members =
     List.init n_members (fun i ->
@@ -126,10 +129,14 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
   let genesis = Genesis.make cfg0 in
   let sched = Sched.create () in
   Obs.set_clock obs (fun () -> Sched.now sched);
+  Profile.set_virt_clock profile (fun () -> Sched.now sched);
   let network =
     Network.create ~sched ~latency:(latency (Rng.split rng))
       ~drop_rng:(Rng.split rng) ~obs ()
   in
+  (* The sim layer cannot see the wire format; inject the classifier here
+     so delivered messages emit cross-node flow events when tracing. *)
+  Network.set_flow_classifier network Wire.flow_of;
   let app =
     match app with
     | Some a -> a
@@ -141,6 +148,7 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
       sched;
       network;
       obs;
+      profile;
       rng;
       genesis;
       app;
@@ -161,7 +169,7 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
         let sk, _ = replica_keys seed id in
         let r =
           Replica.create ~id ~sk ~genesis ~app ~params ~sched ~network
-            ~client_address ~rng:(Rng.split rng) ~obs
+            ~client_address ~rng:(Rng.split rng) ~obs ~profile
             ?storage:(replica_store ~obs persist id) ()
         in
         Replica.start r;
@@ -173,6 +181,7 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
 let sched t = t.sched
 let network t = t.network
 let obs t = t.obs
+let profile t = t.profile
 let genesis t = t.genesis
 let replicas t = List.map snd t.replicas
 let replica t id = List.assoc id t.replicas
@@ -258,7 +267,8 @@ let spawn_replica t ~id =
   let r =
     Replica.create ~id ~sk ~genesis:t.genesis ~app:t.app ~params:t.params
       ~sched:t.sched ~network:t.network ~client_address ~rng:(Rng.split t.rng)
-      ~obs:t.obs ?storage:(replica_store ~obs:t.obs t.persist id) ()
+      ~obs:t.obs ~profile:t.profile
+      ?storage:(replica_store ~obs:t.obs t.persist id) ()
   in
   Replica.start r;
   t.replicas <- t.replicas @ [ (id, r) ];

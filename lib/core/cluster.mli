@@ -30,6 +30,7 @@ val make :
   ?app:App.t ->
   ?persist:Iaccf_storage.Store.config ->
   ?obs:Iaccf_obs.Obs.t ->
+  ?profile:Iaccf_crypto.Profile.t ->
   n:int ->
   unit ->
   t
@@ -53,6 +54,11 @@ val network : t -> Wire.t Iaccf_sim.Network.t
 val obs : t -> Iaccf_obs.Obs.t
 (** The deployment's observability registry (the one passed to {!make},
     or the private passive one). *)
+
+val profile : t -> Iaccf_crypto.Profile.t
+(** The deployment's shared crypto cost profiler (the one passed to
+    {!make}, or the disabled default). One profiler aggregates across all
+    replicas, giving the service-wide Table-3 breakdown. *)
 
 val genesis : t -> Genesis.t
 val replicas : t -> Replica.t list

@@ -10,6 +10,7 @@ module Request = Iaccf_types.Request
 module Config = Iaccf_types.Config
 module Genesis = Iaccf_types.Genesis
 module Schnorr = Iaccf_crypto.Schnorr
+module Profile = Iaccf_crypto.Profile
 module D = Iaccf_crypto.Digest32
 module Nonce = Iaccf_crypto.Nonce
 module Hmac = Iaccf_crypto.Hmac
@@ -139,6 +140,7 @@ type t = {
   client_address : Schnorr.public_key -> int option;
   rng : Rng.t;
   obs : Obs.t;
+  profile : Profile.t; (* wall-clock sign/verify/apply cost accounting *)
   ctr : counters;
   ph : phase_hists;
   mutable cfg : Config.t;
@@ -284,33 +286,40 @@ let sub_tbl tbl key =
 (* ------------------------------------------------------------------ *)
 (* Signing: real signatures, or HMAC authenticators for the macs-only  *)
 (* variant (Table 3 row f). PeerReview adds signatures per message.    *)
+(* Every operation is charged to the crypto profiler under the message *)
+(* class ([cls]) that demanded it.                                     *)
 
-let sign_digest t d =
+let sign_digest t ~cls d =
   if t.params.variant.Variant.macs_only then begin
     Obs.incr t.ctr.c_macs_computed;
-    Hmac.mac ~key:t.mac_key (D.to_raw d)
+    Profile.time t.profile Profile.Mac ~cls Profile.Replica_key (fun () ->
+        Hmac.mac ~key:t.mac_key (D.to_raw d))
   end
   else begin
     Obs.incr t.ctr.c_sigs_made;
-    Schnorr.sign t.sk (D.to_raw d)
+    Profile.time t.profile Profile.Sign ~cls Profile.Replica_key (fun () ->
+        Schnorr.sign t.sk (D.to_raw d))
   end
 
-let verify_digest t ~replica d ~signature =
+let verify_digest t ~cls ~replica d ~signature =
   if t.params.variant.Variant.macs_only then begin
     Obs.incr t.ctr.c_macs_computed;
-    Hmac.verify ~key:t.mac_key (D.to_raw d) ~mac:signature
+    Profile.time t.profile Profile.Mac ~cls Profile.Replica_key (fun () ->
+        Hmac.verify ~key:t.mac_key (D.to_raw d) ~mac:signature)
   end
   else begin
     Obs.incr t.ctr.c_sigs_verified;
     match Config.replica_pk t.cfg replica with
     | None -> false
-    | Some pk -> Schnorr.verify pk (D.to_raw d) ~signature
+    | Some pk ->
+        Profile.time t.profile Profile.Verify ~cls Profile.Replica_key
+          (fun () -> Schnorr.verify pk (D.to_raw d) ~signature)
   end
 
 let verify_pp_sig t (pp : Message.pre_prepare) =
   pp.Message.primary = Config.primary_of_view t.cfg pp.Message.view
-  && verify_digest t ~replica:pp.Message.primary (Message.pp_hash pp)
-       ~signature:pp.Message.signature
+  && verify_digest t ~cls:"pre_prepare" ~replica:pp.Message.primary
+       (Message.pp_hash pp) ~signature:pp.Message.signature
 
 let verify_prepare_sig t (p : Message.prepare) =
   let payload =
@@ -318,18 +327,20 @@ let verify_prepare_sig t (p : Message.prepare) =
       ~replica:p.Message.p_replica ~nonce_com:p.Message.p_nonce_com
       ~pp_hash:p.Message.p_pp_hash
   in
-  verify_digest t ~replica:p.Message.p_replica payload ~signature:p.Message.p_signature
+  verify_digest t ~cls:"prepare" ~replica:p.Message.p_replica payload
+    ~signature:p.Message.p_signature
 
 let verify_vc_sig t (vc : Message.view_change) =
   let payload =
     Message.view_change_payload ~view:vc.Message.vc_view
       ~replica:vc.Message.vc_replica ~last_prepared:vc.Message.vc_last_prepared
   in
-  verify_digest t ~replica:vc.Message.vc_replica payload ~signature:vc.Message.vc_signature
+  verify_digest t ~cls:"view_change" ~replica:vc.Message.vc_replica payload
+    ~signature:vc.Message.vc_signature
 
 let verify_nv_sig t (nv : Message.new_view) =
   nv.Message.nv_primary = Config.primary_of_view t.cfg nv.Message.nv_view
-  && verify_digest t ~replica:nv.Message.nv_primary
+  && verify_digest t ~cls:"new_view" ~replica:nv.Message.nv_primary
        (Message.new_view_payload ~view:nv.Message.nv_view ~m_root:nv.Message.nv_m_root
           ~vc_bitmap:nv.Message.nv_vc_bitmap ~vc_hash:nv.Message.nv_vc_hash
           ~primary:nv.Message.nv_primary)
@@ -341,7 +352,9 @@ let verify_nv_sig t (nv : Message.new_view) =
 let peerreview_extra_sign t payload =
   if t.params.variant.Variant.peerreview then begin
     Obs.incr t.ctr.c_sigs_made;
-    ignore (Schnorr.sign t.sk (D.to_raw (D.of_string payload)))
+    ignore
+      (Profile.time t.profile Profile.Sign ~cls:"peerreview" Profile.Replica_key
+         (fun () -> Schnorr.sign t.sk (D.to_raw (D.of_string payload))))
   end
 
 let send t ~dst msg =
@@ -453,25 +466,29 @@ let is_gov_request (req : Request.t) =
   String.length req.Request.proc >= 4 && String.sub req.Request.proc 0 4 = "gov/"
 
 let execute_requests t ~base_index reqs =
-  let writes_rev = ref [] in
-  let txs =
-    List.mapi
-      (fun k (req : Request.t) ->
-        let output, write_set_hash, writes =
-          App.execute_ws t.app ~config:t.cfg ~caller:req.Request.client_pk
-            ~store:t.store ~proc:req.Request.proc ~args:req.Request.args
-        in
-        writes_rev := writes :: !writes_rev;
-        Obs.incr t.ctr.c_txs_executed;
-        {
-          Batch.request = req;
-          index = base_index + k;
-          result = { Batch.output; write_set_hash };
-        })
-      reqs
-  in
-  t.last_exec_writes <- List.rev !writes_rev;
-  txs
+  (* Apply cost lands in the profiler (wall clock), never in obs metrics:
+     snapshots must stay byte-identical across same-seed runs. *)
+  Profile.time t.profile Profile.Apply ~cls:"batch" Profile.Replica_key
+    (fun () ->
+      let writes_rev = ref [] in
+      let txs =
+        List.mapi
+          (fun k (req : Request.t) ->
+            let output, write_set_hash, writes =
+              App.execute_ws t.app ~config:t.cfg ~caller:req.Request.client_pk
+                ~store:t.store ~proc:req.Request.proc ~args:req.Request.args
+            in
+            writes_rev := writes :: !writes_rev;
+            Obs.incr t.ctr.c_txs_executed;
+            {
+              Batch.request = req;
+              index = base_index + k;
+              result = { Batch.output; write_set_hash };
+            })
+          reqs
+      in
+      t.last_exec_writes <- List.rev !writes_rev;
+      txs)
 
 (* ------------------------------------------------------------------ *)
 (* Transaction status (observer/read tier)                             *)
@@ -947,8 +964,11 @@ and on_prepared t rec_ =
       if t.params.variant.Variant.sign_commits then begin
         Obs.incr t.ctr.c_sigs_made;
         ignore
-          (Schnorr.sign t.sk
-             (D.to_raw (D.of_string (Printf.sprintf "commit:%d:%d:%d" v s t.rid))))
+          (Profile.time t.profile Profile.Sign ~cls:"commit" Profile.Replica_key
+             (fun () ->
+               Schnorr.sign t.sk
+                 (D.to_raw
+                    (D.of_string (Printf.sprintf "commit:%d:%d:%d" v s t.rid)))))
       end;
       Hashtbl.replace (sub_tbl t.commits (v, s)) t.rid nonce;
       if Obs.tracing_enabled t.obs then
@@ -1136,7 +1156,7 @@ and emit_batch t ?fixed_txs ~kind ~reqs ~ev_prepares ~ev_nonces ~ev_bitmap () =
       cp_digest = dc_before;
       kind;
       primary = t.rid;
-      signature = sign_digest t payload;
+      signature = sign_digest t ~cls:"pre_prepare" payload;
     }
   in
   append_ledger t (Entry.Pre_prepare pp);
@@ -1174,6 +1194,18 @@ and emit_batch t ?fixed_txs ~kind ~reqs ~ev_prepares ~ev_nonces ~ev_bitmap () =
   Hashtbl.replace t.batch_ledger_end s (ledger_len t);
   stash_batch_writes t s;
   trace_batch_begin t rec_;
+  (* Bridge the two flow identities: request flows are keyed by trace id,
+     batch phases by seqno. This instant (primary only — batching happens
+     here) lets the critical-path reconstructor hand a request off from
+     its queueing segment to its batch's consensus segments. *)
+  if Obs.tracing_enabled t.obs then
+    List.iter
+      (fun (r : Request.t) ->
+        Obs.instant t.obs ~node:t.rid ~cat:"request" ~name:"request.batched"
+          ~id:(Request.trace_id r)
+          ~args:[ ("seqno", string_of_int s) ]
+          ())
+      reqs;
   post_execute_batch t pp txs;
   t.seqno <- s + 1;
   broadcast_replicas t (Wire.Pre_prepare_msg { pp; batch = batch_hashes });
@@ -1331,7 +1363,7 @@ and process_pre_prepare t (pp : Message.pre_prepare) batch_hashes =
                 p_replica = t.rid;
                 p_nonce_com = Nonce.commit nonce;
                 p_pp_hash = pph;
-                p_signature = sign_digest t payload;
+                p_signature = sign_digest t ~cls:"prepare" payload;
               }
             in
             let rec_ =
@@ -1486,7 +1518,10 @@ and on_request t (req : Request.t) =
       let ok =
         if t.params.variant.Variant.verify_client_sigs then begin
           Obs.incr t.ctr.c_sigs_verified;
-          Request.verify req ~service:t.service
+          (* The paper's dominant cost: one client-key verification per
+             request, unamortized by batching. *)
+          Profile.time t.profile Profile.Verify ~cls:"request"
+            Profile.Client_key (fun () -> Request.verify req ~service:t.service)
         end
         else true
       in
@@ -1523,12 +1558,14 @@ and on_commit t (c : Message.commit) =
       match Config.replica_pk t.cfg c.Message.c_replica with
       | Some pk ->
           ignore
-            (Schnorr.verify pk
-               (D.to_raw
-                  (D.of_string
-                     (Printf.sprintf "commit:%d:%d:%d" c.Message.c_view c.Message.c_seqno
-                        c.Message.c_replica)))
-               ~signature:(String.make 64 '\000'))
+            (Profile.time t.profile Profile.Verify ~cls:"commit"
+               Profile.Replica_key (fun () ->
+                 Schnorr.verify pk
+                   (D.to_raw
+                      (D.of_string
+                         (Printf.sprintf "commit:%d:%d:%d" c.Message.c_view
+                            c.Message.c_seqno c.Message.c_replica)))
+                   ~signature:(String.make 64 '\000')))
       | None -> ()
     end;
     Hashtbl.replace (sub_tbl t.commits (c.Message.c_view, c.Message.c_seqno))
@@ -1625,7 +1662,7 @@ and send_view_change t v' =
         Message.vc_view = v';
         vc_replica = t.rid;
         vc_last_prepared = pps;
-        vc_signature = sign_digest t payload;
+        vc_signature = sign_digest t ~cls:"view_change" payload;
       }
     in
     Hashtbl.replace (sub_tbl t.view_changes v') t.rid vc;
@@ -1750,7 +1787,7 @@ and maybe_new_view t =
             nv_vc_bitmap = bitmap;
             nv_vc_hash = h_vc;
             nv_primary = t.rid;
-            nv_signature = sign_digest t payload;
+            nv_signature = sign_digest t ~cls:"new_view" payload;
           }
         in
         append_ledger t (Entry.New_view nv);
@@ -2600,7 +2637,11 @@ let on_message t ~src msg =
            Obs.incr t.ctr.c_sigs_verified;
            Obs.incr t.ctr.c_sigs_made;
            let digest = D.of_string (Wire.describe msg) in
-           let signature = Schnorr.sign t.sk (D.to_raw digest) in
+           let signature =
+             Profile.time t.profile Profile.Sign ~cls:"peerreview_ack"
+               Profile.Replica_key (fun () ->
+                 Schnorr.sign t.sk (D.to_raw digest))
+           in
            Network.send t.network ~src:t.rid ~dst:src
              (Wire.Ack_msg { a_replica = t.rid; a_digest = digest; a_signature = signature })
      end);
@@ -2821,11 +2862,12 @@ let restore_from_storage t storage =
   end
 
 let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
-    ?obs ?storage () =
+    ?obs ?profile ?storage () =
   if params.checkpoint_interval <= params.pipeline then
     invalid_arg "Replica.create: checkpoint interval must exceed the pipeline depth";
   let cfg = genesis.Genesis.initial_config in
   let obs = match obs with Some o -> o | None -> Obs.passive () in
+  let profile = match profile with Some p -> p | None -> Profile.disabled in
   Obs.set_node_name obs id (Printf.sprintf "replica-%d" id);
   let store = Store.create () in
   let cp0 = Checkpoint.make ~seqno:0 (Store.map store) in
@@ -2844,6 +2886,7 @@ let create ~id ~sk ~genesis ~app ~params ~sched ~network ~client_address ~rng
       client_address;
       rng;
       obs;
+      profile;
       ctr = make_counters obs id;
       ph = make_phase_hists obs;
       cfg;

@@ -51,10 +51,17 @@ val create :
   client_address:(Schnorr.public_key -> int option) ->
   rng:Iaccf_util.Rng.t ->
   ?obs:Iaccf_obs.Obs.t ->
+  ?profile:Iaccf_crypto.Profile.t ->
   ?storage:Iaccf_storage.Store.t ->
   unit ->
   t
 (** The replica registers itself on the network under address [id].
+
+    With [profile] (default: disabled), every signing, verification, MAC
+    and batch-execution operation on this replica is timed on the wall
+    clock and charged to the profiler under its message class — the
+    Table-3-shaped cost breakdown. Profiling never touches the obs
+    registry, so metrics snapshots stay deterministic.
 
     With [obs] (default: a private counting-only registry) the replica's
     tallies land there as [replica.<id>.*] counters, and — when the

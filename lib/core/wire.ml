@@ -85,6 +85,42 @@ type t =
       au_root : D.t;
     }
 
+(* Causal-flow classification for the tracing layer: which messages carry
+   a request's causality across nodes, and under which flow identity.
+   Request and replyx messages use the request's content-derived trace id,
+   so one request's submit -> ... -> receipt path shares a single flow
+   chain end to end; batch-phase messages flow under their sequence
+   number (the "request.batched" instant bridges the two identities);
+   the observer read tier flows under the query nonce. Bulk state-sync
+   and fetch traffic is deliberately unclassified — it is not on any
+   request's critical path and would drown the trace. *)
+let flow_of = function
+  | Request_msg r -> Some ("flow.request", Request.trace_id r)
+  | Pre_prepare_msg { pp; _ } ->
+      Some ("flow.pre_prepare", "s" ^ string_of_int pp.Message.seqno)
+  | Prepare_msg p -> Some ("flow.prepare", "s" ^ string_of_int p.Message.p_seqno)
+  | Commit_msg c -> Some ("flow.commit", "s" ^ string_of_int c.Message.c_seqno)
+  | Reply_msg r -> Some ("flow.reply", "s" ^ string_of_int r.Message.r_seqno)
+  | Replyx_msg x ->
+      Some ("flow.receipt", Request.trace_id x.Message.x_tx.Iaccf_types.Batch.request)
+  | View_change_msg vc ->
+      Some ("flow.view_change", "v" ^ string_of_int vc.Message.vc_view)
+  | New_view_msg { nv; _ } ->
+      Some ("flow.new_view", "v" ^ string_of_int nv.Message.nv_view)
+  | Status_query { sq_view; sq_seqno } ->
+      Some ("flow.status", Printf.sprintf "%d.%d" sq_view sq_seqno)
+  | Status_info { si_view; si_seqno; _ } ->
+      Some ("flow.status", Printf.sprintf "%d.%d" si_view si_seqno)
+  | Read_query { rq_nonce; _ } -> Some ("flow.read", "r" ^ string_of_int rq_nonce)
+  | Read_answer { ra_nonce; _ } -> Some ("flow.read", "r" ^ string_of_int ra_nonce)
+  | Audit_query { aq_index } -> Some ("flow.audit", "i" ^ string_of_int aq_index)
+  | Audit_answer { au_index; _ } -> Some ("flow.audit", "i" ^ string_of_int au_index)
+  | Fetch_missing _ | Batch_package_msg _ | Fetch_state _ | Fetch_snapshot
+  | Snapshot_offer _ | Fetch_snapshot_chunk _ | Snapshot_chunk _
+  | Fetch_suffix _ | Ledger_suffix_chunk _ | Replyx_request _
+  | Gov_receipts_request _ | Gov_receipts_msg _ | Ack_msg _ ->
+      None
+
 let describe = function
   | Request_msg r -> Printf.sprintf "request(%s)" r.Request.proc
   | Pre_prepare_msg { pp; _ } ->

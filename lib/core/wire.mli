@@ -102,3 +102,12 @@ type t =
     }
 
 val describe : t -> string
+
+val flow_of : t -> (string * string) option
+(** Causal-flow classification for {!Iaccf_sim.Network.set_flow_classifier}:
+    [(flow name, flow id)] for messages that carry a request's causality
+    across nodes, [None] for bulk/fetch traffic. Request and replyx
+    messages flow under the request's {!Iaccf_types.Request.trace_id};
+    batch-phase messages (pre-prepare/prepare/commit/reply) under
+    ["s<seqno>"]; view changes under ["v<view>"]; the observer tier under
+    its query identity. *)

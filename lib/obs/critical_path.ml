@@ -1,0 +1,175 @@
+(* Critical-path reconstruction: given one run's trace events, attribute
+   each completed request's end-to-end latency to protocol segments. The
+   simulator's compute is instantaneous in virtual time, so these
+   segments measure queueing, batching, and the network round trips the
+   protocol demands; wall-clock crypto/apply cost lives in the crypto
+   profiler (Iaccf_crypto.Profile) and overlays this breakdown.
+
+   Anchors, all recoverable from the standard instrumentation:
+     - client "request"/"e2e" span begin/end (id = request trace id)
+     - replica "request.batched" instant, emitted when the primary packs
+       the request into a batch (args carry the seqno)
+     - primary "batch"/"phase.prepare" span end (prepare quorum reached)
+     - "batch.committed" instant (earliest across replicas)
+     - client "receipt.issued" instant (args carry the final seqno)
+
+   Segments, in causal order:
+     queue   submit -> batched      request propagation + primary queueing
+     prepare batched -> prepared    pre-prepare fan-out + prepare quorum
+     commit  prepared -> committed  nonce reveal round
+     reply   committed -> receipt   replies + receipt assembly at client *)
+
+type segments = {
+  cp_id : string; (* request trace id *)
+  cp_seqno : int; (* batch that finally carried it *)
+  cp_submit_ms : float;
+  cp_queue_ms : float;
+  cp_prepare_ms : float;
+  cp_commit_ms : float;
+  cp_reply_ms : float;
+  cp_total_ms : float;
+}
+
+let segment_names = [ "queue"; "prepare"; "commit"; "reply" ]
+
+let seg_value s = function
+  | "queue" -> s.cp_queue_ms
+  | "prepare" -> s.cp_prepare_ms
+  | "commit" -> s.cp_commit_ms
+  | "reply" -> s.cp_reply_ms
+  | _ -> 0.0
+
+let of_events events =
+  let e2e_begin = Hashtbl.create 64 in
+  let e2e_end = Hashtbl.create 64 in
+  let receipt_seqno = Hashtbl.create 64 in
+  (* id -> (ts, node, seqno), last wins: a rolled-back batch re-proposes
+     the request, and the receipt is bound to the final proposal. *)
+  let batched = Hashtbl.create 64 in
+  let prepared = Hashtbl.create 64 in (* (node, seqno id) -> last good ts *)
+  let committed = Hashtbl.create 64 in (* seqno id -> earliest ts *)
+  List.iter
+    (fun (e : Obs.event) ->
+      match (e.Obs.ev_ph, e.Obs.ev_cat, e.Obs.ev_name) with
+      | Obs.Span_begin, "request", "e2e" ->
+          if not (Hashtbl.mem e2e_begin e.Obs.ev_id) then
+            Hashtbl.replace e2e_begin e.Obs.ev_id e.Obs.ev_ts
+      | Obs.Span_end, "request", "e2e" ->
+          Hashtbl.replace e2e_end e.Obs.ev_id e.Obs.ev_ts
+      | Obs.Instant, "request", "receipt.issued" -> (
+          match List.assoc_opt "seqno" e.Obs.ev_args with
+          | Some s -> Hashtbl.replace receipt_seqno e.Obs.ev_id s
+          | None -> ())
+      | Obs.Instant, "request", "request.batched" -> (
+          match List.assoc_opt "seqno" e.Obs.ev_args with
+          | Some s ->
+              Hashtbl.replace batched e.Obs.ev_id (e.Obs.ev_ts, e.Obs.ev_node, s)
+          | None -> ())
+      | Obs.Span_end, "batch", "phase.prepare" ->
+          if not (List.mem_assoc "cancelled" e.Obs.ev_args) then
+            Hashtbl.replace prepared (e.Obs.ev_node, e.Obs.ev_id) e.Obs.ev_ts
+      | Obs.Instant, "batch", "batch.committed" ->
+          if not (Hashtbl.mem committed e.Obs.ev_id) then
+            Hashtbl.replace committed e.Obs.ev_id e.Obs.ev_ts
+      | _ -> ())
+    events;
+  let requests =
+    Hashtbl.fold (fun id t_end acc -> (id, t_end) :: acc) e2e_end []
+    |> List.sort compare
+  in
+  List.filter_map
+    (fun (id, t_end) ->
+      match Hashtbl.find_opt e2e_begin id with
+      | None -> None
+      | Some t_begin ->
+          let seqno_str =
+            match Hashtbl.find_opt receipt_seqno id with
+            | Some s -> Some s
+            | None -> (
+                match Hashtbl.find_opt batched id with
+                | Some (_, _, s) -> Some s
+                | None -> None)
+          in
+          let total = t_end -. t_begin in
+          let clamp v = Float.max 0.0 v in
+          (match seqno_str with
+          | None ->
+              (* No batch anchor (tracing raced the run's end): attribute
+                 everything to the queue segment rather than dropping. *)
+              Some
+                {
+                  cp_id = id;
+                  cp_seqno = -1;
+                  cp_submit_ms = t_begin;
+                  cp_queue_ms = total;
+                  cp_prepare_ms = 0.0;
+                  cp_commit_ms = 0.0;
+                  cp_reply_ms = 0.0;
+                  cp_total_ms = total;
+                }
+          | Some s ->
+              let t_batched, node =
+                match Hashtbl.find_opt batched id with
+                | Some (ts, node, _) -> (ts, Some node)
+                | None -> (t_begin, None)
+              in
+              let t_committed =
+                match Hashtbl.find_opt committed s with
+                | Some ts -> ts
+                | None -> t_end
+              in
+              let t_prepared =
+                match node with
+                | Some n -> (
+                    match Hashtbl.find_opt prepared (n, s) with
+                    | Some ts -> Float.min ts t_committed
+                    | None -> t_committed)
+                | None -> t_committed
+              in
+              Some
+                {
+                  cp_id = id;
+                  cp_seqno = (try int_of_string s with _ -> -1);
+                  cp_submit_ms = t_begin;
+                  cp_queue_ms = clamp (t_batched -. t_begin);
+                  cp_prepare_ms = clamp (t_prepared -. t_batched);
+                  cp_commit_ms = clamp (t_committed -. t_prepared);
+                  cp_reply_ms = clamp (t_end -. t_committed);
+                  cp_total_ms = total;
+                }))
+    requests
+
+(* (segment, mean, p50, p99) per segment plus the end-to-end total. *)
+let summarize segs =
+  let stat extract =
+    let xs = List.map extract segs in
+    let n = List.length xs in
+    if n = 0 then (0.0, 0.0, 0.0)
+    else
+      ( List.fold_left ( +. ) 0.0 xs /. float_of_int n,
+        Obs.Histogram.percentile_of_list 0.50 xs,
+        Obs.Histogram.percentile_of_list 0.99 xs )
+  in
+  List.map
+    (fun name ->
+      let mean, p50, p99 = stat (fun s -> seg_value s name) in
+      (name, mean, p50, p99))
+    segment_names
+  @ [
+      (let mean, p50, p99 = stat (fun s -> s.cp_total_ms) in
+       ("total", mean, p50, p99));
+    ]
+
+let render segs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "critical path over %d completed requests (virtual ms)\n"
+       (List.length segs));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-9s %9s %9s %9s\n" "segment" "mean" "p50" "p99");
+  List.iter
+    (fun (name, mean, p50, p99) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-9s %9.2f %9.2f %9.2f\n" name mean p50 p99))
+    (summarize segs);
+  Buffer.contents buf

@@ -4,14 +4,23 @@ type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float }
 
 module Histogram = struct
+  (* Raw samples are kept exactly up to [h_cap] and reservoir-sampled
+     beyond it (Vitter's algorithm R with a private deterministic
+     generator), so a histogram's memory is bounded no matter how long
+     the run: percentiles are exact below the cap and uniformly sampled
+     estimates above it, while count/sum/mean/min/max and the fixed
+     buckets stay exact forever. *)
   type h = {
     h_active : bool;
+    h_cap : int; (* reservoir size: max raw samples retained *)
     h_bounds : float array; (* strictly increasing upper bounds *)
     h_counts : int array; (* per-bucket, one extra slot for +inf *)
     h_samples : float Vec.t;
+    mutable h_count : int; (* exact observation count *)
     mutable h_sum : float;
     mutable h_min : float;
     mutable h_max : float;
+    mutable h_rng : int64; (* splitmix64 state for the reservoir draws *)
     mutable h_sorted : float array option; (* cache, invalidated on observe *)
   }
 
@@ -21,22 +30,39 @@ module Histogram = struct
       500.0; 1000.0; 2000.0; 5000.0;
     |]
 
-  let create ?(buckets = default_buckets) ?(active = true) () =
+  let default_cap = 8192
+
+  let create ?(buckets = default_buckets) ?(cap = default_cap) ?(active = true)
+      () =
     Array.iteri
       (fun i b ->
         if i > 0 && b <= buckets.(i - 1) then
           invalid_arg "Histogram.create: buckets must be strictly increasing")
       buckets;
+    if cap < 1 then invalid_arg "Histogram.create: cap must be positive";
     {
       h_active = active;
+      h_cap = cap;
       h_bounds = buckets;
       h_counts = Array.make (Array.length buckets + 1) 0;
       h_samples = Vec.create ();
+      h_count = 0;
       h_sum = 0.0;
       h_min = 0.0;
       h_max = 0.0;
+      h_rng = 0x9e3779b97f4a7c15L;
       h_sorted = None;
     }
+
+  (* splitmix64 step; deterministic, private to the histogram so the
+     reservoir draws never perturb any other seeded randomness. *)
+  let next_rand h bound =
+    let z = Int64.add h.h_rng 0x9e3779b97f4a7c15L in
+    h.h_rng <- z;
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.unsigned_rem z (Int64.of_int bound))
 
   let bucket_index h v =
     (* First bound >= v, else the +inf slot. *)
@@ -52,8 +78,15 @@ module Histogram = struct
 
   let observe h v =
     if h.h_active then begin
-      let empty = Vec.is_empty h.h_samples in
-      Vec.push h.h_samples v;
+      let empty = h.h_count = 0 in
+      h.h_count <- h.h_count + 1;
+      if Vec.length h.h_samples < h.h_cap then Vec.push h.h_samples v
+      else begin
+        (* Algorithm R: the n-th sample replaces a reservoir slot with
+           probability cap/n, keeping the retained set uniform. *)
+        let j = next_rand h h.h_count in
+        if j < h.h_cap then Vec.set h.h_samples j v
+      end;
       h.h_counts.(bucket_index h v) <- h.h_counts.(bucket_index h v) + 1;
       h.h_sum <- h.h_sum +. v;
       if empty || v < h.h_min then h.h_min <- v;
@@ -61,7 +94,9 @@ module Histogram = struct
       h.h_sorted <- None
     end
 
-  let count h = Vec.length h.h_samples
+  let count h = h.h_count
+  let retained h = Vec.length h.h_samples
+  let cap h = h.h_cap
   let sum h = h.h_sum
   let mean h = if count h = 0 then 0.0 else h.h_sum /. float_of_int (count h)
   let min_value h = h.h_min
@@ -100,7 +135,11 @@ module Histogram = struct
         ((if i = n then infinity else h.h_bounds.(i)), !acc))
 end
 
-type phase = Span_begin | Span_end | Instant
+(* Flow_start / Flow_finish are Chrome flow events ("s"/"f"): an arrow
+   from the sender's timeline to the receiver's, correlated by (cat, id).
+   The network layer emits them per traced message so one request's
+   causal path links across replicas in Perfetto. *)
+type phase = Span_begin | Span_end | Instant | Flow_start | Flow_finish
 
 type event = {
   ev_ts : float;
@@ -175,11 +214,11 @@ let gauge_value g = g.g_value
 (* ------------------------------------------------------------------ *)
 (* Histograms / marks                                                  *)
 
-let histogram t ?buckets name =
+let histogram t ?buckets ?cap name =
   match Hashtbl.find_opt t.histograms name with
   | Some h -> h
   | None ->
-      let h = Histogram.create ?buckets ~active:t.metrics () in
+      let h = Histogram.create ?buckets ?cap ~active:t.metrics () in
       Hashtbl.replace t.histograms name h;
       h
 
@@ -212,6 +251,12 @@ let span_end t ~node ~cat ~name ~id ?(args = []) () =
 
 let instant t ~node ~cat ~name ?(id = "") ?(args = []) () =
   if t.tracing then emit t Instant ~node ~cat ~name ~id ~args
+
+let flow_start t ~node ~cat ~name ~id ?(args = []) () =
+  if t.tracing then emit t Flow_start ~node ~cat ~name ~id ~args
+
+let flow_finish t ~node ~cat ~name ~id ?(args = []) () =
+  if t.tracing then emit t Flow_finish ~node ~cat ~name ~id ~args
 
 let set_node_name t node name = Hashtbl.replace t.node_names node name
 let events t = Vec.to_list t.trace
@@ -310,8 +355,14 @@ let json_args args =
   ^ "}"
 
 (* Chrome trace_event phases: async begin/end ("b"/"e") correlate
-   overlapping spans by (cat, id); instants are "i". *)
-let chrome_ph = function Span_begin -> "b" | Span_end -> "e" | Instant -> "i"
+   overlapping spans by (cat, id); instants are "i"; flow start/finish
+   ("s"/"f") draw cross-process arrows, again correlated by (cat, id). *)
+let chrome_ph = function
+  | Span_begin -> "b"
+  | Span_end -> "e"
+  | Instant -> "i"
+  | Flow_start -> "s"
+  | Flow_finish -> "f"
 
 let chrome_event e =
   let base =
@@ -322,7 +373,14 @@ let chrome_event e =
       e.ev_node
   in
   let id = if e.ev_id = "" then "" else Printf.sprintf ",\"id\":\"%s\"" (json_escape e.ev_id) in
-  let scope = match e.ev_ph with Instant -> ",\"s\":\"p\"" | _ -> "" in
+  let scope =
+    match e.ev_ph with
+    | Instant -> ",\"s\":\"p\""
+    (* Bind the arrow head to the enclosing slice's end, the convention
+       Perfetto expects for terminating flow steps. *)
+    | Flow_finish -> ",\"bp\":\"e\""
+    | _ -> ""
+  in
   let args = if e.ev_args = [] then "" else ",\"args\":" ^ json_args e.ev_args in
   base ^ id ^ scope ^ args ^ "}"
 
@@ -351,6 +409,8 @@ let phase_name = function
   | Span_begin -> "begin"
   | Span_end -> "end"
   | Instant -> "instant"
+  | Flow_start -> "flow-start"
+  | Flow_finish -> "flow-finish"
 
 let write_trace_jsonl t oc =
   Vec.iter

@@ -76,14 +76,29 @@ module Histogram : sig
   val default_buckets : float array
   (** Log-spaced latency buckets in milliseconds, 0.05 .. 5000. *)
 
-  val create : ?buckets:float array -> ?active:bool -> unit -> h
+  val default_cap : int
+  (** Samples retained per histogram before reservoir sampling kicks in
+      (8192). Bucket counts, count, sum, min and max stay exact above the
+      cap; percentiles come from a uniform sample of the stream. *)
+
+  val create : ?buckets:float array -> ?cap:int -> ?active:bool -> unit -> h
   (** A standalone histogram (always active unless [~active:false]);
       registry histograms come from {!Obs.histogram} instead. [buckets]
       must be strictly increasing upper bounds; an implicit +inf bucket
-      catches the rest. *)
+      catches the rest. [cap] bounds retained raw samples (default
+      {!default_cap}); beyond it, reservoir sampling (Algorithm R with a
+      private deterministic generator) keeps a uniform sample, so
+      percentiles are approximate but memory is constant. *)
 
   val observe : h -> float -> unit
+
   val count : h -> int
+  (** Total observations, including ones no longer retained. *)
+
+  val retained : h -> int
+  (** Raw samples currently held ([min count cap]). *)
+
+  val cap : h -> int
   val sum : h -> float
   val mean : h -> float
   val min_value : h -> float
@@ -107,7 +122,7 @@ module Histogram : sig
       [(infinity, count)]. *)
 end
 
-val histogram : t -> ?buckets:float array -> string -> Histogram.h
+val histogram : t -> ?buckets:float array -> ?cap:int -> string -> Histogram.h
 (** Get or create the named histogram. On a registry without metrics the
     returned histogram is inactive: [observe] is a no-op and every reader
     returns zero. Re-requesting a name returns the same histogram;
@@ -127,7 +142,7 @@ val mark_lookup : t -> string -> float option
 
 (** {1 Trace events} *)
 
-type phase = Span_begin | Span_end | Instant
+type phase = Span_begin | Span_end | Instant | Flow_start | Flow_finish
 
 type event = {
   ev_ts : float;  (** virtual milliseconds *)
@@ -150,6 +165,19 @@ val span_end :
 val instant :
   t -> node:int -> cat:string -> name:string -> ?id:string ->
   ?args:(string * string) list -> unit -> unit
+
+val flow_start :
+  t -> node:int -> cat:string -> name:string -> id:string ->
+  ?args:(string * string) list -> unit -> unit
+(** Start (or continue) the cross-node causal flow [(cat, name, id)] at the
+    sending node. In the Chrome export this becomes a ["ph":"s"] flow
+    event; Perfetto draws an arrow to the matching {!flow_finish}. *)
+
+val flow_finish :
+  t -> node:int -> cat:string -> name:string -> id:string ->
+  ?args:(string * string) list -> unit -> unit
+(** Finish one hop of a flow at the receiving node (["ph":"f"] with
+    ["bp":"e"], binding to the enclosing slice). *)
 
 val set_node_name : t -> int -> string -> unit
 (** Label a node id for the Chrome export ("replica-0", "client-100"). *)

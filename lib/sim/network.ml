@@ -11,6 +11,15 @@ type 'msg t = {
      message stream at the network boundary, below the latency/drop model. *)
   intercepts : (int, dst:int -> 'msg -> (int * 'msg) list) Hashtbl.t;
   mutable drop_probability : float;
+  (* Causal-flow classifier, injected by the layer that knows the message
+     type (the sim layer cannot depend on the wire format): maps a message
+     to a (flow name, flow id) pair, or None for untraced traffic. When
+     set and tracing is on, every delivered message emits a Flow_start at
+     the sender and a matching Flow_finish at the receiver, so request
+     paths link across nodes in the Chrome trace. Dropped messages emit
+     neither; a delivery to an unregistered handler finishes the flow
+     with a cancelled marker — starts and finishes always pair up. *)
+  mutable flow_of : ('msg -> (string * string) option) option;
   mutable chunk_bytes : int; (* per-message payload budget for state sync *)
   mutable cuts : (int * int) list; (* unordered pairs with severed links *)
   mutable oneway_cuts : (int * int) list; (* directed (src, dst) cuts *)
@@ -35,6 +44,7 @@ let create ~sched ~latency ?drop_rng ?obs () =
     handlers = Hashtbl.create 16;
     intercepts = Hashtbl.create 4;
     drop_probability = 0.0;
+    flow_of = None;
     chunk_bytes = 64 * 1024;
     cuts = [];
     oneway_cuts = [];
@@ -46,6 +56,8 @@ let create ~sched ~latency ?drop_rng ?obs () =
     c_dropped_unregistered = Obs.counter obs "net.dropped.unregistered";
     c_dropped_intercepted = Obs.counter obs "net.dropped.intercepted";
   }
+
+let set_flow_classifier t f = t.flow_of <- Some f
 
 let register t id handler = Hashtbl.replace t.handlers id handler
 let unregister t id = Hashtbl.remove t.handlers id
@@ -95,15 +107,40 @@ let raw_send t ~src ~dst msg =
       Obs.incr t.c_dropped_prob;
       trace_drop t ~src ~dst "prob"
   | None ->
+      let flow =
+        if Obs.tracing_enabled t.obs then
+          match t.flow_of with Some classify -> classify msg | None -> None
+        else None
+      in
+      (match flow with
+      | Some (name, id) ->
+          Obs.flow_start t.obs ~node:src ~cat:"flow" ~name ~id
+            ~args:[ ("dst", string_of_int dst) ]
+            ()
+      | None -> ());
       let delay = Latency.sample t.latency ~src ~dst in
       ignore
         (Sched.schedule t.sched ~delay (fun () ->
              match Hashtbl.find_opt t.handlers dst with
              | None ->
                  Obs.incr t.c_dropped_unregistered;
-                 trace_drop t ~src ~dst "unregistered"
+                 trace_drop t ~src ~dst "unregistered";
+                 (match flow with
+                 | Some (name, id) ->
+                     Obs.flow_finish t.obs ~node:dst ~cat:"flow" ~name ~id
+                       ~args:[ ("cancelled", "true") ]
+                       ()
+                 | None -> ())
              | Some handler ->
                  Obs.incr t.c_delivered;
+                 (match flow with
+                 | Some (name, id) ->
+                     (* Arrival precedes the handler's effects in the
+                        trace, so the arrow lands before the work starts. *)
+                     Obs.flow_finish t.obs ~node:dst ~cat:"flow" ~name ~id
+                       ~args:[ ("src", string_of_int src) ]
+                       ()
+                 | None -> ());
                  handler ~src msg))
 
 let send t ~src ~dst msg =

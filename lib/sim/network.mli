@@ -23,6 +23,15 @@ val create :
     trace event (drops carry their cause). Without it the network keeps a
     private counting-only registry, so the accessors below always work. *)
 
+val set_flow_classifier : 'msg t -> ('msg -> (string * string) option) -> unit
+(** Install the causal-flow classifier: maps a message to its
+    [(flow name, flow id)], or [None] for untraced traffic. Injected by
+    the layer that knows the message type (the sim layer cannot depend on
+    the wire format). When set and tracing is enabled, each delivered
+    message emits a flow-start at the sender and a matching flow-finish at
+    the receiver (a delivery to an unregistered handler finishes with a
+    [cancelled] marker); dropped messages emit neither. *)
+
 val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** Attach a node's message handler. Re-registering replaces the handler. *)
 

@@ -73,6 +73,12 @@ let serialize t = Codec.encode (fun w -> encode w t)
 let deserialize s = Codec.decode s decode
 let hash t = D.of_string (serialize t)
 
+(* Causal trace id: content-derived (a hash prefix), so every hop that
+   holds the request — client, primary, backups — recovers the same id
+   without any wire-format change. Collisions would need two distinct
+   requests sharing 48 bits of SHA-256, which the trace tests bound. *)
+let trace_id t = String.sub (D.to_hex (hash t)) 0 12
+
 let pp ppf t =
   Format.fprintf ppf "request{%s;client_seq=%d;min_i=%d}" t.proc t.client_seqno
     t.min_index

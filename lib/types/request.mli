@@ -44,6 +44,12 @@ val verify : t -> service:Iaccf_crypto.Digest32.t -> bool
 val hash : t -> Iaccf_crypto.Digest32.t
 (** Request digest, the handle used in pre-prepare batch lists [B]. *)
 
+val trace_id : t -> string
+(** Causal trace id: the first 12 hex chars of {!hash}. Content-derived, so
+    every hop holding the request (client, primary, backups) recovers the
+    same id with no wire-format change; used to correlate the client's e2e
+    span, cross-replica flow events, and the receipt in a trace. *)
+
 val encode : Iaccf_util.Codec.W.t -> t -> unit
 val decode : Iaccf_util.Codec.R.t -> t
 val serialize : t -> string

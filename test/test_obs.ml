@@ -6,6 +6,14 @@
 
 open Iaccf_core
 module Obs = Iaccf_obs.Obs
+module Critical_path = Iaccf_obs.Critical_path
+module Json = Iaccf_util.Json
+module Request = Iaccf_types.Request
+module Schnorr = Iaccf_crypto.Schnorr
+module D = Iaccf_crypto.Digest32
+module Sched = Iaccf_sim.Sched
+module Network = Iaccf_sim.Network
+module Latency = Iaccf_sim.Latency
 
 let check = Alcotest.check
 
@@ -166,7 +174,7 @@ let check_span_parity events =
             QCheck.Test.fail_reportf "end without begin for %s/%s on node %d"
               e.Obs.ev_name e.Obs.ev_id e.Obs.ev_node;
           Hashtbl.remove open_spans k
-      | Obs.Instant -> ())
+      | Obs.Instant | Obs.Flow_start | Obs.Flow_finish -> ())
     events;
   Hashtbl.iter
     (fun (node, _, name, id) () ->
@@ -254,6 +262,29 @@ let check_request_spans events completed =
     QCheck.Test.fail_reportf "request spans %d/%d for %d completions"
       (count Obs.Span_begin) (count Obs.Span_end) completed
 
+(* Per (name, id): never more finishes than starts at any prefix of the
+   event stream; an unmatched trailing start can only come from a message
+   still in flight when the run's horizon cut off. *)
+let check_flow_prefix events =
+  let tbl = Hashtbl.create 64 in
+  let get k = Option.value (Hashtbl.find_opt tbl k) ~default:(0, 0) in
+  List.iter
+    (fun e ->
+      let k = (e.Obs.ev_name, e.Obs.ev_id) in
+      match e.Obs.ev_ph with
+      | Obs.Flow_start ->
+          let s, f = get k in
+          Hashtbl.replace tbl k (s + 1, f)
+      | Obs.Flow_finish ->
+          let s, f = get k in
+          if f + 1 > s then
+            QCheck.Test.fail_reportf "flow finish before start for %s/%s"
+              e.Obs.ev_name e.Obs.ev_id;
+          Hashtbl.replace tbl k (s, f + 1)
+      | _ -> ())
+    events;
+  if Hashtbl.length tbl = 0 then QCheck.Test.fail_report "no flow events at all"
+
 let prop_committed_spans_complete =
   QCheck.Test.make ~name:"committed batches trace full phase spans" ~count:4
     QCheck.(int_bound 500)
@@ -264,10 +295,191 @@ let prop_committed_spans_complete =
       check_span_parity events;
       check_committed_batches events;
       check_request_spans events 10;
+      check_flow_prefix events;
       (* The forced view change must be visible in the trace. *)
       List.exists
         (fun e -> e.Obs.ev_ph = Obs.Instant && e.Obs.ev_cat = "view")
         events)
+
+(* --------------------------------------------------------------- *)
+(* Reservoir sampling above the cap                                 *)
+
+let test_reservoir_exact_below_cap () =
+  let h = Obs.Histogram.create ~cap:100 () in
+  List.iter (Obs.Histogram.observe h) (List.init 100 (fun i -> float_of_int (i + 1)));
+  check Alcotest.int "count" 100 (Obs.Histogram.count h);
+  check Alcotest.int "everything retained" 100 (Obs.Histogram.retained h);
+  check (Alcotest.float 0.0) "p50 exact at the cap" 50.0
+    (Obs.Histogram.percentile h 0.50)
+
+let test_reservoir_percentile_error () =
+  let cap = 1024 and n = 50_000 in
+  let buckets = [| 250.0; 500.0; 750.0 |] in
+  let h = Obs.Histogram.create ~buckets ~cap () in
+  (* Fixed-seed stream: the sampled reservoir is deterministic, so the
+     asserted error bound is a property of this test, not a lottery. *)
+  let st = Random.State.make [| 2026 |] in
+  let samples = List.init n (fun _ -> Random.State.float st 1000.0) in
+  List.iter (Obs.Histogram.observe h) samples;
+  check Alcotest.int "count includes unretained samples" n (Obs.Histogram.count h);
+  check Alcotest.int "retained clamps at the cap" cap (Obs.Histogram.retained h);
+  (* Everything except the percentiles stays exact above the cap. *)
+  check (Alcotest.float 1e-3) "sum exact" (List.fold_left ( +. ) 0.0 samples)
+    (Obs.Histogram.sum h);
+  check (Alcotest.float 0.0) "min exact"
+    (List.fold_left Float.min Float.infinity samples)
+    (Obs.Histogram.min_value h);
+  check (Alcotest.float 0.0) "max exact"
+    (List.fold_left Float.max Float.neg_infinity samples)
+    (Obs.Histogram.max_value h);
+  Array.iter
+    (fun (ub, c) ->
+      let exact = List.length (List.filter (fun x -> x <= ub) samples) in
+      check Alcotest.int (Printf.sprintf "bucket le %.0f exact" ub) exact c)
+    (Obs.Histogram.buckets h);
+  (* Percentiles come from the uniform reservoir: rank error is
+     O(sqrt(p(1-p)/cap)), so 6% of the value range is > 3 sigma for every
+     percentile here. *)
+  List.iter
+    (fun p ->
+      let exact = Obs.Histogram.percentile_of_list p samples in
+      let est = Obs.Histogram.percentile h p in
+      if Float.abs (est -. exact) > 60.0 then
+        Alcotest.failf "p%.2f: reservoir %.1f vs exact %.1f (bound 60.0)" p est
+          exact)
+    [ 0.50; 0.90; 0.99 ]
+
+(* --------------------------------------------------------------- *)
+(* Cross-replica flow events                                        *)
+
+(* On a drained network with no timers, every start pairs with exactly one
+   finish — including deliveries to a node that unregistered in flight,
+   which finish cancelled. *)
+let test_flow_pairing_drained () =
+  let sched = Sched.create () in
+  let obs = Obs.create ~metrics:false ~tracing:true () in
+  Obs.set_clock obs (fun () -> Sched.now sched);
+  let network =
+    Network.create ~sched
+      ~latency:(Latency.dedicated_cluster (Iaccf_util.Rng.create 3))
+      ~obs ()
+  in
+  Network.set_flow_classifier network (fun msg -> Some ("flow.test", msg));
+  Network.register network 1 (fun ~src:_ _ -> ());
+  Network.register network 2 (fun ~src:_ _ -> ());
+  for i = 1 to 20 do
+    Network.send network ~src:0 ~dst:1 (string_of_int i)
+  done;
+  Network.send network ~src:0 ~dst:2 "in-flight";
+  Network.unregister network 2;
+  Sched.run sched;
+  let events = Obs.events obs in
+  let count ph =
+    List.length (List.filter (fun e -> e.Obs.ev_ph = ph) events)
+  in
+  check Alcotest.int "21 flow starts" 21 (count Obs.Flow_start);
+  check Alcotest.int "every start finishes" 21 (count Obs.Flow_finish);
+  check Alcotest.int "the unregistered delivery finished cancelled" 1
+    (List.length
+       (List.filter
+          (fun e -> e.Obs.ev_ph = Obs.Flow_finish && cancelled e)
+          events))
+
+(* --------------------------------------------------------------- *)
+(* Trace IDs                                                        *)
+
+let prop_trace_id_no_collision =
+  QCheck.Test.make ~name:"request trace ids do not collide" ~count:10
+    QCheck.small_nat (fun salt ->
+      let sk, pk = Schnorr.keypair_of_seed (Printf.sprintf "tid-%d" salt) in
+      let service = D.of_string (Printf.sprintf "svc-%d" salt) in
+      let ids =
+        List.init 200 (fun i ->
+            Request.trace_id
+              (Request.make ~sk ~client_pk:pk ~service ~client_seqno:i
+                 ~proc:"p" ~args:(string_of_int i) ()))
+      in
+      List.for_all (fun id -> String.length id = 12) ids
+      && List.length (List.sort_uniq compare ids) = 200)
+
+(* --------------------------------------------------------------- *)
+(* Chrome trace export schema                                       *)
+
+let test_chrome_trace_schema () =
+  let obs, ok = instrumented_run ~seed:5 ~tracing:true () in
+  check Alcotest.bool "workload completed" true ok;
+  let file = Filename.temp_file "iaccf-trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  Obs.write_trace_file obs file;
+  match Json.parse_file file with
+  | Error e -> Alcotest.failf "trace is not valid JSON: %s" e
+  | Ok j ->
+      let events =
+        match Json.member "traceEvents" j with
+        | Some (Json.Arr xs) -> xs
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      check Alcotest.bool "trace is non-trivial" true (List.length events > 100);
+      let str name o =
+        match Json.member name o with Some (Json.Str s) -> Some s | _ -> None
+      in
+      let num name o =
+        match Json.member name o with Some (Json.Num _) -> true | _ -> false
+      in
+      let seen_flow = ref false in
+      List.iter
+        (fun e ->
+          match str "ph" e with
+          | None -> Alcotest.fail "event without ph"
+          | Some "M" -> () (* metadata: process names *)
+          | Some ph ->
+              if not (num "ts" e && num "pid" e) then
+                Alcotest.failf "%s event missing ts/pid" ph;
+              (match ph with
+              | "b" | "e" | "n" | "s" | "f" ->
+                  if str "id" e = None then
+                    Alcotest.failf "%s event without id" ph
+              | _ -> ());
+              if ph = "f" then begin
+                seen_flow := true;
+                (* Perfetto only binds a flow arrow to the enclosing slice
+                   with the "bp":"e" binding point. *)
+                if str "bp" e <> Some "e" then
+                  Alcotest.fail "flow finish without bp:e"
+              end)
+        events;
+      check Alcotest.bool "export contains flow events" true !seen_flow
+
+(* --------------------------------------------------------------- *)
+(* Critical-path reconstruction                                     *)
+
+let test_critical_path_sanity () =
+  let obs, ok = instrumented_run ~seed:17 ~tracing:true () in
+  check Alcotest.bool "workload completed" true ok;
+  let segs = Critical_path.of_events (Obs.events obs) in
+  check Alcotest.int "one breakdown per completed request" 10
+    (List.length segs);
+  List.iter
+    (fun (s : Critical_path.segments) ->
+      if s.Critical_path.cp_seqno < 0 then
+        Alcotest.failf "request %s lost its batch anchor" s.Critical_path.cp_id;
+      let segsum =
+        s.Critical_path.cp_queue_ms +. s.Critical_path.cp_prepare_ms
+        +. s.Critical_path.cp_commit_ms +. s.Critical_path.cp_reply_ms
+      in
+      List.iter
+        (fun v -> if v < 0.0 then Alcotest.fail "negative segment")
+        [ s.Critical_path.cp_queue_ms; s.Critical_path.cp_prepare_ms;
+          s.Critical_path.cp_commit_ms; s.Critical_path.cp_reply_ms ];
+      if Float.abs (segsum -. s.Critical_path.cp_total_ms) > 1e-6 then
+        Alcotest.failf "segments sum %.6f but e2e total is %.6f" segsum
+          s.Critical_path.cp_total_ms)
+    segs;
+  (* The summary exposes exactly the four segments plus the total. *)
+  check
+    Alcotest.(list string)
+    "summary rows" [ "queue"; "prepare"; "commit"; "reply"; "total" ]
+    (List.map (fun (n, _, _, _) -> n) (Critical_path.summarize segs))
 
 let () =
   Alcotest.run "iaccf_obs"
@@ -286,5 +498,22 @@ let () =
             test_snapshot_deterministic;
           Alcotest.test_case "counter invariants" `Quick test_counter_invariants;
         ] );
-      ("tracing", [ qtest prop_committed_spans_complete ]);
+      ( "reservoir",
+        [
+          Alcotest.test_case "exact below cap" `Quick
+            test_reservoir_exact_below_cap;
+          Alcotest.test_case "bounded percentile error above cap" `Quick
+            test_reservoir_percentile_error;
+        ] );
+      ( "tracing",
+        [
+          qtest prop_committed_spans_complete;
+          qtest prop_trace_id_no_collision;
+          Alcotest.test_case "flow events pair on a drained network" `Quick
+            test_flow_pairing_drained;
+          Alcotest.test_case "chrome export schema" `Quick
+            test_chrome_trace_schema;
+          Alcotest.test_case "critical-path reconstruction" `Quick
+            test_critical_path_sanity;
+        ] );
     ]
