@@ -88,7 +88,8 @@ let preload_accounts cluster ~accounts ~initial_balance =
 let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
     ?(latency = Latency.dedicated_cluster) ?(accounts = 100) ?(total = 300)
     ?(concurrency = 64) ?(pipeline = 2) ?(checkpoint_interval = 50)
-    ?(max_batch = 100) ?(empty_requests = false) ?(seed = 42) ?obs () =
+    ?(max_batch = 100) ?(empty_requests = false) ?(seed = 42)
+    ?(verify_domains = 0) ?obs () =
   let params =
     {
       Replica.pipeline;
@@ -98,6 +99,7 @@ let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
       vc_timeout_ms = 100_000.0 (* no view changes during load runs *);
       variant;
       snapshot_interval = 0;
+      verify_domains;
     }
   in
   (* Metrics on (histograms, marks), tracing off: load runs want the

@@ -2,7 +2,7 @@
    paper's evaluation (see DESIGN.md's per-experiment index), plus a
    Bechamel micro-benchmark suite for the primitives.
 
-   Usage:  main.exe [table1|fig4|table2|fig5|fig6|fig7|table3|
+   Usage:  main.exe [table1|fig4|table2|fig5|fig6|fig7|table3|table3-pooled|
                      receipts|governance|audit|storage|micro|quick|all]        *)
 
 open Bechamel
@@ -127,6 +127,7 @@ let () =
   | "fig6" -> Experiments.fig6 ()
   | "fig7" -> Experiments.fig7 ()
   | "table3" -> Experiments.table3 ()
+  | "table3-pooled" -> Experiments.table3 ~verify_domains:4 ()
   | "receipts" -> Experiments.receipts_bench ()
   | "governance" -> Experiments.governance_bench ()
   | "audit" -> Experiments.audit_bench ()
@@ -136,6 +137,6 @@ let () =
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S; expected table1|fig4|table2|fig5|fig6|fig7|table3|receipts|governance|audit|storage|micro|quick|all\n"
+        "unknown experiment %S; expected table1|fig4|table2|fig5|fig6|fig7|table3|table3-pooled|receipts|governance|audit|storage|micro|quick|all\n"
         other;
       exit 2

@@ -144,11 +144,64 @@ let chaos_rows () =
     Report.row ~bench ~series ~metric:"virtual_ms" ~gate:Report.Exact vt_direct;
   ]
 
+(* --- crypto: the batched verify stage, counts only (wall clock lives in
+   @crypto-bench) -------------------------------------------------------- *)
+
+let crypto_rows () =
+  let module Crypto = Iaccf_crypto in
+  let n_keys = 4 and n_jobs = 24 in
+  let keys =
+    Array.init n_keys (fun i ->
+        Crypto.Schnorr.keypair_of_seed (Printf.sprintf "regress-%d" i))
+  in
+  let jobs =
+    List.init n_jobs (fun i ->
+        let sk, pk = keys.(i mod n_keys) in
+        let digest = Crypto.Sha256.digest (Printf.sprintf "regress-msg-%d" i) in
+        let signature =
+          if i mod 8 = 7 then String.make 64 '\x2a'
+          else Crypto.Schnorr.sign sk digest
+        in
+        { Crypto.Parverify.j_pk = pk; j_digest = digest; j_signature = signature })
+  in
+  let inline = List.map Crypto.Parverify.run_job jobs in
+  let pooled = Crypto.Parverify.verify_batch_results ~domains:4 jobs in
+  if inline <> pooled then fail "pooled verification diverged from inline";
+  (* Two waves through a pooled stage with a flush between: wave 2 repeats
+     wave 1's keys, so its hit/miss split is seed-deterministic. *)
+  let st = Crypto.Vstage.create ~domains:4 () in
+  let staged = ref [] in
+  let wave () =
+    List.iter
+      (fun j ->
+        Crypto.Vstage.submit st ~cls:"regress"
+          ~principal:Crypto.Profile.Client_key j.Crypto.Parverify.j_pk
+          j.Crypto.Parverify.j_digest ~signature:j.Crypto.Parverify.j_signature
+          (fun ok -> staged := ok :: !staged))
+      jobs;
+    Crypto.Vstage.flush st
+  in
+  wave ();
+  wave ();
+  if List.rev !staged <> inline @ inline then
+    fail "staged verification diverged from inline";
+  let bench = "regress_crypto" in
+  let series = Printf.sprintf "verify jobs=%d keys=%d" n_jobs n_keys in
+  let exact metric v =
+    Report.row ~bench ~series ~metric ~gate:Report.Exact (float_of_int v)
+  in
+  [
+    exact "jobs" n_jobs;
+    exact "valid" (List.length (List.filter Fun.id inline));
+    exact "cache_hits" (Crypto.Vstage.cache_hits st);
+    exact "cache_misses" (Crypto.Vstage.cache_misses st);
+  ]
+
 (* --- driver ----------------------------------------------------------- *)
 
 let files = (* (emitted file, what writes it) *)
   [ "BENCH_regress_smallbank.json"; "BENCH_regress_statesync.json";
-    "BENCH_regress_chaos.json" ]
+    "BENCH_regress_chaos.json"; "BENCH_regress_crypto.json" ]
 
 let emit ~dir =
   let path f = Filename.concat dir f in
@@ -160,7 +213,10 @@ let emit ~dir =
     ~bench:"regress_statesync" (statesync_rows ());
   Report.write_rows
     ~file:(path "BENCH_regress_chaos.json")
-    ~bench:"regress_chaos" (chaos_rows ())
+    ~bench:"regress_chaos" (chaos_rows ());
+  Report.write_rows
+    ~file:(path "BENCH_regress_crypto.json")
+    ~bench:"regress_crypto" (crypto_rows ())
 
 let load_rows file =
   match Report.load_file file with

@@ -129,10 +129,11 @@ let pick_responder cluster =
 (* --- live harness: cluster + paced workload + scripted faults --- *)
 
 let live ~name ~suite ?(n = 4) ?(requests = 8) ?(proc = "counter/add")
-    ?(timeout_ms = 600_000.0) ?(expect = Tolerated) steps =
+    ?(timeout_ms = 600_000.0) ?(expect = Tolerated)
+    ?(params = Replica.default_params) steps =
   let run ~seed ~scratch =
     let obs = Obs.create ~metrics:true ~tracing:false () in
-    let cluster = Cluster.make ~seed ~n ~obs () in
+    let cluster = Cluster.make ~seed ~n ~params ~obs () in
     let ctx = { cx_cluster = cluster; cx_seed = seed; cx_scratch = scratch } in
     let sched = Cluster.sched cluster in
     List.iter

@@ -93,6 +93,7 @@ val live :
   ?proc:string ->
   ?timeout_ms:float ->
   ?expect:expect ->
+  ?params:Replica.params ->
   step list ->
   t
 

@@ -18,6 +18,7 @@ type t = {
   app : App.t;
   pipeline : int;
   checkpoint_interval : int;
+  mutable verify_domains : int;
   mutable punished : string list;
   watches : (string, Iaccf_types.Config.t) Hashtbl.t; (* request hash -> config *)
   mutable violations : Iaccf_crypto.Digest32.t list;
@@ -29,10 +30,13 @@ let create ~genesis ~app ~pipeline ~checkpoint_interval =
     app;
     pipeline;
     checkpoint_interval;
+    verify_domains = 0;
     punished = [];
     watches = Hashtbl.create 8;
     violations = [];
   }
+
+let set_verify_domains t d = t.verify_domains <- d
 
 let punish t members =
   t.punished <- List.sort_uniq compare (members @ t.punished)
@@ -40,8 +44,12 @@ let punish t members =
 let punished_members t = t.punished
 
 let fresh_auditor t =
-  Audit.create ~genesis:t.genesis ~app:t.app ~pipeline:t.pipeline
-    ~checkpoint_interval:t.checkpoint_interval
+  let auditor =
+    Audit.create ~genesis:t.genesis ~app:t.app ~pipeline:t.pipeline
+      ~checkpoint_interval:t.checkpoint_interval
+  in
+  Audit.set_verify_domains auditor t.verify_domains;
+  auditor
 
 let newest_receipt receipts =
   List.fold_left

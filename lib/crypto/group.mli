@@ -27,9 +27,24 @@ val pow_g : Bignum.t -> Bignum.t
 (** [pow_g e] is [g^e mod p] using a precomputed fixed-base table
     (~2x faster than [pow g e]; used by signing). *)
 
+val make_table : Bignum.t -> Bignum.t array
+(** [make_table b] precomputes the fixed-base table [b^(2^i)] for
+    [i] in [0, 256) (255 squarings). With the table, [pow_table] costs one
+    multiplication per set exponent bit and no squarings — worth building
+    for any key that verifies more than two signatures. *)
+
+val pow_table : Bignum.t array -> Bignum.t -> Bignum.t
+(** [pow_table t e] is [b^e mod p] for the base [t] was built from.
+    [e] must be reduced mod {!n}. *)
+
 val dual_pow_g : Bignum.t -> base:Bignum.t -> Bignum.t -> Bignum.t
 (** [dual_pow_g a ~base b] is [g^a * base^b mod p] by simultaneous
-    (Shamir) exponentiation; used by verification. *)
+    (Shamir) exponentiation; used by verification of unknown keys. *)
+
+val multi_pow : (Bignum.t * Bignum.t) list -> Bignum.t
+(** [multi_pow [(b1, e1); ...]] is [prod bi^ei mod p] by Straus
+    shared-window (4-bit) multi-exponentiation: the squaring chain is paid
+    once for the whole product. Empty list yields [one]. *)
 
 val scalar_of_bytes : string -> Bignum.t
 (** Interpret bytes big-endian and reduce mod [n]. *)

@@ -2,6 +2,12 @@ type job = { j_pk : Schnorr.public_key; j_digest : string; j_signature : string 
 
 let run_job j = Schnorr.verify j.j_pk j.j_digest ~signature:j.j_signature
 
+(* A verification job must never propagate an exception into the pool: the
+   worker domains are process-global, so a raising job would otherwise take
+   its domain down permanently while [ensure_workers] keeps counting the
+   corpse — later batches would then wait on a queue nobody drains. A job
+   that raises simply fails to verify (see [run_thunk_safe] below). *)
+
 (* A small persistent worker pool: spawning a domain per batch costs more
    than a signature, so workers live for the process lifetime and pull
    closures from a shared queue. *)
@@ -29,10 +35,21 @@ module Pool = struct
       done;
       let task = Queue.pop t.queue in
       Mutex.unlock t.mutex;
-      task ();
+      (* Tasks are exception-safe by construction (see [run_thunk_safe] and
+         the closures in [run_thunks]), but the loop must survive even a
+         task that slips through: a dead worker is invisible to
+         [ensure_workers] and shrinks the pool forever. *)
+      (try task () with _ -> ());
       loop ()
     in
     loop ()
+
+  let worker_count () =
+    let t = the_pool in
+    Mutex.lock t.mutex;
+    let n = List.length t.workers in
+    Mutex.unlock t.mutex;
+    n
 
   let ensure_workers n =
     let t = the_pool in
@@ -52,23 +69,30 @@ module Pool = struct
     Mutex.unlock t.mutex
 end
 
+let worker_count () = Pool.worker_count ()
+
 let default_domains () = min 4 (max 1 (Domain.recommended_domain_count () - 1))
 
-let verify_batch_results ?domains jobs =
-  let domains = match domains with Some d -> d | None -> default_domains () in
-  let n = List.length jobs in
-  if domains <= 1 || n < 4 then List.map run_job jobs
+let run_thunk_safe f = try f () with _ -> false
+
+(* The batch engine is generic over boolean thunks so the stress tests can
+   push deliberately raising tasks through the exact production path. *)
+let run_thunks domains thunks =
+  let n = List.length thunks in
+  if domains <= 1 || n < 4 then List.map run_thunk_safe thunks
   else begin
     Pool.ensure_workers domains;
-    let arr = Array.of_list jobs in
+    let arr = Array.of_list thunks in
     let results = Array.make n false in
     let remaining = Atomic.make n in
     let done_mutex = Mutex.create () in
     let done_cv = Condition.create () in
     Array.iteri
-      (fun i j ->
+      (fun i f ->
         Pool.submit (fun () ->
-            results.(i) <- run_job j;
+            (* [run_thunk_safe] cannot raise, so [remaining] is decremented
+               on every path and the coordinator below can never hang. *)
+            results.(i) <- run_thunk_safe f;
             if Atomic.fetch_and_add remaining (-1) = 1 then begin
               Mutex.lock done_mutex;
               Condition.broadcast done_cv;
@@ -82,6 +106,14 @@ let verify_batch_results ?domains jobs =
     Mutex.unlock done_mutex;
     Array.to_list results
   end
+
+let run_tasks ?domains thunks =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  run_thunks domains thunks
+
+let verify_batch_results ?domains jobs =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  run_thunks domains (List.map (fun j () -> run_job j) jobs)
 
 let verify_batch ?domains jobs =
   List.for_all Fun.id (verify_batch_results ?domains jobs)

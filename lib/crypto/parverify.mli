@@ -11,10 +11,24 @@ type job = {
   j_signature : string;
 }
 
+val run_job : job -> bool
+(** Verify one job inline (no pool). May raise if the job's closure data
+    is malformed; pool paths use an exception-safe wrapper. *)
+
 val verify_batch : ?domains:int -> job list -> bool
 (** [true] iff every signature verifies. [domains] defaults to the
     recommended domain count (capped at 4); with 0 or 1, verification runs
     sequentially. *)
 
 val verify_batch_results : ?domains:int -> job list -> bool list
-(** Per-job results, in order. *)
+(** Per-job results, in order. A job that raises counts as failed
+    verification ([false]); worker domains survive raising jobs. *)
+
+val run_tasks : ?domains:int -> (unit -> bool) list -> bool list
+(** Run arbitrary boolean thunks through the same pool machinery as
+    {!verify_batch_results} (a raising thunk yields [false]). This is the
+    engine the job path compiles down to; exposed so stress tests can push
+    deliberately raising tasks through the exact production path. *)
+
+val worker_count : unit -> int
+(** Number of live pool worker domains (for tests/diagnostics). *)

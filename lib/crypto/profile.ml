@@ -73,6 +73,21 @@ let time t op ~cls principal f =
     result
   end
 
+(* Charge an already-measured cost to a cell. The pooled verify stage
+   measures one wall-clock interval around a whole batch (the jobs run
+   concurrently on worker domains, so per-job [time] wrappers would
+   double-count) and attributes the interval across the jobs' classes. *)
+let record t op ~cls principal ~wall_s ~virt_ms ~count =
+  if t.enabled then begin
+    let c = cell t (op, cls, principal) in
+    c.count <- c.count + count;
+    c.wall_s <- c.wall_s +. wall_s;
+    c.virt_ms <- c.virt_ms +. virt_ms
+  end
+
+let wall_now t = t.wall ()
+let virt_now t = t.virt ()
+
 type row = {
   r_op : op;
   r_cls : string;

@@ -1,5 +1,10 @@
 type secret_key = { x : Bignum.t; seed : string; pk_bytes : string }
-type public_key = { y : Bignum.t; y_bytes : string }
+
+(* [table] is the per-key fixed-base precomputation (y^(2^i)); built on
+   demand for keys that verify repeatedly (replica keys, chatty clients).
+   The array is immutable after build, so concurrent readers are safe; a
+   racing rebuild just wastes 255 squarings. *)
+type public_key = { y : Bignum.t; y_bytes : string; mutable table : Bignum.t array option }
 
 let signature_size = 64
 let pp_public_key ppf pk = Format.pp_print_string ppf (Iaccf_util.Hex.encode pk.y_bytes)
@@ -9,7 +14,7 @@ let nonzero_scalar v = if Bignum.is_zero v then Bignum.one else v
 
 let make_public x =
   let y = Group.pow_g x in
-  { y; y_bytes = Group.element_to_bytes y }
+  { y; y_bytes = Group.element_to_bytes y; table = None }
 
 let keypair_of_seed seed =
   let x = nonzero_scalar (Group.scalar_of_bytes (Sha256.digest ("iaccf-sk" ^ seed))) in
@@ -23,7 +28,14 @@ let public_key_to_bytes pk = pk.y_bytes
 let public_key_of_bytes s =
   match Group.element_of_bytes s with
   | None -> None
-  | Some y -> Some { y; y_bytes = Group.element_to_bytes y }
+  | Some y -> Some { y; y_bytes = Group.element_to_bytes y; table = None }
+
+let precompute pk =
+  match pk.table with
+  | Some _ -> ()
+  | None -> pk.table <- Some (Group.make_table pk.y)
+
+let has_table pk = pk.table <> None
 
 let challenge r_bytes pk_bytes digest =
   Group.scalar_of_bytes (Sha256.digest_concat [ r_bytes; pk_bytes; digest ])
@@ -47,7 +59,14 @@ let verify pk digest ~signature =
   Bignum.compare e Group.n < 0
   && Bignum.compare s Group.n < 0
   &&
-  (* R' = g^s * y^(n-e); y^n = 1, so this inverts y^e without divisions. *)
-  let r' = Group.dual_pow_g s ~base:pk.y (Bignum.sub Group.n e) in
+  (* R' = g^s * y^(n-e); y^n = 1, so this inverts y^e without divisions.
+     Known keys use two fixed-base tables (no squarings at all); unknown
+     keys share one Straus window chain across both bases. *)
+  let ne = Bignum.sub Group.n e in
+  let r' =
+    match pk.table with
+    | Some table -> Group.mul (Group.pow_g s) (Group.pow_table table ne)
+    | None -> Group.multi_pow [ (Group.g, s); (pk.y, ne) ]
+  in
   let e' = challenge (Group.element_to_bytes r') pk.y_bytes digest in
   Bignum.equal e e'

@@ -28,14 +28,25 @@ let run ~label ~scenarios ~seeds =
 
 (* The smoke matrix must also be *deterministic*: the same cell run twice
    must produce byte-identical metrics snapshots (the failure-reproducer
-   contract depends on it). *)
+   contract depends on it). The pooled-verify cell is checked too: domain
+   scheduling varies between runs, so this is the assertion that the
+   verify pool's submission-order callbacks keep simulation state — and
+   every deterministic metric — byte-identical under a fixed seed. *)
 let determinism_check () =
-  let sc = List.hd Scenarios.smoke in
-  let a = Runner.run_one sc ~seed:1 and b = Runner.run_one sc ~seed:1 in
-  if a.Runner.r_metrics <> b.Runner.r_metrics then begin
-    prerr_endline "chaos: same seed produced different metrics snapshots";
-    exit 1
-  end
+  let cells =
+    List.hd Scenarios.smoke
+    :: (match Scenarios.find "pooled-verify" with Some sc -> [ sc ] | None -> [])
+  in
+  List.iter
+    (fun sc ->
+      let a = Runner.run_one sc ~seed:1 and b = Runner.run_one sc ~seed:1 in
+      if a.Runner.r_metrics <> b.Runner.r_metrics then begin
+        Printf.eprintf
+          "chaos: same seed produced different metrics snapshots (%s)\n"
+          sc.Scenario.sc_name;
+        exit 1
+      end)
+    cells
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "smoke" with

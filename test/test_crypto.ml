@@ -229,6 +229,27 @@ let prop_group_pow_homomorphism =
       let rhs = Group.pow Group.g (bn (a + b)) in
       Bignum.equal lhs rhs)
 
+let test_group_table_pow () =
+  let base = bn 987654321 in
+  let table = Group.make_table base in
+  List.iter
+    (fun e ->
+      check bn_testable (Printf.sprintf "base^%d" e) (Group.pow base (bn e))
+        (Group.pow_table table (bn e)))
+    [ 0; 1; 2; 255; 1 lsl 30 ];
+  (* A full-width exponent exercises every table entry the value touches. *)
+  let e = Bignum.sub Group.n Bignum.one in
+  check bn_testable "base^(n-1)" (Group.pow base e) (Group.pow_table table e);
+  check bn_testable "g_table consistent" (Group.pow Group.g e) (Group.pow_g e)
+
+let prop_group_multi_pow =
+  QCheck.Test.make ~name:"multi_pow = product of pows" ~count:15
+    QCheck.(triple (int_bound 1_000_000) (int_bound 1_000_000) (int_bound 100000))
+    (fun (a, b, c) ->
+      let y = Group.pow_g (bn c) in
+      let expect = Group.mul (Group.pow Group.g (bn a)) (Group.pow y (bn b)) in
+      Bignum.equal expect (Group.multi_pow [ (Group.g, bn a); (y, bn b) ]))
+
 (* --- Schnorr --- *)
 
 let test_schnorr_sign_verify () =
@@ -291,6 +312,25 @@ let prop_schnorr_cross_rejects =
       let _, pk2 = Schnorr.keypair_of_seed s2 in
       let digest = Sha256.digest "msg" in
       not (Schnorr.verify pk2 digest ~signature:(Schnorr.sign sk digest)))
+
+let test_schnorr_precompute_matches () =
+  let sk, pk = Schnorr.keypair_of_seed "tabled" in
+  let digest = Sha256.digest "message" in
+  let signature = Schnorr.sign sk digest in
+  let tampered =
+    String.mapi (fun i c -> if i = 40 then Char.chr (Char.code c lxor 4) else c) signature
+  in
+  check Alcotest.bool "no table yet" false (Schnorr.has_table pk);
+  let untabled_ok = Schnorr.verify pk digest ~signature in
+  let untabled_bad = Schnorr.verify pk digest ~signature:tampered in
+  Schnorr.precompute pk;
+  check Alcotest.bool "table built" true (Schnorr.has_table pk);
+  Schnorr.precompute pk (* idempotent *);
+  check Alcotest.bool "tabled accepts" untabled_ok (Schnorr.verify pk digest ~signature);
+  check Alcotest.bool "tabled rejects" untabled_bad
+    (Schnorr.verify pk digest ~signature:tampered);
+  check Alcotest.bool "accepts" true untabled_ok;
+  check Alcotest.bool "rejects" false untabled_bad
 
 (* --- Digest32 / Nonce --- *)
 
@@ -358,6 +398,156 @@ let test_parverify_matches_sequential =
          Parverify.verify_batch_results ~domains:1 jobs
          = Parverify.verify_batch_results ~domains:4 jobs))
 
+(* Worker domains must survive raising tasks (they are process-global, so
+   one dead domain would shrink the pool for the rest of the run), a
+   raising task must read as failed verification, and batches after a
+   raising batch must still complete — the coordinator cannot hang on a
+   [remaining] count a dead path never decremented. *)
+let test_pool_survives_raising_tasks () =
+  ignore (Parverify.verify_batch ~domains:4 (par_jobs 4));
+  let workers_before = Parverify.worker_count () in
+  let jobs = par_jobs 6 in
+  for round = 0 to 4 do
+    let tasks =
+      List.mapi
+        (fun i j ->
+          match (round + i) mod 3 with
+          | 0 -> fun () -> Parverify.run_job j (* valid *)
+          | 1 ->
+              fun () ->
+                Parverify.run_job
+                  { j with Parverify.j_signature = String.make 64 'x' }
+              (* invalid *)
+          | _ -> fun () -> failwith "boom" (* raising *))
+        jobs
+    in
+    let results = Parverify.run_tasks ~domains:4 tasks in
+    List.iteri
+      (fun i ok ->
+        check Alcotest.bool
+          (Printf.sprintf "round %d task %d" round i)
+          ((round + i) mod 3 = 0)
+          ok)
+      results
+  done;
+  check Alcotest.int "no worker died" workers_before (Parverify.worker_count ());
+  check Alcotest.bool "pool still serves verify batches" true
+    (Parverify.verify_batch ~domains:4 (par_jobs 8))
+
+(* --- Vstage: the batched, pool-backed verify stage --- *)
+
+let flip_bit s bit =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    let i = bit / 8 mod n and b = bit mod 8 in
+    String.mapi
+      (fun j c -> if j = i then Char.chr (Char.code c lxor (1 lsl b)) else c)
+      s
+
+(* The stage must agree with inline Schnorr.verify in both modes — on
+   valid signatures and on inputs with a random bit flipped in the public
+   key, the digest, or the signature — with callbacks in submission order. *)
+let prop_vstage_matches_inline_under_flips =
+  QCheck.Test.make ~name:"pooled/batched = inline under bit flips" ~count:15
+    QCheck.(
+      list_of_size (Gen.int_range 4 12) (triple (int_bound 5) (int_bound 3) (int_bound 511)))
+    (fun cases ->
+      let jobs =
+        List.map
+          (fun (kseed, target, bit) ->
+            let sk, pk = Schnorr.keypair_of_seed (Printf.sprintf "flip-%d" kseed) in
+            let digest = Sha256.digest (Printf.sprintf "m-%d" kseed) in
+            let signature = Schnorr.sign sk digest in
+            let pk, digest, signature =
+              match target with
+              | 0 -> (pk, digest, signature)
+              | 1 -> (
+                  (* A flipped key encoding may no longer be a group
+                     element; fall back to flipping the digest so the case
+                     still exercises a corrupted input. *)
+                  match
+                    Schnorr.public_key_of_bytes
+                      (flip_bit (Schnorr.public_key_to_bytes pk) bit)
+                  with
+                  | Some pk' -> (pk', digest, signature)
+                  | None -> (pk, flip_bit digest bit, signature))
+              | 2 -> (pk, flip_bit digest bit, signature)
+              | _ -> (pk, digest, flip_bit signature bit)
+            in
+            { Parverify.j_pk = pk; j_digest = digest; j_signature = signature })
+          cases
+      in
+      let inline = List.map Parverify.run_job jobs in
+      let batched = Parverify.verify_batch_results ~domains:4 jobs in
+      let staged domains =
+        let st = Vstage.create ~domains () in
+        let out = ref [] in
+        List.iter
+          (fun j ->
+            Vstage.submit st ~cls:"flip" ~principal:Profile.Client_key
+              j.Parverify.j_pk j.Parverify.j_digest
+              ~signature:j.Parverify.j_signature (fun ok -> out := ok :: !out))
+          jobs;
+        Vstage.flush st;
+        List.rev !out
+      in
+      inline = batched && inline = staged 0 && inline = staged 4)
+
+let test_vstage_callback_order_and_cache () =
+  let sk, pk = Schnorr.keypair_of_seed "vstage" in
+  let items =
+    List.init 20 (fun i ->
+        let digest = Sha256.digest (string_of_int (i mod 6)) in
+        let signature =
+          if i mod 5 = 0 then String.make 64 '\x01' else Schnorr.sign sk digest
+        in
+        (digest, signature))
+  in
+  (* Two waves with a flush between, like the replica's flush-per-message
+     cadence: wave 2 repeats wave 1's (pk, digest, signature) keys, so its
+     submissions must hit the result cache in both modes. *)
+  let run domains =
+    let st = Vstage.create ~domains () in
+    let out = ref [] in
+    List.iteri
+      (fun i (digest, signature) ->
+        Vstage.submit st ~cls:"test" ~principal:Profile.Client_key pk digest
+          ~signature (fun ok -> out := (i, ok) :: !out);
+        if i = 9 then Vstage.flush st)
+      items;
+    Vstage.flush st;
+    (List.rev !out, Vstage.cache_hits st)
+  in
+  let inline, hits_inline = run 0 in
+  let pooled, hits_pooled = run 4 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.bool))
+    "pooled callbacks match inline, in submission order" inline pooled;
+  check Alcotest.bool "repeats hit the result cache" true
+    (hits_inline > 0 && hits_pooled > 0)
+
+let test_vstage_prefetch_and_register () =
+  let st = Vstage.create ~domains:4 () in
+  let sk, pk = Schnorr.keypair_of_seed "prefetch" in
+  let pk = Vstage.register st pk in
+  check Alcotest.bool "registered key has its table" true (Schnorr.has_table pk);
+  let items =
+    List.init 8 (fun i ->
+        let digest = Sha256.digest (Printf.sprintf "p-%d" i) in
+        (pk, digest, Schnorr.sign sk digest))
+  in
+  Vstage.prefetch st ~cls:"test" ~principal:Profile.Client_key items;
+  let misses_after_prefetch = Vstage.cache_misses st in
+  List.iter
+    (fun (pk, digest, signature) ->
+      check Alcotest.bool "prefetched verification" true
+        (Vstage.verify_now st ~cls:"test" ~principal:Profile.Client_key pk digest
+           ~signature))
+    items;
+  check Alcotest.int "bulk loop was all cache hits" misses_after_prefetch
+    (Vstage.cache_misses st)
+
 let () =
   Alcotest.run "iaccf_crypto"
     [
@@ -397,7 +587,9 @@ let () =
           Alcotest.test_case "pow" `Quick test_group_pow_matches_mod_pow;
           Alcotest.test_case "fermat" `Quick test_group_fermat;
           Alcotest.test_case "element bytes" `Quick test_group_element_bytes;
+          Alcotest.test_case "fixed-base table" `Quick test_group_table_pow;
           qtest prop_group_pow_homomorphism;
+          qtest prop_group_multi_pow;
         ] );
       ( "schnorr",
         [
@@ -409,12 +601,24 @@ let () =
           Alcotest.test_case "pk bytes" `Quick test_schnorr_pk_bytes_roundtrip;
           qtest prop_schnorr_roundtrip;
           qtest prop_schnorr_cross_rejects;
+          Alcotest.test_case "precompute matches" `Quick
+            test_schnorr_precompute_matches;
         ] );
       ( "parverify",
         [
           Alcotest.test_case "accepts" `Quick test_parverify_accepts;
           Alcotest.test_case "rejects bad job" `Quick test_parverify_rejects_bad_job;
           test_parverify_matches_sequential;
+          Alcotest.test_case "pool survives raising tasks" `Quick
+            test_pool_survives_raising_tasks;
+        ] );
+      ( "vstage",
+        [
+          qtest prop_vstage_matches_inline_under_flips;
+          Alcotest.test_case "callback order + cache" `Quick
+            test_vstage_callback_order_and_cache;
+          Alcotest.test_case "prefetch + register" `Quick
+            test_vstage_prefetch_and_register;
         ] );
       ( "digest/nonce",
         [
