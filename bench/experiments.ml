@@ -105,6 +105,19 @@ let fig4 ?(total = 240) () =
            ~total:(total / 4) ~concurrency ());
       keep (run_fabric ~label:(lbl "Fabric (CFT)") ~total ~concurrency ()))
     [ 16; 64; 192 ];
+  (* Open-loop re-measure: the closed loop above adapts its offered load
+     to the service, so it can never show the saturation knee. These
+     series push fixed Poisson rates through the shared generator against
+     a capacity-limited configuration (~130 tx/s) — below, at, and past
+     the knee — with admission control shedding the overload. *)
+  Printf.printf "-- open-loop: fixed offered rates, capacity ~130 tx/s --\n";
+  List.iter
+    (fun rate ->
+      keep
+        (run_iaccf_open
+           ~label:(Printf.sprintf "IA-CCF-open r=%.0f/s" rate)
+           ~rate ()))
+    [ 50.0; 150.0; 300.0 ];
   write_bench_json ~file:"BENCH_fig4.json" ~bench:"fig4"
     ~meta:[ ("total", string_of_int total) ]
     (List.rev !acc)
@@ -414,22 +427,20 @@ let audit_bench () =
       in
       let pending = ref ops in
       let total = List.length ops in
-      let completed = ref 0 in
-      let rec submit_one () =
-        match !pending with
-        | [] -> ()
-        | op :: rest ->
-            pending := rest;
-            Client.submit client ~proc:op.Smallbank.op_proc ~args:op.Smallbank.op_args
-              ~on_complete:(fun _ ->
-                incr completed;
-                submit_one ())
-              ()
-      in
       let t0 = Unix.gettimeofday () in
-      for _ = 1 to 32 do
-        submit_one ()
-      done;
+      let _, completed =
+        Pump.closed_loop ~total ~concurrency:32
+          ~submit:(fun ~seq:_ ~on_complete ->
+            match !pending with
+            | [] -> ()
+            | op :: rest ->
+                pending := rest;
+                Client.submit client ~proc:op.Smallbank.op_proc
+                  ~args:op.Smallbank.op_args
+                  ~on_complete:(fun _ -> on_complete ())
+                  ())
+          ()
+      in
       ignore (Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () -> !completed >= total));
       let exec_time = Unix.gettimeofday () -. t0 in
       let ledger = Replica.ledger (Cluster.replica cluster 0) in

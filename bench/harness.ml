@@ -10,6 +10,7 @@ module Sched = Iaccf_sim.Sched
 module Network = Iaccf_sim.Network
 module Rng = Iaccf_util.Rng
 module Obs = Iaccf_obs.Obs
+module Pump = Iaccf_load.Pump
 
 type run_result = {
   rr_label : string;
@@ -100,6 +101,7 @@ let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
       variant;
       snapshot_interval = 0;
       verify_domains;
+      admission_queue = 0;
     }
   in
   (* Metrics on (histograms, marks), tracing off: load runs want the
@@ -134,40 +136,37 @@ let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
   let ok =
     if variant.Variant.gen_receipts then begin
       (* Closed loop on receipt completions. *)
-      let rec submit_one () =
-        if !submitted < total then begin
-          incr submitted;
-          let proc, args = next_op () in
-          Client.submit client ~proc ~args
-            ~on_complete:(fun _ ->
-              incr completed;
-              submit_one ())
-            ()
-        end
+      let _, pumped =
+        Pump.closed_loop ~total ~concurrency
+          ~submit:(fun ~seq:_ ~on_complete ->
+            let proc, args = next_op () in
+            Client.submit client ~proc ~args
+              ~on_complete:(fun _ -> on_complete ())
+              ())
+          ()
       in
-      for _ = 1 to concurrency do
-        submit_one ()
-      done;
-      Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () -> !completed >= total)
+      let ok =
+        Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
+            !pumped >= total)
+      in
+      completed := !pumped;
+      ok
     end
     else begin
       (* No receipts are produced: drive in waves and complete on the
          replicas' commit counters (throughput-only variants). *)
-      let ok = ref true in
-      while !ok && !submitted < total do
-        let wave = min concurrency (total - !submitted) in
-        for _ = 1 to wave do
-          incr submitted;
-          let proc, args = next_op () in
-          Client.submit client ~proc ~args ()
-        done;
-        let target = !submitted in
-        ok :=
-          Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
-              committed_txs () >= target)
-      done;
+      let ok, pumped =
+        Pump.waves ~total ~concurrency
+          ~submit:(fun ~seq:_ ->
+            let proc, args = next_op () in
+            Client.submit client ~proc ~args ())
+          ~await:(fun ~target ->
+            Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
+                committed_txs () >= target))
+      in
+      submitted := pumped;
       completed := committed_txs ();
-      !ok
+      ok
     end
   in
   let wall = Unix.gettimeofday () -. wall_start in
@@ -182,6 +181,59 @@ let run_iaccf ?(label = "IA-CCF") ?(n = 4) ?(variant = Variant.full)
   summarize ~label ~txs:!completed ~wall ~latencies:(Client.latencies_ms client)
     ~sigs_made ~sigs_verified ~phases:(phase_breakdown obs) ()
 
+(* Open-loop driver: arrivals come from a rate process on the virtual
+   clock regardless of completions, through the shared load generator
+   ({!Iaccf_load.Gen}), over a deliberately capacity-limited service
+   (small batches, one in flight, real link latency) with admission
+   control on — the configuration whose saturation knee the fig4
+   open-loop series and bench/load.exe sweep. *)
+let run_iaccf_open ?(label = "IA-CCF-open") ?(n = 4) ?(accounts = 100)
+    ?(duration_ms = 1_000.0) ?(sessions = 2048) ?(seed = 42)
+    ?(admission_queue = 64) ?(verify_domains = 0) ~rate () =
+  let params =
+    {
+      Replica.pipeline = 1;
+      checkpoint_interval = 50;
+      max_batch = 2;
+      batch_delay_ms = 4.0;
+      vc_timeout_ms = 100_000.0;
+      variant = Variant.full;
+      snapshot_interval = 0;
+      verify_domains;
+      admission_queue;
+    }
+  in
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let cluster =
+    Cluster.make ~seed ~n ~params
+      ~latency:(fun _ -> Latency.constant 5.0)
+      ~app:(Smallbank.app ()) ~obs ()
+  in
+  if accounts > 0 then preload_accounts cluster ~accounts ~initial_balance:10_000;
+  let gen =
+    Iaccf_load.Gen.create ~cluster ~sessions ~seed
+      ~mix:(Iaccf_load.Mix.smallbank ~rng:(Rng.create (seed + 1)) ~accounts ())
+      ~arrival:(Iaccf_load.Arrival.Poisson rate) ()
+  in
+  let wall_start = Unix.gettimeofday () in
+  Iaccf_load.Gen.start gen ~duration_ms;
+  let drained = Iaccf_load.Gen.drain gen ~timeout_ms:600_000.0 () in
+  let wall = Unix.gettimeofday () -. wall_start in
+  let s = Iaccf_load.Gen.stats gen in
+  if not drained then
+    Printf.eprintf "warning: %s left %d outstanding\n%!" label
+      s.Iaccf_load.Gen.ls_outstanding;
+  let sigs_made, sigs_verified =
+    List.fold_left
+      (fun (sm, sv) r ->
+        let st = Replica.stats r in
+        (sm + st.Replica.signatures_made, sv + st.Replica.signatures_verified))
+      (0, 0) (Cluster.replicas cluster)
+  in
+  summarize ~label ~txs:s.Iaccf_load.Gen.ls_committed ~wall
+    ~latencies:s.Iaccf_load.Gen.ls_latencies_ms ~sigs_made ~sigs_verified
+    ~phases:(phase_breakdown obs) ()
+
 let run_hotstuff ?(label = "HotStuff") ?(n = 4)
     ?(latency = Latency.dedicated_cluster) ?(total = 300) ?(concurrency = 64)
     ?(seed = 43) () =
@@ -190,22 +242,15 @@ let run_hotstuff ?(label = "HotStuff") ?(n = 4)
   let network = Network.create ~sched ~latency:(latency (Rng.split rng)) () in
   let cluster = Iaccf_baselines.Hotstuff.spawn ~n ~sched ~network ~seed () in
   let client = Iaccf_baselines.Hotstuff.client cluster ~address:100 ~sched ~network in
-  let completed = ref 0 in
-  let submitted = ref 0 in
-  let rec submit_one () =
-    if !submitted < total then begin
-      incr submitted;
-      Iaccf_baselines.Hotstuff.submit client
-        ~payload:(Printf.sprintf "cmd-%d" !submitted)
-        ~on_complete:(fun ~latency_ms:_ ->
-          incr completed;
-          submit_one ())
-    end
-  in
   let wall_start = Unix.gettimeofday () in
-  for _ = 1 to concurrency do
-    submit_one ()
-  done;
+  let _, completed =
+    Pump.closed_loop ~total ~concurrency
+      ~submit:(fun ~seq ~on_complete ->
+        Iaccf_baselines.Hotstuff.submit client
+          ~payload:(Printf.sprintf "cmd-%d" seq)
+          ~on_complete:(fun ~latency_ms:_ -> on_complete ()))
+      ()
+  in
   let deadline = Sched.now sched +. 10_000_000.0 in
   let rec drive () =
     if !completed < total && Sched.now sched < deadline && Sched.step sched then drive ()
@@ -227,22 +272,15 @@ let run_fabric ?(label = "Fabric") ?(peers = 4)
     Iaccf_baselines.Fabric.spawn ~peers ~endorsement_policy:2 ~sched ~network ~seed ()
   in
   let client = Iaccf_baselines.Fabric.client cluster ~address:100 ~sched ~network in
-  let completed = ref 0 in
-  let submitted = ref 0 in
-  let rec submit_one () =
-    if !submitted < total then begin
-      incr submitted;
-      Iaccf_baselines.Fabric.submit client
-        ~payload:(Printf.sprintf "tx-%d" !submitted)
-        ~on_complete:(fun ~latency_ms:_ ->
-          incr completed;
-          submit_one ())
-    end
-  in
   let wall_start = Unix.gettimeofday () in
-  for _ = 1 to concurrency do
-    submit_one ()
-  done;
+  let _, completed =
+    Pump.closed_loop ~total ~concurrency
+      ~submit:(fun ~seq ~on_complete ->
+        Iaccf_baselines.Fabric.submit client
+          ~payload:(Printf.sprintf "tx-%d" seq)
+          ~on_complete:(fun ~latency_ms:_ -> on_complete ()))
+      ()
+  in
   let deadline = Sched.now sched +. 10_000_000.0 in
   let rec drive () =
     if !completed < total && Sched.now sched < deadline && Sched.step sched then drive ()

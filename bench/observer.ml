@@ -13,6 +13,7 @@ module Observer = Iaccf_observer.Observer
 module Reader = Iaccf_observer.Reader
 module Sched = Iaccf_sim.Sched
 module Obs = Iaccf_obs.Obs
+module Pump = Iaccf_load.Pump
 
 let params = { Replica.default_params with max_batch = 4 }
 let reads_per_observer = 300
@@ -63,21 +64,16 @@ let spawn_observers cluster ~count =
 let drive_reads cluster reader ~observer ~total ~concurrency ~latencies
     ~verified ~done_count =
   let sched = Cluster.sched cluster in
-  let submitted = ref 0 in
-  let rec submit_one () =
-    if !submitted < total then begin
-      incr submitted;
-      let t0 = Sched.now sched in
-      Reader.read reader ~observer ~key:"counter" (fun r ->
-          latencies := (Sched.now sched -. t0) :: !latencies;
-          if r.Reader.rd_verified then incr verified;
-          incr done_count;
-          submit_one ())
-    end
-  in
-  for _ = 1 to concurrency do
-    submit_one ()
-  done
+  ignore
+    (Pump.closed_loop ~total ~concurrency
+       ~submit:(fun ~seq:_ ~on_complete ->
+         let t0 = Sched.now sched in
+         Reader.read reader ~observer ~key:"counter" (fun r ->
+             latencies := (Sched.now sched -. t0) :: !latencies;
+             if r.Reader.rd_verified then incr verified;
+             incr done_count;
+             on_complete ()))
+       ())
 
 let read_throughput_run cluster ~observers =
   let sched = Cluster.sched cluster in

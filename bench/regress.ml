@@ -8,7 +8,11 @@
      the full, no-receipt and signed-commit-ablation variants;
    - statesync: one chunked catch-up of a joining replica (the
      @statesync-bench path at its smallest size);
-   - chaos: the identity-intercept equivalence run from @chaos-overhead.
+   - chaos: the identity-intercept equivalence run from @chaos-overhead;
+   - crypto: the batched verify stage's count invariants;
+   - load: an open-loop on/off burst through the shared generator with
+     admission control shedding at the primary (the @load-bench path at
+     its smallest size).
 
    Each writes its BENCH_regress_*.json, which is schema-checked and then
    compared against the baseline with the report layer's gate semantics
@@ -59,21 +63,14 @@ let statesync_rows () =
   let obs = Obs.create ~metrics:true ~tracing:false () in
   let cluster = Cluster.make ~seed:7 ~n:4 ~params ~obs () in
   let client = Cluster.add_client cluster () in
-  let completed = ref 0 in
-  let submitted = ref 0 in
-  let rec submit_one () =
-    if !submitted < txs then begin
-      incr submitted;
-      Client.submit client ~proc:"counter/add" ~args:(string_of_int !submitted)
-        ~on_complete:(fun _ ->
-          incr completed;
-          submit_one ())
-        ()
-    end
+  let _, completed =
+    Pump.closed_loop ~total:txs ~concurrency:16
+      ~submit:(fun ~seq ~on_complete ->
+        Client.submit client ~proc:"counter/add" ~args:(string_of_int seq)
+          ~on_complete:(fun _ -> on_complete ())
+          ())
+      ()
   in
-  for _ = 1 to 16 do
-    submit_one ()
-  done;
   if
     not
       (Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () ->
@@ -197,11 +194,74 @@ let crypto_rows () =
     exact "cache_misses" (Crypto.Vstage.cache_misses st);
   ]
 
+(* --- load: open-loop burst through the shared generator, with admission
+   control shedding at the primary. Everything advances on the virtual
+   clock from seeded RNGs, so every count — including the rejections —
+   is exact. ------------------------------------------------------------ *)
+
+let open_load_rows () =
+  let params =
+    {
+      Replica.pipeline = 1;
+      checkpoint_interval = 50;
+      max_batch = 2;
+      batch_delay_ms = 4.0;
+      vc_timeout_ms = 100_000.0;
+      variant = Variant.full;
+      snapshot_interval = 0;
+      verify_domains = 0;
+      admission_queue = 16;
+    }
+  in
+  let obs = Obs.passive () in
+  let cluster =
+    Cluster.make ~seed:11 ~n:4 ~params
+      ~latency:(fun _ -> Iaccf_sim.Latency.constant 5.0)
+      ~obs ()
+  in
+  let gen =
+    Iaccf_load.Gen.create ~cluster ~sessions:256 ~seed:11
+      ~mix:Iaccf_load.Mix.noop
+      ~arrival:
+        (Iaccf_load.Arrival.Onoff
+           { on_rate = 400.0; off_rate = 30.0; on_ms = 150.0; off_ms = 250.0 })
+      ()
+  in
+  Iaccf_load.Gen.start gen ~duration_ms:800.0;
+  if not (Iaccf_load.Gen.drain gen ()) then
+    fail "open-loop load workload did not drain";
+  let s = Iaccf_load.Gen.stats gen in
+  if s.Iaccf_load.Gen.ls_offered <> s.Iaccf_load.Gen.ls_committed then
+    fail "open-loop accounting broken: %d offered, %d committed"
+      s.Iaccf_load.Gen.ls_offered s.Iaccf_load.Gen.ls_committed;
+  if Obs.counter_value obs "load.rejected" = 0 then
+    fail "open-loop burst never tripped admission control";
+  let bench = "regress_load" in
+  let series = "onoff burst" in
+  let exact metric v =
+    Report.row ~bench ~series ~metric ~gate:Report.Exact (float_of_int v)
+  in
+  [
+    exact "offered" s.Iaccf_load.Gen.ls_offered;
+    exact "committed" s.Iaccf_load.Gen.ls_committed;
+    exact "admitted" (Obs.counter_value obs "load.admitted");
+    exact "rejected" (Obs.counter_value obs "load.rejected");
+    exact "retries" s.Iaccf_load.Gen.ls_retries;
+    exact "sessions_used" s.Iaccf_load.Gen.ls_sessions_used;
+    Report.row ~bench ~series ~metric:"queue_peak" ~gate:Report.Exact
+      (Obs.gauge_max_value obs "queue.depth");
+    Report.row ~bench ~series ~metric:"p50_latency_ms" ~gate:Report.Ms
+      (Obs.Histogram.percentile_of_list 0.50 s.Iaccf_load.Gen.ls_latencies_ms);
+    Report.row ~bench ~series ~metric:"p99_latency_ms" ~gate:Report.Ms
+      (Obs.Histogram.percentile_of_list 0.99 s.Iaccf_load.Gen.ls_latencies_ms);
+  ]
+
 (* --- driver ----------------------------------------------------------- *)
 
 let files = (* (emitted file, what writes it) *)
   [ "BENCH_regress_smallbank.json"; "BENCH_regress_statesync.json";
-    "BENCH_regress_chaos.json"; "BENCH_regress_crypto.json" ]
+    "BENCH_regress_chaos.json"; "BENCH_regress_crypto.json";
+    "BENCH_regress_load.json" ]
 
 let emit ~dir =
   let path f = Filename.concat dir f in
@@ -216,7 +276,10 @@ let emit ~dir =
     ~bench:"regress_chaos" (chaos_rows ());
   Report.write_rows
     ~file:(path "BENCH_regress_crypto.json")
-    ~bench:"regress_crypto" (crypto_rows ())
+    ~bench:"regress_crypto" (crypto_rows ());
+  Report.write_rows
+    ~file:(path "BENCH_regress_load.json")
+    ~bench:"regress_load" (open_load_rows ())
 
 let load_rows file =
   match Report.load_file file with

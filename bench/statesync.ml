@@ -17,6 +17,7 @@ module Obs = Iaccf_obs.Obs
 module Store = Iaccf_storage.Store
 module Ledger = Iaccf_ledger.Ledger
 module Report = Iaccf_report.Report
+module Pump = Iaccf_load.Pump
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("statesync-bench: " ^ s); exit 1) fmt
 
@@ -31,21 +32,14 @@ let params =
 let drive cluster client n =
   (* Closed loop, 32 in flight: open-loop submission of the whole load
      floods the request queues and distorts the numbers. *)
-  let completed = ref 0 in
-  let submitted = ref 0 in
-  let rec submit_one () =
-    if !submitted < n then begin
-      incr submitted;
-      Client.submit client ~proc:"counter/add" ~args:(string_of_int !submitted)
-        ~on_complete:(fun _ ->
-          incr completed;
-          submit_one ())
-        ()
-    end
+  let _, completed =
+    Pump.closed_loop ~total:n ~concurrency:32
+      ~submit:(fun ~seq ~on_complete ->
+        Client.submit client ~proc:"counter/add" ~args:(string_of_int seq)
+          ~on_complete:(fun _ -> on_complete ())
+          ())
+      ()
   in
-  for _ = 1 to 32 do
-    submit_one ()
-  done;
   if not (Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () -> !completed >= n))
   then fail "workload of %d requests did not complete" n;
   Cluster.run cluster ~ms:2_000.0

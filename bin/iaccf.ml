@@ -1,6 +1,7 @@
 (* iaccf — command-line driver for the IA-CCF reproduction.
 
      iaccf run             simulate a cluster under SmallBank load
+     iaccf load            open-loop arrivals + admission control (saturation)
      iaccf status          report a transaction ID's status (GET /app/tx shape)
      iaccf observe         serve client-verified reads from observer replicas
      iaccf stats           run a workload and print the full metrics breakdown
@@ -218,23 +219,22 @@ let drive_smallbank ?client cluster ~txs ~seed =
   in
   let total = List.length ops in
   let pending = ref ops in
-  let completed = ref 0 in
   let receipts = ref [] in
-  let rec submit_one () =
-    match !pending with
-    | [] -> ()
-    | op :: rest ->
-        pending := rest;
-        Client.submit client ~proc:op.Smallbank.op_proc ~args:op.Smallbank.op_args
-          ~on_complete:(fun oc ->
-            incr completed;
-            receipts := oc.Client.oc_receipt :: !receipts;
-            submit_one ())
-          ()
+  let _, completed =
+    Iaccf_load.Pump.closed_loop ~total ~concurrency:16
+      ~submit:(fun ~seq:_ ~on_complete ->
+        match !pending with
+        | [] -> ()
+        | op :: rest ->
+            pending := rest;
+            Client.submit client ~proc:op.Smallbank.op_proc
+              ~args:op.Smallbank.op_args
+              ~on_complete:(fun oc ->
+                receipts := oc.Client.oc_receipt :: !receipts;
+                on_complete ())
+              ())
+      ()
   in
-  for _ = 1 to 16 do
-    submit_one ()
-  done;
   let ok =
     Cluster.run_until cluster ~timeout_ms:10_000_000.0 (fun () -> !completed >= total)
   in
@@ -1021,6 +1021,179 @@ let bench_report_cmd =
           regression).")
     Term.(const run $ files_arg $ baseline_dir_arg $ tolerance_arg)
 
+(* --- iaccf load: open-loop traffic against a capacity-limited cluster --- *)
+
+let load_cmd =
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 150.0
+      & info [ "rate" ] ~docv:"PER_SEC"
+          ~doc:"Offered arrival rate (requests per virtual second).")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt float 1_000.0
+      & info [ "duration-ms" ] ~docv:"MS"
+          ~doc:"Arrival window length in virtual milliseconds.")
+  in
+  let sessions_arg =
+    Arg.(
+      value
+      & opt int 2048
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Distinct client session identities (lazy keypair derivation).")
+  in
+  let accounts_arg =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "accounts" ] ~docv:"N"
+          ~doc:"SmallBank accounts under the Zipf-skewed operation mix.")
+  in
+  let admission_queue_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "admission-queue" ] ~docv:"DEPTH"
+          ~doc:
+            "Primary admission-queue watermark: pending requests beyond \
+             $(docv) are rejected with Busy (0 admits everything).")
+  in
+  let arrival_arg =
+    let shape =
+      Arg.enum
+        [
+          ("poisson", `Poisson);
+          ("constant", `Constant);
+          ("onoff", `Onoff);
+          ("diurnal", `Diurnal);
+        ]
+    in
+    Arg.(
+      value
+      & opt shape `Poisson
+      & info [ "arrival" ] ~docv:"SHAPE"
+          ~doc:
+            "Arrival process, parameterized by --rate: poisson, constant, \
+             onoff (bursts at 3x rate over a rate/3 background), or diurnal \
+             (ramp between rate/3 and 2x rate across the window).")
+  in
+  let run n rate duration_ms sessions accounts admission_queue arrival seed
+      verify_domains metrics =
+    (* Capacity-limited on purpose: pipeline 1 over 5 ms links commits a
+       two-tx batch every ~15 ms (~130 tx/s at the defaults), so the
+       saturation knee is reachable at CLI-friendly offered rates. *)
+    let params =
+      {
+        Replica.default_params with
+        pipeline = 1;
+        max_batch = 2;
+        batch_delay_ms = 4.0;
+        vc_timeout_ms = 100_000.0;
+        admission_queue;
+        verify_domains;
+      }
+    in
+    let obs = Obs.create ~metrics:true ~tracing:false () in
+    let cluster =
+      Cluster.make ~seed ~n ~params
+        ~latency:(fun _ -> Latency.constant 5.0)
+        ~app:(Smallbank.app ()) ~obs ()
+    in
+    let kvs =
+      List.concat_map
+        (fun id ->
+          [
+            (Printf.sprintf "sb/c/%d" id, "10000");
+            (Printf.sprintf "sb/s/%d" id, "10000");
+          ])
+        (List.init accounts Fun.id)
+    in
+    List.iter (fun r -> Replica.preload_state r kvs) (Cluster.replicas cluster);
+    let shape =
+      match arrival with
+      | `Poisson -> Iaccf_load.Arrival.Poisson rate
+      | `Constant -> Iaccf_load.Arrival.Constant rate
+      | `Onoff ->
+          Iaccf_load.Arrival.Onoff
+            {
+              on_rate = 3.0 *. rate;
+              off_rate = rate /. 3.0;
+              on_ms = 150.0;
+              off_ms = 300.0;
+            }
+      | `Diurnal ->
+          Iaccf_load.Arrival.Diurnal
+            {
+              base_rate = rate /. 3.0;
+              peak_rate = 2.0 *. rate;
+              period_ms = duration_ms;
+            }
+    in
+    let gen =
+      Iaccf_load.Gen.create ~cluster ~sessions ~seed
+        ~mix:
+          (Iaccf_load.Mix.smallbank
+             ~rng:(Iaccf_util.Rng.create (seed + 1))
+             ~accounts ())
+        ~arrival:shape ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let start_ms = Iaccf_sim.Sched.now (Cluster.sched cluster) in
+    Iaccf_load.Gen.start gen ~duration_ms;
+    let drained = Iaccf_load.Gen.drain gen () in
+    let virtual_ms = Iaccf_sim.Sched.now (Cluster.sched cluster) -. start_ms in
+    let wall = Unix.gettimeofday () -. t0 in
+    let s = Iaccf_load.Gen.stats gen in
+    let pct p =
+      Obs.Histogram.percentile_of_list p s.Iaccf_load.Gen.ls_latencies_ms
+    in
+    Printf.printf "offered:             %d requests (%.0f/s nominal, %.0f virtual ms window)\n"
+      s.Iaccf_load.Gen.ls_offered
+      (Iaccf_load.Arrival.mean_rate shape)
+      duration_ms;
+    Printf.printf "committed:           %d (%.0f tx/s goodput over %.0f virtual ms)\n"
+      s.Iaccf_load.Gen.ls_committed
+      (1000.0 *. float_of_int s.Iaccf_load.Gen.ls_committed /. virtual_ms)
+      virtual_ms;
+    Printf.printf "admission:           %d admitted, %d Busy rejections (queue peak %.0f/%d)\n"
+      (Obs.counter_value obs "load.admitted")
+      s.Iaccf_load.Gen.ls_rejected
+      (Obs.gauge_max_value obs "queue.depth")
+      admission_queue;
+    Printf.printf "retries:             %d rebroadcasts\n"
+      s.Iaccf_load.Gen.ls_retries;
+    Printf.printf "sessions:            %d used of %d (%d keypairs derived)\n"
+      s.Iaccf_load.Gen.ls_sessions_used sessions
+      s.Iaccf_load.Gen.ls_derived_keys;
+    Printf.printf "latency:             p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (virtual)\n"
+      (pct 0.50) (pct 0.95) (pct 0.99);
+    Printf.printf "wall clock:          %.2fs\n" wall;
+    Option.iter
+      (fun file ->
+        Obs.write_metrics obs file;
+        Printf.printf "metrics:             %d keys -> %s\n"
+          (List.length (Obs.snapshot obs)) file)
+      metrics;
+    if not drained then begin
+      Printf.eprintf "iaccf load: %d requests still outstanding after drain\n"
+        s.Iaccf_load.Gen.ls_outstanding;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive open-loop traffic (Poisson, bursty, or diurnal arrivals over \
+          Zipf-skewed SmallBank sessions) at a capacity-limited cluster with \
+          admission control, and report the throughput/latency outcome.")
+    Term.(
+      const run $ replicas_arg $ rate_arg $ duration_arg $ sessions_arg
+      $ accounts_arg $ admission_queue_arg $ arrival_arg $ seed_arg
+      $ verify_domains_arg $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "iaccf" ~version:"1.0.0"
@@ -1040,6 +1213,7 @@ let () =
         export_package_cmd;
         keys_cmd;
         chaos_cmd;
+        load_cmd;
       ]
   in
   exit

@@ -114,6 +114,36 @@ let setup_ops ~accounts ~initial_balance =
         op_args = create_args ~account:id ~checking:initial_balance ~savings:initial_balance;
       })
 
+(* Like [random_op] but with a pluggable account sampler (key skew) and a
+   pinned draw order: branch, then accounts left to right, then amount.
+   Kept separate from [random_op] — labeled-argument evaluation order is
+   unspecified, so rewriting that function could silently shift its RNG
+   stream and invalidate committed bench baselines. *)
+let random_op_keyed rng ~accounts ~account =
+  let amount () = 1 + Rng.int rng 50 in
+  match Rng.int rng 5 with
+  | 0 ->
+      let a = account () in
+      let amt = amount () in
+      { op_proc = "sb/deposit"; op_args = deposit_args ~account:a ~amount:amt }
+  | 1 ->
+      let a = account () in
+      let amt = amount () in
+      { op_proc = "sb/withdraw"; op_args = withdraw_args ~account:a ~amount:amt }
+  | 2 ->
+      let src = account () in
+      let dst = (src + 1 + Rng.int rng (max 1 (accounts - 1))) mod accounts in
+      let dst = if dst = src then (src + 1) mod accounts else dst in
+      let amt = amount () in
+      { op_proc = "sb/transfer"; op_args = transfer_args ~src ~dst ~amount:amt }
+  | 3 ->
+      let a = account () in
+      { op_proc = "sb/balance"; op_args = balance_args ~account:a }
+  | _ ->
+      let src = account () in
+      let dst = (src + 1) mod accounts in
+      { op_proc = "sb/amalgamate"; op_args = amalgamate_args ~src ~dst }
+
 let random_op rng ~accounts =
   let account () = Rng.int rng accounts in
   let amount () = 1 + Rng.int rng 50 in

@@ -36,3 +36,11 @@ val setup_ops : accounts:int -> initial_balance:int -> op list
 
 val random_op : Iaccf_util.Rng.t -> accounts:int -> op
 (** One random operation with the benchmark's 5-way mix. *)
+
+val random_op_keyed :
+  Iaccf_util.Rng.t -> accounts:int -> account:(unit -> int) -> op
+(** [random_op] with a pluggable account sampler, so skewed key
+    distributions (e.g. Zipfian, {!Iaccf_load.Zipf}) can drive the same
+    5-way mix. Draw order is pinned (branch, accounts left to right,
+    amount) and [rng] only feeds the branch, transfer spread, and amount
+    draws; account picks come solely from [account ()]. *)

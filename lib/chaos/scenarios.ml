@@ -490,6 +490,100 @@ let observer_forged_answer =
         (Reader.status_violations reader >= 1);
       finish ~cluster ~obs ~receipts ~submitted:14 ~completed ~lincheck_closed:true)
 
+(* --- overload scenarios: open-loop traffic past the admission knee ---
+
+   An open-loop generator (lib/load) offers more than the capacity-limited
+   cluster can commit, so the primary's bounded admission queue must shed
+   load with Busy rejections while faults land mid-overload. The oracle's
+   verdict is over a receipt-tracked foreground client; the generator's
+   own accounting must close — offered = committed once drained — so every
+   rejection was retried to commit, never silently dropped. *)
+
+module Sched = Iaccf_sim.Sched
+module Latency = Iaccf_sim.Latency
+module Gen = Iaccf_load.Gen
+module Arrival = Iaccf_load.Arrival
+module Mix = Iaccf_load.Mix
+
+(* Capacity-limited: pipeline 1 over 5 ms links commits a two-tx batch
+   every ~15 ms (~130 tx/s), so a 300/s offered rate overloads the
+   16-deep admission queue within a few batches. *)
+let overload_params =
+  {
+    Replica.default_params with
+    pipeline = 1;
+    max_batch = 2;
+    batch_delay_ms = 4.0;
+    admission_queue = 16;
+  }
+
+let overload_setup ~seed =
+  let obs = Obs.create ~metrics:true ~tracing:false () in
+  let cluster =
+    Cluster.make ~seed ~n:4 ~params:overload_params
+      ~latency:(fun _ -> Latency.constant 5.0)
+      ~obs ()
+  in
+  (* No-op background traffic keeps the foreground counter receipts
+     lincheck-closed. *)
+  let gen =
+    Gen.create ~cluster ~sessions:128 ~seed ~mix:Mix.noop
+      ~arrival:(Arrival.Poisson 300.0) ()
+  in
+  (obs, cluster, gen)
+
+let overload_finish ~cluster ~obs ~gen ~drained ~receipts ~submitted ~completed
+    =
+  let s = Gen.stats gen in
+  require "generator drained (no request silently dropped)" drained;
+  require "admission control shed load"
+    (Obs.counter_value obs "load.rejected" > 0 && s.Gen.ls_rejected > 0);
+  require "generator accounting closed: offered = committed + outstanding"
+    (s.Gen.ls_offered = s.Gen.ls_committed + s.Gen.ls_outstanding);
+  require "every offered request eventually committed"
+    (s.Gen.ls_offered = s.Gen.ls_committed);
+  finish ~cluster ~obs ~receipts ~submitted ~completed ~lincheck_closed:true
+
+let overload_loss_ramp =
+  custom ~name:"overload-loss-ramp" ~suite:Core (fun ~seed ~scratch:_ ->
+      let obs, cluster, gen = overload_setup ~seed in
+      let sched = Cluster.sched cluster in
+      (* Ramp message loss while the generator stays in overload; loss off
+         at the end so the drain terminates via the retransmit sweep. *)
+      List.iter
+        (fun (ms, p) ->
+          ignore
+            (Sched.schedule sched ~delay:ms (fun () ->
+                 Network.set_drop_probability (Cluster.network cluster) p)))
+        [ (0.0, 0.05); (150.0, 0.15); (300.0, 0.30); (600.0, 0.0) ];
+      Gen.start gen ~duration_ms:500.0;
+      let client = Cluster.add_client cluster () in
+      let receipts, completed =
+        workload ~timeout_ms:600_000.0 cluster client 6
+      in
+      let drained = Gen.drain gen () in
+      overload_finish ~cluster ~obs ~gen ~drained ~receipts ~submitted:6
+        ~completed)
+
+let overload_primary_crash =
+  custom ~name:"overload-primary-crash" ~suite:Core (fun ~seed ~scratch:_ ->
+      let obs, cluster, gen = overload_setup ~seed in
+      let sched = Cluster.sched cluster in
+      (* Kill the view-0 primary mid-burst: its admission queue dies with
+         it, so the generator's sweep must re-offer the backlog to the
+         view-1 primary (which sheds again under the same watermark). *)
+      ignore
+        (Sched.schedule sched ~delay:250.0 (fun () ->
+             Replica.stop (Cluster.replica cluster 0)));
+      Gen.start gen ~duration_ms:500.0;
+      let client = Cluster.add_client cluster () in
+      let receipts, completed =
+        workload ~timeout_ms:600_000.0 cluster client 6
+      in
+      let drained = Gen.drain gen () in
+      overload_finish ~cluster ~obs ~gen ~drained ~receipts ~submitted:6
+        ~completed)
+
 (* --- registry --- *)
 
 let core =
@@ -500,6 +594,8 @@ let core =
     oneway_partition;
     loss_ramp;
     pooled_verify;
+    overload_loss_ramp;
+    overload_primary_crash;
   ]
 
 let byzantine =
@@ -541,6 +637,8 @@ let smoke =
     prune_stale_rejoin;
     observer_stale_reads;
     observer_forged_answer;
+    overload_loss_ramp;
+    overload_primary_crash;
   ]
 
 let find name = List.find_opt (fun sc -> sc.sc_name = name) all

@@ -2,7 +2,12 @@
 
     Three suites:
     - {b core} — crash/restart, primary failure, two-way and one-way
-      partitions, and a message-loss ramp: the protocol must mask them all.
+      partitions, and a message-loss ramp: the protocol must mask them
+      all. Two overload cells drive open-loop traffic (lib/load) past the
+      admission-control knee while a loss ramp or a primary crash lands
+      mid-burst: the oracle must stay clean, the queue must shed with
+      Busy rejections, and the generator's accounting must close
+      (offered = committed once drained — nothing silently dropped).
     - {b byzantine} — below threshold, one scripted replica equivocates,
       tampers results, withholds nonces, or sends corrupt view changes
       (masked); above threshold, a colluding quorum forges wrong execution,

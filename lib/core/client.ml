@@ -47,6 +47,7 @@ type t = {
   c_submitted : Obs.counter;
   c_completed : Obs.counter;
   c_failed : Obs.counter;
+  c_busy : Obs.counter;
   h_e2e : Obs.Histogram.h;
   h_commit_receipt : Obs.Histogram.h;
   mutable next_client_seqno : int;
@@ -257,6 +258,14 @@ let on_message t ~src msg =
           p.p_replyx <- Some x;
           try_complete t p
       | _ -> ())
+  | Wire.Busy_msg { b_tx_hash; _ } ->
+      (* Admission backpressure: the primary shed this request. Count it;
+         the standing retry timer is the retransmit path, so the request
+         is re-offered on the next tick (by which time the queue has
+         drained or the rejection repeats). *)
+      (match Hashtbl.find_opt t.pending (D.to_raw b_tx_hash) with
+      | Some p when not p.p_done -> Obs.incr t.c_busy
+      | _ -> ())
   | Wire.Gov_receipts_msg rs ->
       t.waiting_gov <- false;
       (match Govchain.sync_from t.chain rs with
@@ -298,6 +307,7 @@ let create ~address ~seed ~genesis ~pipeline ~sched ~network
       c_submitted = Obs.counter obs "client.submitted";
       c_completed = Obs.counter obs "client.completed";
       c_failed = Obs.counter obs "client.failed_verifications";
+      c_busy = Obs.counter obs "client.busy_rejections";
       h_e2e = Obs.histogram obs "lat.request_e2e_ms";
       h_commit_receipt = Obs.histogram obs "lat.commit_to_receipt_ms";
       next_client_seqno = 0;

@@ -202,6 +202,17 @@ let sync_storage t = iter_storage t Iaccf_storage.Store.sync
 let close_storage t = iter_storage t Iaccf_storage.Store.close
 let crash_storage t = iter_storage t Iaccf_storage.Store.crash
 
+(* Lightweight endpoints (the load generator's session table) register one
+   shared network address and bind each session key to it lazily, instead
+   of materializing a Client per identity. *)
+let reserve_address t =
+  let address = t.next_client_addr in
+  t.next_client_addr <- t.next_client_addr + 1;
+  address
+
+let bind_client_pk t pk ~addr =
+  Hashtbl.replace t.client_table (Schnorr.public_key_to_bytes pk) addr
+
 let add_client t ?(verify_receipts = true) ?(sign_requests = true) () =
   let address = t.next_client_addr in
   t.next_client_addr <- t.next_client_addr + 1;

@@ -90,6 +90,15 @@ val crash_storage : t -> unit
 (** Drop every store's file descriptors {e without} syncing, simulating a
     process kill (see {!Iaccf_storage.Store.crash}). *)
 
+val reserve_address : t -> int
+(** Allocate the next client network address without building a client.
+    The load generator registers one network endpoint under such an
+    address and multiplexes millions of cheap sessions over it. *)
+
+val bind_client_pk : t -> Schnorr.public_key -> addr:int -> unit
+(** Route replica replies for requests signed by [pk] to [addr]. Sessions
+    bind lazily — only identities that actually submit pay this entry. *)
+
 val add_client : t -> ?verify_receipts:bool -> ?sign_requests:bool -> unit -> Client.t
 
 val add_member_client : t -> member_identity -> Client.t

@@ -38,6 +38,12 @@ type params = {
          are batched per delivery and dispatched across OCaml domains.
          0/1 (the default) verifies inline — byte-identical behavior to
          the pre-pool replica, which the committed bench baselines gate. *)
+  admission_queue : int;
+      (* > 0 bounds the primary's pending-request queue: a fresh request
+         arriving while the queue holds at least this many entries is shed
+         with a Busy_msg BEFORE signature verification (backpressure costs
+         no crypto), counted under load.rejected. 0 (the default) admits
+         everything — byte-identical to the pre-admission replica. *)
 }
 
 let default_params =
@@ -50,6 +56,7 @@ let default_params =
     variant = Variant.full;
     snapshot_interval = 0;
     verify_domains = 0;
+    admission_queue = 0;
   }
 
 type stats = {
@@ -76,6 +83,12 @@ type counters = {
   c_requests_received : Obs.counter;
   c_view_changes : Obs.counter;
   c_checkpoints_taken : Obs.counter;
+  (* Admission control: registry-wide names (the primary of the moment is
+     the only writer, so one cell per registry counts the service-wide
+     admission decisions; mirrors the client.* counters). *)
+  c_load_admitted : Obs.counter;
+  c_load_rejected : Obs.counter;
+  g_queue_depth : Obs.gauge;
 }
 
 let make_counters obs rid =
@@ -90,6 +103,9 @@ let make_counters obs rid =
     c_requests_received = c "requests_received";
     c_view_changes = c "view_changes";
     c_checkpoints_taken = c "checkpoints_taken";
+    c_load_admitted = Obs.counter obs "load.admitted";
+    c_load_rejected = Obs.counter obs "load.rejected";
+    g_queue_depth = Obs.gauge obs "queue.depth";
   }
 
 (* Per-phase latency histograms, shared across the registry (the primary
@@ -463,6 +479,13 @@ let broadcast_replicas t msg =
 
 let send_to_client t pk msg =
   match t.client_address pk with None -> () | Some addr -> send t ~dst:addr msg
+
+(* Admission queue depth (primary only: the queue under admission control
+   is the primary's pending pool; backups' pools just mirror broadcasts).
+   The gauge's high-watermark is the bench-facing peak depth. *)
+let update_queue_gauge t =
+  if is_primary t then
+    Obs.set_gauge t.ctr.g_queue_depth (float_of_int (Hashtbl.length t.requests))
 
 (* ------------------------------------------------------------------ *)
 (* Evidence (P_{s-P}, K_{s-P}, E_{s-P})                                *)
@@ -1264,6 +1287,7 @@ and emit_batch t ?fixed_txs ~kind ~reqs ~ev_prepares ~ev_nonces ~ev_bitmap () =
     txs;
   t.request_order <-
     List.filter (fun h -> Hashtbl.mem t.requests (D.to_raw h)) t.request_order;
+  update_queue_gauge t;
   let rec_ =
     {
       br_pp = pp;
@@ -1614,12 +1638,33 @@ and on_request t (req : Request.t) =
   if t.running && t.activated then begin
     let h = D.to_raw (Request.hash req) in
     if Hashtbl.mem t.executed_requests h then resend_executed t req
+    else if
+      (* Admission control (primary only): shed fresh requests while the
+         pending queue sits at or above the watermark — before signature
+         verification, so backpressure costs no crypto. The Busy_msg names
+         the request so the shared retransmit path can retry it. *)
+      t.params.admission_queue > 0
+      && is_primary t
+      && Hashtbl.length t.requests >= t.params.admission_queue
+      && not (Hashtbl.mem t.requests h)
+    then begin
+      Obs.incr t.ctr.c_load_rejected;
+      update_queue_gauge t;
+      if Obs.tracing_enabled t.obs then
+        Obs.instant t.obs ~node:t.rid ~cat:"request" ~name:"request.rejected"
+          ~args:[ ("proc", req.Request.proc) ]
+          ();
+      send_to_client t req.Request.client_pk
+        (Wire.Busy_msg { b_replica = t.rid; b_tx_hash = Request.hash req })
+    end
     else if not (Hashtbl.mem t.requests h) then begin
       let admit ok =
         if ok && not (Hashtbl.mem t.requests h) then begin
           Hashtbl.replace t.requests h req;
           t.request_order <- Request.hash req :: t.request_order;
           Obs.incr t.ctr.c_requests_received;
+          if is_primary t then Obs.incr t.ctr.c_load_admitted;
+          update_queue_gauge t;
           if Obs.tracing_enabled t.obs then
             Obs.instant t.obs ~node:t.rid ~cat:"request" ~name:"request.received"
               ~args:[ ("proc", req.Request.proc) ]
@@ -2852,7 +2897,7 @@ let on_message t ~src msg =
                si_committed = t.stable_upto;
              })
     | Wire.Gov_receipts_msg _ | Wire.Reply_msg _ | Wire.Replyx_msg _ -> ()
-    | Wire.Ack_msg _ -> ()
+    | Wire.Ack_msg _ | Wire.Busy_msg _ -> ()
     | Wire.Status_info _ | Wire.Read_query _ | Wire.Read_answer _
     | Wire.Audit_query _ | Wire.Audit_answer _ ->
         (* Read/audit serving belongs to observers (Iaccf_observer);

@@ -29,6 +29,15 @@ type params = {
           run in submission order, so runs stay seed-deterministic); 0 or 1
           (default) verifies inline, byte-identical to the unpooled
           replica *)
+  admission_queue : int;
+      (** > 0: the primary sheds a fresh request with a {!Wire.Busy_msg}
+          (before paying for signature verification) whenever its pending
+          queue already holds this many requests; rejections land in the
+          registry-wide [load.rejected] counter, admissions in
+          [load.admitted], and the primary's queue depth in the
+          [queue.depth] gauge (peak via {!Iaccf_obs.Obs.gauge_max}).
+          [0] (default) admits everything — byte-identical to the
+          pre-admission replica. *)
 }
 
 val default_params : params

@@ -51,6 +51,11 @@ type t =
   | Gov_receipts_request of { gr_from_index : int }
   | Gov_receipts_msg of Receipt.t list
   | Ack_msg of { a_replica : int; a_digest : D.t; a_signature : string }
+  (* Admission control: the primary's bounded request queue is over its
+     watermark, so the request was shed before signature verification.
+     Carries the request hash so the client can tell which submission was
+     refused; the existing retransmit path is the retry channel. *)
+  | Busy_msg of { b_replica : int; b_tx_hash : D.t }
   (* Observer/read tier: status polls, verifiable reads, and Merkle audit
      paths, served by non-voting observers (or any replica) off the quorum
      path. Answers carry the evidence the querier needs to verify them —
@@ -115,6 +120,10 @@ let flow_of = function
   | Read_answer { ra_nonce; _ } -> Some ("flow.read", "r" ^ string_of_int ra_nonce)
   | Audit_query { aq_index } -> Some ("flow.audit", "i" ^ string_of_int aq_index)
   | Audit_answer { au_index; _ } -> Some ("flow.audit", "i" ^ string_of_int au_index)
+  | Busy_msg { b_tx_hash; _ } ->
+      (* A busy rejection terminates (one attempt of) the request's flow,
+         so it shares the request's content-derived identity. *)
+      Some ("flow.request", String.sub (D.to_hex b_tx_hash) 0 12)
   | Fetch_missing _ | Batch_package_msg _ | Fetch_state _ | Fetch_snapshot
   | Snapshot_offer _ | Fetch_snapshot_chunk _ | Snapshot_chunk _
   | Fetch_suffix _ | Ledger_suffix_chunk _ | Replyx_request _
@@ -151,6 +160,9 @@ let describe = function
   | Gov_receipts_request { gr_from_index } -> Printf.sprintf "gov-receipts-request(from=%d)" gr_from_index
   | Gov_receipts_msg rs -> Printf.sprintf "gov-receipts(%d)" (List.length rs)
   | Ack_msg { a_replica; _ } -> Printf.sprintf "ack(r=%d)" a_replica
+  | Busy_msg { b_replica; b_tx_hash } ->
+      Printf.sprintf "busy(r=%d,tx=%s)" b_replica
+        (String.sub (D.to_hex b_tx_hash) 0 8)
   | Status_query { sq_view; sq_seqno } ->
       Printf.sprintf "status-query(%d.%d)" sq_view sq_seqno
   | Status_info { si_view; si_seqno; si_status; _ } ->

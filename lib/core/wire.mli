@@ -67,6 +67,11 @@ type t =
   | Gov_receipts_msg of Receipt.t list
   | Ack_msg of { a_replica : int; a_digest : D.t; a_signature : string }
       (** PeerReview-variant acknowledgement (§6 baselines) *)
+  | Busy_msg of { b_replica : int; b_tx_hash : D.t }
+      (** admission control: the primary's bounded request queue is over
+          its watermark, so this request was shed before signature
+          verification; the hash tells the client which submission to
+          retry (over the ordinary retransmit path) *)
   | Status_query of { sq_view : int; sq_seqno : int }
       (** what happened to transaction ID [view.seqno]? Served by replicas
           and observers alike ({!Replica.tx_status}) *)

@@ -1,0 +1,95 @@
+module Rng = Iaccf_util.Rng
+
+type shape =
+  | Constant of float
+  | Poisson of float
+  | Onoff of {
+      on_rate : float;
+      off_rate : float;
+      on_ms : float;
+      off_ms : float;
+    }
+  | Diurnal of { base_rate : float; peak_rate : float; period_ms : float }
+
+type t = {
+  shape : shape;
+  rng : Rng.t;
+  (* Onoff phase machine: absolute virtual time the current sojourn ends.
+     Starts "off" with an expired sojourn so the first query enters the
+     on phase. *)
+  mutable phase_on : bool;
+  mutable phase_end : float;
+}
+
+let validate = function
+  | Constant r | Poisson r ->
+      if r <= 0.0 then invalid_arg "Arrival.create: rate must be positive"
+  | Onoff { on_rate; off_rate; on_ms; off_ms } ->
+      if on_rate <= 0.0 then invalid_arg "Arrival.create: on_rate must be positive";
+      if off_rate < 0.0 then invalid_arg "Arrival.create: off_rate must be >= 0";
+      if on_ms <= 0.0 || off_ms <= 0.0 then
+        invalid_arg "Arrival.create: sojourn means must be positive"
+  | Diurnal { base_rate; peak_rate; period_ms } ->
+      if base_rate < 0.0 then invalid_arg "Arrival.create: base_rate must be >= 0";
+      if peak_rate <= 0.0 || peak_rate < base_rate then
+        invalid_arg "Arrival.create: need peak_rate >= base_rate > 0";
+      if period_ms <= 0.0 then invalid_arg "Arrival.create: period must be positive"
+
+let create ~rng shape =
+  validate shape;
+  { shape; rng; phase_on = false; phase_end = neg_infinity }
+
+(* Inverse-CDF exponential draw. [Rng.float rng 1.0] is in [0,1), so
+   [1 -. u] is in (0,1] and the log is finite. *)
+let exp_ms rng ~mean_ms = -.mean_ms *. log (1.0 -. Rng.float rng 1.0)
+let exp_gap_ms rng ~rate_per_s = exp_ms rng ~mean_ms:(1000.0 /. rate_per_s)
+
+(* Next arrival at or after [start] for the on/off machine: consume
+   sojourns until an exponential gap at the current phase's rate lands
+   inside the phase. Guaranteed to terminate because on_rate > 0: every
+   recursion either advances [start] to a later phase boundary or returns. *)
+let rec onoff_next t ~on_rate ~off_rate ~on_ms ~off_ms start =
+  if start >= t.phase_end then begin
+    t.phase_on <- not t.phase_on;
+    let mean_ms = if t.phase_on then on_ms else off_ms in
+    t.phase_end <- start +. exp_ms t.rng ~mean_ms;
+    onoff_next t ~on_rate ~off_rate ~on_ms ~off_ms start
+  end
+  else
+    let rate = if t.phase_on then on_rate else off_rate in
+    if rate <= 0.0 then
+      onoff_next t ~on_rate ~off_rate ~on_ms ~off_ms t.phase_end
+    else
+      let cand = start +. exp_gap_ms t.rng ~rate_per_s:rate in
+      if cand <= t.phase_end then cand
+      else onoff_next t ~on_rate ~off_rate ~on_ms ~off_ms t.phase_end
+
+(* Non-homogeneous Poisson by thinning: candidates at the envelope rate
+   [peak], each kept with probability rate(t)/peak. *)
+let diurnal_rate ~base_rate ~peak_rate ~period_ms at =
+  let swing = (peak_rate -. base_rate) *. 0.5 in
+  base_rate +. (swing *. (1.0 -. cos (2.0 *. Float.pi *. at /. period_ms)))
+
+let rec diurnal_next t ~base_rate ~peak_rate ~period_ms start =
+  let cand = start +. exp_gap_ms t.rng ~rate_per_s:peak_rate in
+  let r = diurnal_rate ~base_rate ~peak_rate ~period_ms cand in
+  if Rng.float t.rng 1.0 *. peak_rate < r then cand
+  else diurnal_next t ~base_rate ~peak_rate ~period_ms cand
+
+let next_gap_ms t ~now_ms =
+  let at =
+    match t.shape with
+    | Constant rate -> now_ms +. (1000.0 /. rate)
+    | Poisson rate -> now_ms +. exp_gap_ms t.rng ~rate_per_s:rate
+    | Onoff { on_rate; off_rate; on_ms; off_ms } ->
+        onoff_next t ~on_rate ~off_rate ~on_ms ~off_ms now_ms
+    | Diurnal { base_rate; peak_rate; period_ms } ->
+        diurnal_next t ~base_rate ~peak_rate ~period_ms now_ms
+  in
+  Float.max 0.0 (at -. now_ms)
+
+let mean_rate = function
+  | Constant r | Poisson r -> r
+  | Onoff { on_rate; off_rate; on_ms; off_ms } ->
+      ((on_rate *. on_ms) +. (off_rate *. off_ms)) /. (on_ms +. off_ms)
+  | Diurnal { base_rate; peak_rate; _ } -> (base_rate +. peak_rate) /. 2.0

@@ -1,0 +1,45 @@
+(** Open-loop arrival processes on the virtual clock.
+
+    A closed-loop driver ({!Pump}) submits a new request only when one
+    completes, so it can never expose saturation: offered load adapts to
+    the service. An open-loop process generates arrivals from a clock
+    that does not care how the service is doing — past the capacity knee
+    the queue grows and latency curves bend upward, which is the behaviour
+    the admission-control experiments measure.
+
+    All draws come from the generator's own {!Iaccf_util.Rng} stream, so
+    a seeded run produces the same arrival sequence every time. *)
+
+type shape =
+  | Constant of float  (** fixed rate, requests per second *)
+  | Poisson of float  (** homogeneous Poisson process, rate per second *)
+  | Onoff of {
+      on_rate : float;  (** arrival rate during a burst, per second *)
+      off_rate : float;  (** background rate between bursts (may be 0) *)
+      on_ms : float;  (** mean burst length (exponential sojourn) *)
+      off_ms : float;  (** mean gap length (exponential sojourn) *)
+    }
+      (** Markov-modulated on/off bursts: a two-state MMPP whose sojourn
+          times are exponential. *)
+  | Diurnal of {
+      base_rate : float;  (** trough rate, per second *)
+      peak_rate : float;  (** crest rate, per second *)
+      period_ms : float;  (** one full ramp cycle *)
+    }
+      (** Sinusoidal ramp between [base_rate] and [peak_rate], sampled by
+          thinning a Poisson process at [peak_rate]. *)
+
+type t
+
+val create : rng:Iaccf_util.Rng.t -> shape -> t
+(** @raise Invalid_argument on non-positive rates (except [off_rate] and
+    [base_rate], which may be 0). *)
+
+val next_gap_ms : t -> now_ms:float -> float
+(** Milliseconds from [now_ms] until the next arrival (>= 0). Stateful for
+    [Onoff] (the burst phase advances with the queries) and [Diurnal]
+    (the rate follows absolute virtual time). *)
+
+val mean_rate : shape -> float
+(** Long-run average arrivals per second — the "offered rate" a sweep
+    should report for this shape. *)

@@ -1,0 +1,178 @@
+module Cluster = Iaccf_core.Cluster
+module Replica = Iaccf_core.Replica
+module Wire = Iaccf_core.Wire
+module Network = Iaccf_sim.Network
+module Sched = Iaccf_sim.Sched
+module Rng = Iaccf_util.Rng
+module Request = Iaccf_types.Request
+module Message = Iaccf_types.Message
+module Batch = Iaccf_types.Batch
+module D = Iaccf_crypto.Digest32
+
+type pending = {
+  pr_req : Request.t;
+  pr_sent : float;  (* first transmission, for commit latency *)
+  mutable pr_last : float;  (* latest transmission, for the sweep *)
+  mutable pr_retries : int;
+}
+
+type stats = {
+  ls_offered : int;
+  ls_submitted : int;
+  ls_committed : int;
+  ls_rejected : int;
+  ls_retries : int;
+  ls_outstanding : int;
+  ls_latencies_ms : float list;
+  ls_sessions_used : int;
+  ls_derived_keys : int;
+}
+
+type t = {
+  cluster : Cluster.t;
+  sched : Sched.t;
+  network : Wire.t Network.t;
+  addr : int;
+  rng : Rng.t;  (* session picks *)
+  arrival : Arrival.t;
+  mix : Mix.t;
+  sessions : Session.t;
+  retry_ms : float;
+  replica_ids : int list;
+  pending : (string, pending) Hashtbl.t;  (* raw request hash -> state *)
+  mutable offered : int;
+  mutable committed : int;
+  mutable rejected : int;
+  mutable retries : int;
+  mutable latencies : float list;
+  mutable deadline : float;  (* arrivals stop past this virtual time *)
+  mutable arrivals_done : bool;
+  mutable sweep_armed : bool;
+}
+
+let stats t =
+  {
+    ls_offered = t.offered;
+    ls_submitted = t.offered;
+    ls_committed = t.committed;
+    ls_rejected = t.rejected;
+    ls_retries = t.retries;
+    ls_outstanding = Hashtbl.length t.pending;
+    ls_latencies_ms = List.rev t.latencies;
+    ls_sessions_used = Session.sessions_used t.sessions;
+    ls_derived_keys = Session.derived_keys t.sessions;
+  }
+
+let address t = t.addr
+
+let broadcast t req =
+  Network.broadcast t.network ~src:t.addr ~dsts:t.replica_ids
+    (Wire.Request_msg req)
+
+let complete t key =
+  match Hashtbl.find_opt t.pending key with
+  | None -> ()  (* duplicate receipt after completion *)
+  | Some p ->
+      Hashtbl.remove t.pending key;
+      t.committed <- t.committed + 1;
+      t.latencies <- (Sched.now t.sched -. p.pr_sent) :: t.latencies
+
+let on_message t ~src:_ msg =
+  match msg with
+  | Wire.Replyx_msg x ->
+      complete t (D.to_raw (Request.hash x.Message.x_tx.Batch.request))
+  | Wire.Busy_msg { b_tx_hash; _ } ->
+      if Hashtbl.mem t.pending (D.to_raw b_tx_hash) then
+        t.rejected <- t.rejected + 1
+      (* no immediate resend: the sweep retries retry_ms after the last
+         transmission, which is the backoff *)
+  | _ -> ()  (* quorum replies, acks: the receipt alone completes *)
+
+(* Sweep timer: rebroadcast every pending request whose last transmission
+   is at least a full period old. Keeps itself armed while there is (or
+   can be) outstanding work, so overload queues eventually drain. *)
+let rec arm_sweep t =
+  if not t.sweep_armed then begin
+    t.sweep_armed <- true;
+    ignore
+      (Sched.schedule t.sched ~delay:t.retry_ms (fun () ->
+           t.sweep_armed <- false;
+           let now = Sched.now t.sched in
+           Hashtbl.iter
+             (fun _ p ->
+               if now -. p.pr_last >= t.retry_ms then begin
+                 p.pr_retries <- p.pr_retries + 1;
+                 p.pr_last <- now;
+                 t.retries <- t.retries + 1;
+                 broadcast t p.pr_req
+               end)
+             t.pending;
+           if (not t.arrivals_done) || Hashtbl.length t.pending > 0 then
+             arm_sweep t))
+  end
+
+let do_arrival t =
+  t.offered <- t.offered + 1;
+  let id = Rng.int t.rng (Session.n t.sessions) in
+  let proc, args = Mix.next t.mix in
+  let req = Session.make_request t.sessions ~id ~proc ~args () in
+  (* first request from this session: route its replies to our endpoint *)
+  if Session.nonce t.sessions ~id = 1 then
+    Cluster.bind_client_pk t.cluster req.Request.client_pk ~addr:t.addr;
+  let now = Sched.now t.sched in
+  Hashtbl.replace t.pending
+    (D.to_raw (Request.hash req))
+    { pr_req = req; pr_sent = now; pr_last = now; pr_retries = 0 };
+  broadcast t req
+
+let rec schedule_next t =
+  let now = Sched.now t.sched in
+  let gap = Arrival.next_gap_ms t.arrival ~now_ms:now in
+  if now +. gap > t.deadline then t.arrivals_done <- true
+  else
+    ignore
+      (Sched.schedule t.sched ~delay:gap (fun () ->
+           do_arrival t;
+           schedule_next t))
+
+let create ~cluster ?(sessions = 1024) ?key_cache ?(seed = 7) ?(mix = Mix.noop)
+    ?(retry_ms = 300.0) ~arrival () =
+  let rng = Rng.create seed in
+  let t =
+    {
+      cluster;
+      sched = Cluster.sched cluster;
+      network = Cluster.network cluster;
+      addr = Cluster.reserve_address cluster;
+      rng;
+      arrival = Arrival.create ~rng:(Rng.split rng) arrival;
+      mix;
+      sessions =
+        Session.create ?key_cache
+          ~seed:(Printf.sprintf "load-%d" seed)
+          ~genesis:(Cluster.genesis cluster) ~n:sessions ();
+      retry_ms;
+      replica_ids = List.map Replica.id (Cluster.replicas cluster);
+      pending = Hashtbl.create 64;
+      offered = 0;
+      committed = 0;
+      rejected = 0;
+      retries = 0;
+      latencies = [];
+      deadline = neg_infinity;
+      arrivals_done = true;
+      sweep_armed = false;
+    }
+  in
+  Network.register t.network t.addr (fun ~src msg -> on_message t ~src msg);
+  t
+
+let start t ~duration_ms =
+  t.deadline <- Sched.now t.sched +. duration_ms;
+  t.arrivals_done <- false;
+  schedule_next t;
+  arm_sweep t
+
+let drain t ?(timeout_ms = 600_000.0) () =
+  Cluster.run_until t.cluster ~timeout_ms (fun () ->
+      t.arrivals_done && Hashtbl.length t.pending = 0)

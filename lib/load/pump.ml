@@ -1,0 +1,27 @@
+let closed_loop ~total ~concurrency ~submit () =
+  let submitted = ref 0 and completed = ref 0 in
+  let rec submit_one () =
+    if !submitted < total then begin
+      incr submitted;
+      submit ~seq:!submitted ~on_complete:(fun () ->
+          incr completed;
+          submit_one ())
+    end
+  in
+  for _ = 1 to concurrency do
+    submit_one ()
+  done;
+  (submitted, completed)
+
+let waves ~total ~concurrency ~submit ~await =
+  let submitted = ref 0 in
+  let ok = ref true in
+  while !ok && !submitted < total do
+    let wave = min concurrency (total - !submitted) in
+    for _ = 1 to wave do
+      incr submitted;
+      submit ~seq:!submitted
+    done;
+    ok := await ~target:!submitted
+  done;
+  (!ok, !submitted)

@@ -1,0 +1,33 @@
+(** Closed-loop client pumps, extracted from the benches.
+
+    Every closed-loop bench used to carry its own copy of the same
+    recursion: keep [concurrency] operations in flight, and on each
+    completion submit the next until [total] have been submitted. The
+    copies had to agree exactly — the submission counter feeds workload
+    RNG draws, so a divergent copy silently changes the op stream — which
+    is why there is now exactly one. *)
+
+val closed_loop :
+  total:int ->
+  concurrency:int ->
+  submit:(seq:int -> on_complete:(unit -> unit) -> unit) ->
+  unit ->
+  int ref * int ref
+(** Prime [concurrency] submissions and return [(submitted, completed)].
+    [submit] is called with the 1-based submission number {e after} the
+    counter increments (so workload draws happen in submission order) and
+    must eventually invoke [on_complete] exactly once; the pump then
+    submits the next operation. The caller drives the scheduler until
+    [!completed >= total]. *)
+
+val waves :
+  total:int ->
+  concurrency:int ->
+  submit:(seq:int -> unit) ->
+  await:(target:int -> bool) ->
+  bool * int
+(** Completion-callback-free variant for runs without receipts: submit
+    [concurrency]-sized waves, after each calling [await ~target] with the
+    cumulative submission count (it runs the scheduler until that many
+    commits, returning [false] on timeout, which aborts the run). Returns
+    [(all waves completed, submitted)]. *)

@@ -1,0 +1,59 @@
+module Rng = Iaccf_util.Rng
+module Lru = Iaccf_util.Lru
+module Schnorr = Iaccf_crypto.Schnorr
+module Genesis = Iaccf_types.Genesis
+module Request = Iaccf_types.Request
+
+type t = {
+  seed : string;
+  service : Iaccf_crypto.Digest32.t;
+  n : int;
+  nonces : int array;
+  keys : (int, Schnorr.secret_key * Schnorr.public_key) Lru.t;
+  mutable derived : int;
+  mutable used : int;
+}
+
+let create ?(key_cache = 4096) ~seed ~genesis ~n () =
+  if n <= 0 then invalid_arg "Session.create: n must be positive";
+  {
+    seed;
+    service = Genesis.hash genesis;
+    n;
+    nonces = Array.make n 0;
+    keys = Lru.create ~capacity:key_cache;
+    derived = 0;
+    used = 0;
+  }
+
+let n t = t.n
+
+let keypair t ~id =
+  match Lru.find t.keys id with
+  | Some kp -> kp
+  | None ->
+      let kp =
+        Schnorr.keypair_of_seed (Printf.sprintf "%s-session-%d" t.seed id)
+      in
+      t.derived <- t.derived + 1;
+      Lru.put t.keys id kp;
+      kp
+
+let public_key t ~id =
+  if id < 0 || id >= t.n then invalid_arg "Session.public_key: id out of range";
+  snd (keypair t ~id)
+
+let make_request t ~id ?(min_index = 0) ~proc ~args () =
+  if id < 0 || id >= t.n then invalid_arg "Session.make_request: id out of range";
+  let sk, pk = keypair t ~id in
+  if t.nonces.(id) = 0 then t.used <- t.used + 1;
+  t.nonces.(id) <- t.nonces.(id) + 1;
+  Request.make ~sk ~client_pk:pk ~service:t.service ~min_index
+    ~client_seqno:t.nonces.(id) ~proc ~args ()
+
+let nonce t ~id =
+  if id < 0 || id >= t.n then invalid_arg "Session.nonce: id out of range";
+  t.nonces.(id)
+
+let sessions_used t = t.used
+let derived_keys t = t.derived

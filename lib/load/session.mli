@@ -1,0 +1,55 @@
+(** Lightweight client sessions: millions of signing identities without
+    millions of clients.
+
+    A full {!Iaccf_core.Client} carries receipt state, retry timers, and a
+    network registration; holding one per simulated user caps experiments
+    at a few thousand identities. A session here is just an id: its
+    keypair is derived on demand from [seed ^ "-session-" ^ id] (and kept
+    in a bounded LRU so hot sessions skip re-derivation), and its only
+    per-identity state is an integer nonce counter — the request
+    [client_seqno]. A table of a million sessions is a one-million-entry
+    int array plus a fixed-size key cache: well under a gigabyte.
+
+    Replicas only ever see ordinary signed {!Iaccf_types.Request}s, so
+    session traffic flows through the same signature-verification stage
+    (and its retransmit cache) as full clients. *)
+
+type t
+
+val create :
+  ?key_cache:int ->
+  seed:string ->
+  genesis:Iaccf_types.Genesis.t ->
+  n:int ->
+  unit ->
+  t
+(** [n] session identities named [0 .. n-1]; [key_cache] (default 4096)
+    bounds the derived-keypair LRU. @raise Invalid_argument if [n <= 0]. *)
+
+val n : t -> int
+
+val public_key : t -> id:int -> Iaccf_crypto.Schnorr.public_key
+(** Derives (or re-uses) the session's keypair. *)
+
+val make_request :
+  t ->
+  id:int ->
+  ?min_index:int ->
+  proc:string ->
+  args:string ->
+  unit ->
+  Iaccf_types.Request.t
+(** Sign one request as session [id], incrementing its nonce counter (the
+    [client_seqno]). Deterministic: the same table, ids, and payloads
+    yield byte-identical requests. @raise Invalid_argument if [id] is out
+    of range. *)
+
+val nonce : t -> id:int -> int
+(** Requests signed so far by this session. *)
+
+val sessions_used : t -> int
+(** Sessions that have signed at least one request. *)
+
+val derived_keys : t -> int
+(** Keypair derivations actually performed (cache misses) — the cost the
+    LRU is there to bound. *)

@@ -1,7 +1,7 @@
 module Vec = Iaccf_util.Vec
 
 type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+type gauge = { g_name : string; mutable g_value : float; mutable g_max : float }
 
 module Histogram = struct
   (* Raw samples are kept exactly up to [h_cap] and reservoir-sampled
@@ -204,12 +204,19 @@ let gauge t name =
   match Hashtbl.find_opt t.gauges name with
   | Some g -> g
   | None ->
-      let g = { g_name = name; g_value = 0.0 } in
+      let g = { g_name = name; g_value = 0.0; g_max = 0.0 } in
       Hashtbl.replace t.gauges name g;
       g
 
-let set_gauge g v = g.g_value <- v
+let set_gauge g v =
+  g.g_value <- v;
+  if v > g.g_max then g.g_max <- v
+
 let gauge_value g = g.g_value
+let gauge_max g = g.g_max
+
+let gauge_max_value t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> g.g_max | None -> 0.0
 
 (* ------------------------------------------------------------------ *)
 (* Histograms / marks                                                  *)

@@ -68,6 +68,14 @@ val gauge : t -> string -> gauge
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 
+val gauge_max : gauge -> float
+(** High-watermark: the largest value ever set on the gauge (0. if never
+    set). Deterministic for a fixed seed, so benches may gate on it (e.g.
+    peak admission-queue depth); not part of {!snapshot}. *)
+
+val gauge_max_value : t -> string -> float
+(** [0.] if no such gauge has been created. *)
+
 (** {1 Histograms} *)
 
 module Histogram : sig
