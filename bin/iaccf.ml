@@ -985,9 +985,9 @@ let bench_report_cmd =
     let current = List.concat_map load files in
     match baseline_dir with
     | None ->
-        Printf.printf "bench trajectory: %d metrics from %d file(s)\n\n"
+        Printf.printf "bench trajectory: %d metrics from %d file(s)\n"
           (List.length current) (List.length files);
-        print_string (Report.render_trend current)
+        print_string (Report.render_trajectory current)
     | Some dir ->
         let baseline =
           List.concat_map
@@ -1020,6 +1020,210 @@ let bench_report_cmd =
           against committed baselines with --baseline-dir (exit 1 on \
           regression).")
     Term.(const run $ files_arg $ baseline_dir_arg $ tolerance_arg)
+
+(* --- iaccf serve / cluster: the multi-process socket runtime --- *)
+
+module Net_manifest = Iaccf_net.Manifest
+module Net_driver = Iaccf_net.Driver
+module Net_supervisor = Iaccf_net.Supervisor
+
+let manifest_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "manifest" ] ~docv:"FILE" ~doc:"Cluster manifest file.")
+
+let serve_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "id" ] ~docv:"ID" ~doc:"This replica's id in the manifest.")
+  in
+  let run manifest id =
+    match Net_manifest.load manifest with
+    | Error e ->
+        Printf.eprintf "iaccf serve: %s\n" e;
+        exit 2
+    | Ok m ->
+        let committed = Iaccf_net.Serve.main ~manifest:m ~id () in
+        Printf.printf "serve: replica %d stopped at committed seqno %d\n" id
+          committed
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run one replica as an OS process over real sockets, from a cluster \
+          manifest (the per-process body behind $(b,iaccf cluster)). Runs \
+          until SIGTERM/SIGINT, then writes its metrics snapshot next to the \
+          manifest.")
+    Term.(const run $ manifest_arg $ id_arg)
+
+(* One line per socket-transport registry, shared between the driver's
+   live registry and the replicas' on-disk snapshots so `iaccf cluster`
+   prints both through the same shape. *)
+let transport_stat_line ~label lookup =
+  let v k = match lookup k with Some s -> s | None -> "0" in
+  Printf.printf
+    "  %-12s bytes in/out %10s/%-10s frames %7s/%-7s retries %3s dropped %s\n"
+    label
+    (v "net.sock.bytes_in") (v "net.sock.bytes_out")
+    (v "net.sock.frames_in") (v "net.sock.frames_out")
+    (v "net.sock.connect_retries")
+    (let dropped k = int_of_string_opt (v k) |> Option.value ~default:0 in
+     string_of_int
+       (dropped "net.dropped.peer_down" + dropped "net.dropped.no_route"
+      + dropped "net.dropped.garbage"))
+
+let cluster_cmd =
+  let tcp_arg =
+    Arg.(
+      value & flag
+      & info [ "tcp" ]
+          ~doc:"Use loopback TCP instead of Unix-domain sockets.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Run directory for the manifest, sockets, logs, and metrics \
+             snapshots (default: a fresh directory under the system temp \
+             dir).")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Driver client identities.")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:"Closed-loop in-flight transaction window.")
+  in
+  let keep_arg =
+    Arg.(
+      value & flag
+      & info [ "keep" ]
+          ~doc:"Keep the run directory (logs, metrics) after the run.")
+  in
+  let run n txs seed tcp dir clients concurrency keep =
+    if n < 1 then begin
+      prerr_endline "iaccf cluster: need at least one replica";
+      exit 2
+    end;
+    let dir =
+      match dir with
+      | Some d ->
+          if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+          d
+      | None ->
+          let d =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "iaccf-cluster-%d" (Unix.getpid ()))
+          in
+          if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+          d
+    in
+    let m = Net_manifest.local ~tcp ~seed ~n ~app:"smallbank" ~dir () in
+    let mfile = Filename.concat dir "manifest.json" in
+    Net_manifest.save m mfile;
+    Printf.printf "cluster: %d replicas over %s, run dir %s\n" n
+      (if tcp then "loopback TCP" else "unix sockets")
+      dir;
+    let children =
+      Net_supervisor.spawn_fleet ~manifest:m
+        ~serve_argv:(fun ~id ->
+          [|
+            Sys.executable_name; "serve"; "--manifest"; mfile; "--id";
+            string_of_int id;
+          |])
+    in
+    let teardown () = Net_supervisor.shutdown children in
+    if not (Net_supervisor.wait_ready m) then begin
+      ignore (teardown ());
+      Printf.eprintf
+        "iaccf cluster: fleet not ready after 10s (see %s/replica-*.log)\n" dir;
+      exit 1
+    end;
+    Printf.printf "cluster: fleet ready, driving %d SmallBank txs (seed %d)\n%!"
+      txs seed;
+    let h = Net_driver.connect ~clients m in
+    let outcome = Net_driver.run_smallbank ~concurrency ~total:txs h ~seed () in
+    let driver_obs = Iaccf_net.Driver.obs h in
+    let driver_snapshot = Obs.snapshot driver_obs in
+    Net_driver.close h;
+    let statuses = teardown () in
+    (match outcome with
+    | Error e ->
+        Printf.eprintf "iaccf cluster: %s (see %s/replica-*.log)\n" e dir;
+        exit 1
+    | Ok r ->
+        let p q = Obs.Histogram.percentile_of_list q r.Net_driver.r_latencies_ms in
+        Printf.printf
+          "cluster: committed %d/%d txs in %.2fs wall — %.0f tx/s end-to-end\n"
+          r.Net_driver.r_completed r.Net_driver.r_total r.Net_driver.r_wall_s
+          r.Net_driver.r_tx_s;
+        Printf.printf
+          "  latency ms (wall): p50 %.1f  p90 %.1f  p99 %.1f  (%d samples, +%d \
+           setup txs untimed)\n"
+          (p 0.50) (p 0.90) (p 0.99)
+          (List.length r.Net_driver.r_latencies_ms)
+          r.Net_driver.r_setup);
+    Printf.printf "transport:\n";
+    transport_stat_line ~label:"driver" (fun k ->
+        List.assoc_opt k driver_snapshot);
+    List.iter
+      (fun (entry : Net_manifest.replica_entry) ->
+        let id = entry.Net_manifest.id in
+        let file = Filename.concat dir (Printf.sprintf "replica-%d.metrics" id) in
+        match
+          if Sys.file_exists file then
+            let ic = open_in_bin file in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Some (Obs.parse_snapshot s)
+          else None
+        with
+        | None ->
+            Printf.printf "  replica %-4d (no metrics snapshot)\n" id
+        | Some snap ->
+            transport_stat_line
+              ~label:(Printf.sprintf "replica %d" id)
+              (fun k -> List.assoc_opt k snap);
+            (match List.assoc_opt "serve.last_committed" snap with
+            | Some c -> Printf.printf "    committed seqno %s\n" c
+            | None -> ()))
+      m.Net_manifest.replicas;
+    List.iter
+      (fun (id, st) ->
+        match st with
+        | Unix.WEXITED 0 -> ()
+        | Unix.WEXITED c ->
+            Printf.printf "  replica %d exited with code %d\n" id c
+        | Unix.WSIGNALED s -> Printf.printf "  replica %d killed by signal %d\n" id s
+        | Unix.WSTOPPED s -> Printf.printf "  replica %d stopped by signal %d\n" id s)
+      statuses;
+    if keep then Printf.printf "run dir kept: %s\n" dir
+    else begin
+      let rm f = try Sys.remove f with Sys_error _ -> () in
+      Array.iter (fun f -> rm (Filename.concat dir f)) (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Spawn a local fleet of $(b,iaccf serve) replica processes talking \
+          over real sockets, drive SmallBank load through signing clients in \
+          this process, print wall-clock throughput/latency and per-process \
+          transport stats, and tear the fleet down.")
+    Term.(
+      const run $ replicas_arg $ txs_arg $ seed_arg $ tcp_arg $ dir_arg
+      $ clients_arg $ concurrency_arg $ keep_arg)
 
 (* --- iaccf load: open-loop traffic against a capacity-limited cluster --- *)
 
@@ -1203,6 +1407,8 @@ let () =
     Cmd.group info
       [
         run_cmd;
+        serve_cmd;
+        cluster_cmd;
         status_cmd;
         observe_cmd;
         stats_cmd;

@@ -93,6 +93,32 @@ let build_config ~seed ~members ~replica_ids ~config_no =
   in
   endorse members cfg
 
+(* Standalone identity derivation: a multi-process fleet can't share a
+   Cluster.t, but every process holding the same (seed, n, n_members) can
+   derive the identical members, genesis, and replica keys locally — the
+   manifest pins those three numbers and nothing else. *)
+
+let standalone_members ~seed ~n_members =
+  List.init n_members (fun i ->
+      let name = Printf.sprintf "member-%d" i in
+      let sk, pk =
+        Schnorr.keypair_of_seed (Printf.sprintf "cluster-%d-%s" seed name)
+      in
+      { mi_name = name; mi_sk = sk; mi_pk = pk })
+
+let standalone_genesis ?n_members ~seed ~n () =
+  let n_members = Option.value n_members ~default:n in
+  let members = standalone_members ~seed ~n_members in
+  let cfg0 =
+    build_config ~seed ~members ~replica_ids:(List.init n Fun.id) ~config_no:0
+  in
+  (match Config.validate cfg0 with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Cluster.standalone_genesis: " ^ e));
+  Genesis.make cfg0
+
+let standalone_replica_sk ~seed ~id = fst (replica_keys seed id)
+
 let counter_app_procs =
   [
     ( "counter/add",
@@ -114,12 +140,7 @@ let make ?(seed = 1) ?n_members ?(params = Replica.default_params)
   let obs = match obs with Some o -> o | None -> Obs.passive () in
   let profile = match profile with Some p -> p | None -> Profile.disabled in
   let rng = Rng.create seed in
-  let members =
-    List.init n_members (fun i ->
-        let name = Printf.sprintf "member-%d" i in
-        let sk, pk = Schnorr.keypair_of_seed (Printf.sprintf "cluster-%d-%s" seed name) in
-        { mi_name = name; mi_sk = sk; mi_pk = pk })
-  in
+  let members = standalone_members ~seed ~n_members in
   let cfg0 =
     build_config ~seed ~members ~replica_ids:(List.init n Fun.id) ~config_no:0
   in

@@ -20,6 +20,21 @@ type member_identity = {
   mi_pk : Schnorr.public_key;
 }
 
+(** {1 Standalone identity derivation}
+
+    A multi-process fleet cannot share a [t]; instead every process
+    derives the identical genesis and keys from the manifest's
+    [(seed, n, n_members)] triple. These use exactly the derivation
+    {!make} uses, so a simulator cluster and a socket fleet with the same
+    seed are the same logical service. *)
+
+val standalone_members : seed:int -> n_members:int -> member_identity list
+
+val standalone_genesis : ?n_members:int -> seed:int -> n:int -> unit -> Genesis.t
+(** @raise Invalid_argument if the derived configuration is invalid. *)
+
+val standalone_replica_sk : seed:int -> id:int -> Schnorr.secret_key
+
 type t
 
 val make :

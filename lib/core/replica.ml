@@ -1379,16 +1379,36 @@ and process_pre_prepare t (pp : Message.pre_prepare) batch_hashes =
       batch_hashes
   in
   if missing <> [] then begin
+    (match Sys.getenv_opt "IACCF_DEBUG_REJECT" with
+    | Some _ ->
+        Printf.eprintf "FETCH-MISS r%d s=%d missing=%d\n%!" t.rid s
+          (List.length missing)
+    | None -> ());
     send t ~dst:pp.Message.primary (Wire.Fetch_missing { fm_seqno = s });
     false
   end
   else begin
     match evidence_matching t (s - t.params.pipeline) pp.Message.ev_bitmap with
     | None ->
+        (match Sys.getenv_opt "IACCF_DEBUG_REJECT" with
+        | Some _ -> Printf.eprintf "FETCH-EV r%d s=%d\n%!" t.rid s
+        | None -> ());
         send t ~dst:pp.Message.primary (Wire.Fetch_missing { fm_seqno = s });
         false
     | Some (ev_prepares, ev_nonces) ->
-        if not (validate_kind t pp) then true (* reject; suspicion via timer *)
+        if not (validate_kind t pp) then begin
+          (match Sys.getenv_opt "IACCF_DEBUG_REJECT" with
+          | Some _ ->
+              Printf.eprintf
+                "REJECT-KIND r%d s=%d v=%d latest_cp=%d lc=%d phase=%s\n%!"
+                t.rid s v t.latest_cp_seqno t.last_committed
+                (match t.phase with
+                | Normal -> "normal"
+                | Ending _ -> "ending"
+                | Starting _ -> "starting")
+          | None -> ());
+          true (* reject; suspicion via timer *)
+        end
         else begin
           let ledger_start = ledger_len t in
           let kv_before = Store.version t.store in
@@ -1453,6 +1473,14 @@ and process_pre_prepare t (pp : Message.pre_prepare) batch_hashes =
           then begin
             (* Divergent execution or a lying primary: roll back (Alg. 1,
                line 23) and let the progress timer trigger a view change. *)
+            (match Sys.getenv_opt "IACCF_DEBUG_REJECT" with
+            | Some _ ->
+                Printf.eprintf
+                  "REJECT-EXEC r%d s=%d v=%d min_ok=%b g_ok=%b m_ok=%b\n%!"
+                  t.rid s v min_index_ok
+                  (D.equal g_root pp.Message.g_root)
+                  ((not (keep_ledger t)) || D.equal m_root pp.Message.m_root)
+            | None -> ());
             undo ();
             true
           end
@@ -1777,6 +1805,18 @@ and rollback_to t target =
           Hashtbl.remove t.batch_ledger_end q
       | None -> Hashtbl.remove t.batch_ledger_end q
     done;
+    (* Checkpoints taken while executing the rolled-back suffix are
+       speculative: keeping them leaves latest_cp_seqno pointing past the
+       committed prefix, and the next checkpoint-interval batch would seal
+       a snapshot that peers which never executed the suffix cannot
+       validate (validate_kind pins cp_seqno = latest_cp_seqno on both
+       sides) — no quorum ever forms and the view-change backoff turns the
+       boundary into a livelock. Drop them; re-execution retakes them. *)
+    Hashtbl.iter
+      (fun s _ -> if s > target then Hashtbl.remove t.checkpoints s)
+      (Hashtbl.copy t.checkpoints);
+    if t.latest_cp_seqno > target then
+      t.latest_cp_seqno <- Hashtbl.fold (fun s _ acc -> max s acc) t.checkpoints 0;
     t.seqno <- target + 1;
     if t.last_prepared > target then t.last_prepared <- target;
     if t.last_committed > target then t.last_committed <- target

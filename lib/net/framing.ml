@@ -1,0 +1,80 @@
+(* Incremental decoder for the storage frame format on a byte stream.
+
+   The wire reuses the durable-ledger framing discipline —
+   [u32 length | u32 CRC32(payload) | payload], big-endian (see
+   {!Iaccf_storage.Frame}) — but a socket needs a distinction the segment
+   scanner doesn't: a short read is normal ([`Need_more]), while a bad
+   checksum or implausible length on a stream is unrecoverable garbage
+   ([`Corrupt]) because frame boundaries are lost. *)
+
+module Crc32 = Iaccf_util.Crc32
+
+let header_bytes = Iaccf_storage.Frame.header_bytes
+
+(* One process's inbound frames are protocol messages, not bulk ledger
+   segments: cap far below the storage scanner's 64 MiB so a corrupted
+   length field can't make us buffer unbounded garbage. *)
+let max_payload_bytes = 16 * 1024 * 1024
+
+let encode = Iaccf_storage.Frame.encode
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int; (* first unconsumed byte *)
+  mutable stop : int; (* one past the last buffered byte *)
+}
+
+let create () = { buf = Bytes.create 4096; start = 0; stop = 0 }
+let buffered t = t.stop - t.start
+
+let feed t s =
+  let n = String.length s in
+  let free_tail = Bytes.length t.buf - t.stop in
+  if free_tail < n then begin
+    let live = buffered t in
+    if Bytes.length t.buf - live >= n && t.start > 0 then begin
+      (* compact in place *)
+      Bytes.blit t.buf t.start t.buf 0 live;
+      t.start <- 0;
+      t.stop <- live
+    end
+    else begin
+      let cap = ref (max 4096 (2 * Bytes.length t.buf)) in
+      while !cap < live + n do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit t.buf t.start nb 0 live;
+      t.buf <- nb;
+      t.start <- 0;
+      t.stop <- live
+    end
+  end;
+  Bytes.blit_string s 0 t.buf t.stop n;
+  t.stop <- t.stop + n
+
+let read_u32 b pos =
+  let g i = Char.code (Bytes.get b (pos + i)) in
+  (g 0 lsl 24) lor (g 1 lsl 16) lor (g 2 lsl 8) lor g 3
+
+let next t =
+  if buffered t < header_bytes then `Need_more
+  else begin
+    let len = read_u32 t.buf t.start in
+    let crc = read_u32 t.buf (t.start + 4) in
+    if len > max_payload_bytes then
+      `Corrupt (Printf.sprintf "implausible frame length %d" len)
+    else if buffered t < header_bytes + len then `Need_more
+    else begin
+      let payload = Bytes.sub_string t.buf (t.start + header_bytes) len in
+      if Crc32.digest payload <> crc then `Corrupt "checksum mismatch"
+      else begin
+        t.start <- t.start + header_bytes + len;
+        if t.start = t.stop then begin
+          t.start <- 0;
+          t.stop <- 0
+        end;
+        `Frame payload
+      end
+    end
+  end

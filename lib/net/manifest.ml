@@ -1,0 +1,92 @@
+(* Cluster manifest: the one JSON file every process of a fleet reads.
+   It pins the deterministic key-derivation seed (so N independent
+   processes derive the same genesis without talking to each other), the
+   member count, the application, the run directory, and each replica's
+   listen address. *)
+
+module Json = Iaccf_util.Json
+
+type replica_entry = { id : int; addr : Addr.t }
+
+type t = {
+  seed : int;
+  n_members : int;
+  app : string;
+  dir : string;
+  replicas : replica_entry list;
+}
+
+let n t = List.length t.replicas
+let addr_of t id = List.find_opt (fun r -> r.id = id) t.replicas |> Option.map (fun r -> r.addr)
+
+let local ?(tcp = false) ?(base_port = 7400) ?n_members ?(app = "counter")
+    ~seed ~n ~dir () =
+  let n_members = Option.value n_members ~default:n in
+  let replicas =
+    List.init n (fun id ->
+        let addr =
+          if tcp then Addr.Tcp ("127.0.0.1", base_port + id)
+          else Addr.Unix_sock (Filename.concat dir (Printf.sprintf "r%d.sock" id))
+        in
+        { id; addr })
+  in
+  { seed; n_members; app; dir; replicas }
+
+let to_json t =
+  Json.Obj
+    [
+      ("seed", Json.Num (float_of_int t.seed));
+      ("n_members", Json.Num (float_of_int t.n_members));
+      ("app", Json.Str t.app);
+      ("dir", Json.Str t.dir);
+      ( "replicas",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("id", Json.Num (float_of_int r.id));
+                   ("addr", Json.Str (Addr.to_string r.addr));
+                 ])
+             t.replicas) );
+    ]
+
+let save t file =
+  let oc = open_out_bin file in
+  output_string oc (Json.to_compact (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "manifest: missing or bad field %S" name)
+
+let int_field name j = Result.map int_of_float (field name Json.to_number j)
+
+let of_json j =
+  let* seed = int_field "seed" j in
+  let* n_members = int_field "n_members" j in
+  let* app = field "app" Json.to_string j in
+  let* dir = field "dir" Json.to_string j in
+  let* entries = field "replicas" Json.to_list j in
+  let* replicas =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* id = int_field "id" e in
+        let* addr_s = field "addr" Json.to_string e in
+        let* addr = Addr.of_string addr_s in
+        Ok ({ id; addr } :: acc))
+      (Ok []) entries
+    |> Result.map List.rev
+  in
+  if replicas = [] then Error "manifest: empty replica list"
+  else Ok { seed; n_members; app; dir; replicas }
+
+let load file =
+  match (try Json.parse_file file with Sys_error e -> Error e) with
+  | Error e -> Error (Printf.sprintf "manifest %s: %s" file e)
+  | Ok j -> of_json j

@@ -1,0 +1,33 @@
+(** Cluster manifest: the JSON file a fleet of [iaccf serve] processes
+    shares. It pins the deterministic key seed (each process derives the
+    identical genesis locally), the member count, the application name,
+    the run directory, and every replica's listen address. *)
+
+type replica_entry = { id : int; addr : Addr.t }
+
+type t = {
+  seed : int;
+  n_members : int;
+  app : string;  (** ["counter"] or ["smallbank"] *)
+  dir : string;  (** run directory: sockets, logs, metrics snapshots *)
+  replicas : replica_entry list;
+}
+
+val n : t -> int
+val addr_of : t -> int -> Addr.t option
+
+val local :
+  ?tcp:bool ->
+  ?base_port:int ->
+  ?n_members:int ->
+  ?app:string ->
+  seed:int ->
+  n:int ->
+  dir:string ->
+  unit ->
+  t
+(** A single-machine fleet: unix sockets under [dir] (default), or
+    loopback TCP from [base_port]. *)
+
+val save : t -> string -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,157 @@
+(* One replica as an OS process.
+
+   The replica itself is the unmodified simulator replica: it runs on a
+   private Sched/Network pair whose virtual clock is slaved to the wall
+   clock (Sched.advance_to wall_ms each loop turn), so its timers —
+   batch delay, view-change timeout — fire in real time. Messages to the
+   other replicas and to clients leave through the network's gateway onto
+   the socket endpoint; inbound frames are injected back as scheduled
+   events. The process derives its whole identity (genesis, keys) from
+   the manifest's seed, so a fleet needs no coordination beyond the
+   manifest file. *)
+
+module Sched = Iaccf_sim.Sched
+module Network = Iaccf_sim.Network
+module Latency = Iaccf_sim.Latency
+module Obs = Iaccf_obs.Obs
+module Rng = Iaccf_util.Rng
+module Schnorr = Iaccf_crypto.Schnorr
+module Cluster = Iaccf_core.Cluster
+module Replica = Iaccf_core.Replica
+module App = Iaccf_core.App
+module Wire = Iaccf_core.Wire
+
+let app_of_name = function
+  | "smallbank" -> Iaccf_app.Smallbank.app ()
+  | "counter" | _ -> App.create Cluster.counter_app_procs
+
+(* Wall-clock milliseconds since an epoch captured at startup: the
+   virtual clock's target. Starting at 0 keeps virtual timestamps small
+   and comparable across the fleet's processes (they start seconds
+   apart, not eras). *)
+let wall_clock () =
+  let t0 = Unix.gettimeofday () in
+  fun () -> (Unix.gettimeofday () -. t0) *. 1000.0
+
+type t = {
+  sched : Sched.t;
+  network : Wire.t Network.t;
+  endpoint : Endpoint.t;
+  transport : Transport.t;
+  replica : Replica.t;
+  obs : Obs.t;
+  wall_ms : unit -> float;
+  stop : bool ref;
+}
+
+let replica t = t.replica
+let endpoint t = t.endpoint
+let obs t = t.obs
+let request_stop t = t.stop := true
+
+(* On this backend the virtual clock is slaved to the wall, so timer
+   constants are real durations: crypto that costs zero virtual ms in
+   the simulator burns real milliseconds here, and on an oversubscribed
+   machine the simulator's 400 ms view-change timeout fires during
+   honest progress and puts the fleet into view-change churn. The
+   socket default keeps every simulator parameter except that timeout,
+   widened to an election-timeout scale suited to wall-clock operation. *)
+let socket_params =
+  { Replica.default_params with Replica.vc_timeout_ms = 5_000.0 }
+
+let create ?(params = socket_params) ?obs ~manifest ~id () =
+  let m : Manifest.t = manifest in
+  let listen =
+    match Manifest.addr_of m id with
+    | Some a -> a
+    | None -> invalid_arg (Printf.sprintf "Serve.create: replica %d not in manifest" id)
+  in
+  let obs = match obs with Some o -> o | None -> Obs.create ~metrics:true () in
+  let wall_ms = wall_clock () in
+  let sched = Sched.create () in
+  Obs.set_clock obs (fun () -> Sched.now sched);
+  (* Latency 0: the socket is the latency model on this backend. *)
+  let network = Network.create ~sched ~latency:(Latency.constant 0.0) ~obs () in
+  Network.set_flow_classifier network Wire.flow_of;
+  let genesis =
+    Cluster.standalone_genesis ~seed:m.Manifest.seed ~n:(Manifest.n m)
+      ~n_members:m.Manifest.n_members ()
+  in
+  let sk = Cluster.standalone_replica_sk ~seed:m.Manifest.seed ~id in
+  let app = app_of_name m.Manifest.app in
+  (* Client addresses are learned from inbound request envelopes; the
+     replica's address book reads this table. *)
+  let client_table : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let client_address pk =
+    Hashtbl.find_opt client_table (Schnorr.public_key_to_bytes pk)
+  in
+  let replica =
+    Replica.create ~id ~sk ~genesis ~app ~params ~sched ~network
+      ~client_address
+      ~rng:(Rng.create ((m.Manifest.seed * 1_000) + id))
+      ~obs ()
+  in
+  Replica.start replica;
+  let endpoint = Endpoint.create ~obs ~listen () in
+  List.iter
+    (fun (r : Manifest.replica_entry) ->
+      if r.Manifest.id <> id then
+        Endpoint.add_peer endpoint ~id:r.Manifest.id r.Manifest.addr)
+    m.Manifest.replicas;
+  let transport = Transport.attach ~obs ~network ~endpoint () in
+  Transport.set_on_request transport (fun ~src req ->
+      Hashtbl.replace client_table
+        (Schnorr.public_key_to_bytes req.Iaccf_types.Request.client_pk)
+        src);
+  { sched; network; endpoint; transport; replica; obs; wall_ms; stop = ref false }
+
+(* One event-loop turn: catch the virtual clock up to the wall, then
+   block in select at most until the next timer is due (capped so a
+   freshly scheduled remote frame never waits long behind an idle
+   timeout). *)
+let step ?(max_wait_ms = 20.0) t =
+  Sched.advance_to t.sched (t.wall_ms ());
+  let timeout =
+    match Sched.next_due t.sched with
+    | Some due -> Float.min max_wait_ms (Float.max 0.0 (due -. t.wall_ms ()))
+    | None -> max_wait_ms
+  in
+  Endpoint.poll t.endpoint ~timeout_ms:timeout;
+  Sched.advance_to t.sched (t.wall_ms ())
+
+let run_until ?(timeout_ms = Float.infinity) t pred =
+  let deadline = t.wall_ms () +. timeout_ms in
+  let rec go () =
+    if pred () then true
+    else if !(t.stop) || t.wall_ms () > deadline then pred ()
+    else begin
+      step t;
+      go ()
+    end
+  in
+  go ()
+
+let shutdown ?metrics_file t =
+  Endpoint.drain t.endpoint ~timeout_ms:250.0;
+  Obs.set_gauge
+    (Obs.gauge t.obs "serve.last_committed")
+    (float_of_int (Replica.last_committed t.replica));
+  (match metrics_file with
+  | Some file -> Obs.write_metrics t.obs file
+  | None -> ());
+  Endpoint.close t.endpoint
+
+(* Process main for [iaccf serve]: run until SIGTERM/SIGINT, then write
+   the metrics snapshot where the supervisor expects it. *)
+let main ?params ~manifest ~id () =
+  let t = create ?params ~manifest ~id () in
+  let handler = Sys.Signal_handle (fun _ -> request_stop t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  ignore (run_until t (fun () -> false));
+  let metrics_file =
+    Filename.concat manifest.Manifest.dir
+      (Printf.sprintf "replica-%d.metrics" id)
+  in
+  shutdown ~metrics_file t;
+  Replica.last_committed t.replica

@@ -1,0 +1,56 @@
+(** One replica as an OS process (the [iaccf serve] runtime).
+
+    Runs the unmodified simulator replica on a private scheduler whose
+    virtual clock is slaved to the wall clock, with the socket endpoint
+    as its gateway to the rest of the fleet. Identity (genesis, keys) is
+    derived from the manifest seed, so processes need no coordination
+    beyond the shared manifest file. *)
+
+type t
+
+val socket_params : Iaccf_core.Replica.params
+(** Simulator defaults with the view-change timeout widened to 5 s:
+    with the virtual clock slaved to the wall, timer constants are real
+    durations, and the simulator's 400 ms election timeout fires during
+    honest (CPU-bound) progress on a loaded machine. *)
+
+val create :
+  ?params:Iaccf_core.Replica.params ->
+  ?obs:Iaccf_obs.Obs.t ->
+  manifest:Manifest.t ->
+  id:int ->
+  unit ->
+  t
+(** Build and start the replica, bind the listen socket, dial peers.
+    Default [obs] is a metrics-enabled registry (its snapshot is the
+    process's exit artifact). @raise Invalid_argument if [id] has no
+    manifest entry. *)
+
+val step : ?max_wait_ms:float -> t -> unit
+(** One event-loop turn: advance the virtual clock to the wall clock,
+    then poll the endpoint until the next timer is due (capped at
+    [max_wait_ms], default 20). *)
+
+val run_until : ?timeout_ms:float -> t -> (unit -> bool) -> bool
+(** Step until the predicate holds, {!request_stop} was called, or the
+    timeout elapses; returns the predicate's final value. *)
+
+val request_stop : t -> unit
+(** Make {!run_until} return after the current step (signal-safe). *)
+
+val shutdown : ?metrics_file:string -> t -> unit
+(** Flush queued output (bounded), record [serve.last_committed], write
+    the metrics snapshot, close sockets. *)
+
+val main :
+  ?params:Iaccf_core.Replica.params ->
+  manifest:Manifest.t ->
+  id:int ->
+  unit ->
+  int
+(** The [iaccf serve] process body: run until SIGTERM/SIGINT, write
+    [<dir>/replica-<id>.metrics], return the final committed seqno. *)
+
+val replica : t -> Iaccf_core.Replica.t
+val endpoint : t -> Endpoint.t
+val obs : t -> Iaccf_obs.Obs.t

@@ -284,6 +284,60 @@ let render_trend rows =
     rows;
   Buffer.contents buf
 
+(* The trajectory view groups the flat row list into one section per
+   bench with series as columns, so a metric's movement across
+   configurations (or across PRs, when several BENCH_*.json files are
+   aggregated) reads left to right on a single line. *)
+let uniq xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+let render_trajectory rows =
+  let buf = Buffer.create 1024 in
+  let benches = uniq (List.map (fun r -> r.r_bench) rows) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d bench(es), %d series, %d metric rows\n"
+       (List.length benches)
+       (List.length (uniq (List.map (fun r -> (r.r_bench, r.r_series)) rows)))
+       (List.length rows));
+  List.iter
+    (fun bench ->
+      let brows = List.filter (fun r -> r.r_bench = bench) rows in
+      let series = uniq (List.map (fun r -> r.r_series) brows) in
+      let metrics = uniq (List.map (fun r -> (r.r_metric, r.r_gate)) brows) in
+      let w =
+        List.fold_left (fun acc s -> max acc (String.length s)) 12 series
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "\n== %s (%d series, %d metrics)\n" bench
+           (List.length series) (List.length metrics));
+      Buffer.add_string buf (Printf.sprintf "%-26s %6s" "metric" "gate");
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "  %*s" w s))
+        series;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun (metric, gate) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-26s %6s" metric (gate_to_string gate));
+          List.iter
+            (fun s ->
+              let cell =
+                match
+                  List.find_opt
+                    (fun r -> r.r_series = s && r.r_metric = metric)
+                    brows
+                with
+                | Some r -> Printf.sprintf "%.6g" r.r_value
+                | None -> "-"
+              in
+              Buffer.add_string buf (Printf.sprintf "  %*s" w cell))
+            series;
+          Buffer.add_char buf '\n')
+        metrics)
+    benches;
+  Buffer.contents buf
+
 let render_comparison comparisons =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

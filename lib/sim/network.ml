@@ -20,6 +20,13 @@ type 'msg t = {
      neither; a delivery to an unregistered handler finishes the flow
      with a cancelled marker — starts and finishes always pair up. *)
   mutable flow_of : ('msg -> (string * string) option) option;
+  (* Socket-backend escape hatch: when set, a send whose destination has
+     no local handler is handed to the gateway instead of entering the
+     latency/drop model — the gateway serializes it onto a socket and a
+     remote process's network [inject]s it there. Unset (every pure-sim
+     run), the send path is byte-identical to before the hook existed:
+     the branch tests only [None]. *)
+  mutable gateway : (src:int -> dst:int -> 'msg -> unit) option;
   mutable chunk_bytes : int; (* per-message payload budget for state sync *)
   mutable cuts : (int * int) list; (* unordered pairs with severed links *)
   mutable oneway_cuts : (int * int) list; (* directed (src, dst) cuts *)
@@ -32,6 +39,8 @@ type 'msg t = {
   c_dropped_prob : Obs.counter; (* dropped by the loss probability *)
   c_dropped_unregistered : Obs.counter; (* arrived for an absent handler *)
   c_dropped_intercepted : Obs.counter; (* withheld by an outbound intercept *)
+  c_gateway_out : Obs.counter; (* handed to the socket gateway *)
+  c_gateway_in : Obs.counter; (* injected from the socket gateway *)
 }
 
 let create ~sched ~latency ?drop_rng ?obs () =
@@ -45,6 +54,7 @@ let create ~sched ~latency ?drop_rng ?obs () =
     intercepts = Hashtbl.create 4;
     drop_probability = 0.0;
     flow_of = None;
+    gateway = None;
     chunk_bytes = 64 * 1024;
     cuts = [];
     oneway_cuts = [];
@@ -55,6 +65,8 @@ let create ~sched ~latency ?drop_rng ?obs () =
     c_dropped_prob = Obs.counter obs "net.dropped.prob";
     c_dropped_unregistered = Obs.counter obs "net.dropped.unregistered";
     c_dropped_intercepted = Obs.counter obs "net.dropped.intercepted";
+    c_gateway_out = Obs.counter obs "net.gateway.out";
+    c_gateway_in = Obs.counter obs "net.gateway.in";
   }
 
 let set_flow_classifier t f = t.flow_of <- Some f
@@ -96,7 +108,14 @@ let raw_send t ~src ~dst msg =
     Obs.instant t.obs ~node:src ~cat:"net" ~name:"net.send"
       ~args:[ ("dst", string_of_int dst) ]
       ();
-  match drop_reason t ~src ~dst with
+  match t.gateway with
+  | Some gw when not (Hashtbl.mem t.handlers dst) ->
+      (* Remote destination: hand off before the latency/drop draw — the
+         wall-clock backend measures real latency, it doesn't model one. *)
+      Obs.incr t.c_gateway_out;
+      gw ~src ~dst msg
+  | _ -> (
+      match drop_reason t ~src ~dst with
   | Some `Cut ->
       Obs.incr t.c_dropped_cut;
       trace_drop t ~src ~dst "cut"
@@ -141,7 +160,7 @@ let raw_send t ~src ~dst msg =
                        ~args:[ ("src", string_of_int src) ]
                        ()
                  | None -> ());
-                 handler ~src msg))
+                 handler ~src msg)))
 
 let send t ~src ~dst msg =
   match Hashtbl.find_opt t.intercepts src with
@@ -157,6 +176,26 @@ let send t ~src ~dst msg =
       | outs -> List.iter (fun (dst', msg') -> raw_send t ~src ~dst:dst' msg') outs)
 
 let broadcast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let set_gateway t gw = t.gateway <- Some gw
+let clear_gateway t = t.gateway <- None
+let registered t id = Hashtbl.mem t.handlers id
+
+(* Deliver a frame that arrived from another process. Scheduled rather
+   than called directly so handler effects interleave with timers exactly
+   like a local delivery would (the handler runs inside the event loop,
+   never re-entrantly under a socket read). *)
+let inject t ~src ~dst msg =
+  Obs.incr t.c_gateway_in;
+  ignore
+    (Sched.schedule t.sched ~delay:0.0 (fun () ->
+         match Hashtbl.find_opt t.handlers dst with
+         | None ->
+             Obs.incr t.c_dropped_unregistered;
+             trace_drop t ~src ~dst "unregistered"
+         | Some handler ->
+             Obs.incr t.c_delivered;
+             handler ~src msg))
 
 let chunk_bytes t = t.chunk_bytes
 

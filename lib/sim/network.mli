@@ -43,6 +43,31 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
 val broadcast : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
 
+(** {1 Socket gateway (multi-process backend)}
+
+    The socket transport plugs in here: a send whose destination is not
+    locally registered is handed to the gateway (counted as
+    [net.gateway.out]) instead of entering the latency/drop model, and
+    frames read off a socket come back in through {!inject} (counted as
+    [net.gateway.in]). With no gateway set — every pure-simulation run —
+    the send path is exactly what it was before this hook existed, so
+    deterministic runs stay byte-identical. *)
+
+val set_gateway : 'msg t -> (src:int -> dst:int -> 'msg -> unit) -> unit
+(** Divert sends to unregistered destinations into the given callback
+    (the socket backend's transmit path) instead of dropping them. *)
+
+val clear_gateway : 'msg t -> unit
+
+val registered : 'msg t -> int -> bool
+(** Whether a node id has a locally registered handler. *)
+
+val inject : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Deliver a message that arrived from another process: scheduled at the
+    current instant so the handler runs inside the event loop like any
+    local delivery ([net.dropped.unregistered] if the destination is
+    absent, like a late local delivery would be). *)
+
 (** {1 Outbound interception (Byzantine wrappers)}
 
     A scripted fault harness can rewrite a node's outbound message stream:

@@ -54,3 +54,12 @@ let run ?until ?max_events t =
   done
 
 let pending t = Q.cardinal t.queue
+
+let next_due t =
+  match Q.min_binding_opt t.queue with
+  | Some ((time, _), _) -> Some time
+  | None -> None
+
+let advance_to t target =
+  run ~until:target t;
+  t.now <- Float.max t.now target

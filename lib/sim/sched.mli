@@ -28,3 +28,14 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     [max_events] have fired. *)
 
 val pending : t -> int
+
+val next_due : t -> float option
+(** Timestamp of the earliest queued event, if any. Lets a wall-clock
+    driver compute how long it may block in [select] before the virtual
+    clock owes the scheduler another event. *)
+
+val advance_to : t -> float -> unit
+(** Fire every event due at or before [target], then set the clock to at
+    least [target] even if no event fired. This is the socket backend's
+    clock discipline: virtual time tracks wall time instead of jumping
+    from event to event. A no-op going backwards. *)

@@ -232,6 +232,49 @@ let decode_new_view r : new_view =
   let nv_signature = Codec.R.bytes r in
   { nv_view; nv_m_root; nv_vc_bitmap; nv_vc_hash; nv_primary; nv_signature }
 
+let encode_commit w (c : commit) =
+  Codec.W.u64 w c.c_view;
+  Codec.W.u64 w c.c_seqno;
+  Codec.W.u64 w c.c_replica;
+  Codec.W.bytes w c.c_nonce
+
+let decode_commit r : commit =
+  let c_view = Codec.R.u64 r in
+  let c_seqno = Codec.R.u64 r in
+  let c_replica = Codec.R.u64 r in
+  let c_nonce = Codec.R.bytes r in
+  { c_view; c_seqno; c_replica; c_nonce }
+
+let encode_reply w (rp : reply) =
+  Codec.W.u64 w rp.r_view;
+  Codec.W.u64 w rp.r_seqno;
+  Codec.W.u64 w rp.r_replica;
+  Codec.W.bytes w rp.r_signature;
+  Codec.W.bytes w rp.r_nonce
+
+let decode_reply r : reply =
+  let r_view = Codec.R.u64 r in
+  let r_seqno = Codec.R.u64 r in
+  let r_replica = Codec.R.u64 r in
+  let r_signature = Codec.R.bytes r in
+  let r_nonce = Codec.R.bytes r in
+  { r_view; r_seqno; r_replica; r_signature; r_nonce }
+
+let encode_replyx w (x : replyx) =
+  encode_pre_prepare w x.x_pp;
+  Batch.encode_tx_entry w x.x_tx;
+  Codec.W.u64 w x.x_leaf_index;
+  Codec.W.u64 w x.x_batch_size;
+  Codec.W.list w (fun d -> Codec.W.raw w (D.to_raw d)) x.x_path
+
+let decode_replyx r : replyx =
+  let x_pp = decode_pre_prepare r in
+  let x_tx = Batch.decode_tx_entry r in
+  let x_leaf_index = Codec.R.u64 r in
+  let x_batch_size = Codec.R.u64 r in
+  let x_path = Codec.R.list r (fun r -> D.of_raw (Codec.R.raw r 32)) in
+  { x_pp; x_tx; x_leaf_index; x_batch_size; x_path }
+
 let serialize_pre_prepare pp = Codec.encode (fun w -> encode_pre_prepare w pp)
 
 let pre_prepare_equal a b =

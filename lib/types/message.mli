@@ -107,6 +107,12 @@ val encode_view_change : Iaccf_util.Codec.W.t -> view_change -> unit
 val decode_view_change : Iaccf_util.Codec.R.t -> view_change
 val encode_new_view : Iaccf_util.Codec.W.t -> new_view -> unit
 val decode_new_view : Iaccf_util.Codec.R.t -> new_view
+val encode_commit : Iaccf_util.Codec.W.t -> commit -> unit
+val decode_commit : Iaccf_util.Codec.R.t -> commit
+val encode_reply : Iaccf_util.Codec.W.t -> reply -> unit
+val decode_reply : Iaccf_util.Codec.R.t -> reply
+val encode_replyx : Iaccf_util.Codec.W.t -> replyx -> unit
+val decode_replyx : Iaccf_util.Codec.R.t -> replyx
 val serialize_pre_prepare : pre_prepare -> string
 val pre_prepare_equal : pre_prepare -> pre_prepare -> bool
 val pp_pre_prepare : Format.formatter -> pre_prepare -> unit

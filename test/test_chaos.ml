@@ -27,11 +27,20 @@ let run ~label ~scenarios ~seeds =
   end
 
 (* The smoke matrix must also be *deterministic*: the same cell run twice
-   must produce byte-identical metrics snapshots (the failure-reproducer
-   contract depends on it). The pooled-verify cell is checked too: domain
-   scheduling varies between runs, so this is the assertion that the
-   verify pool's submission-order callbacks keep simulation state — and
-   every deterministic metric — byte-identical under a fixed seed. *)
+   must produce the same oracle verdict and byte-identical metrics
+   snapshots (the failure-reproducer contract depends on it). The
+   pooled-verify cell is checked too: domain scheduling varies between
+   runs, so this is the assertion that the verify pool's
+   submission-order callbacks keep simulation state — and every
+   deterministic metric — byte-identical under a fixed seed.
+
+   This cell is also the regression guard for the socket-transport seam
+   (lib/net): the simulator network now carries a gateway hook for
+   out-of-process delivery, and its branch must be dead in pure-sim runs
+   (it only triggers when a gateway is installed AND the destination is
+   unregistered, and it sits before any RNG draw). Any accidental
+   behavior change from that refactor shows up here as a verdict or
+   metrics diff against the pre-refactor bytes. *)
 let determinism_check () =
   let cells =
     List.hd Scenarios.smoke
@@ -40,6 +49,13 @@ let determinism_check () =
   List.iter
     (fun sc ->
       let a = Runner.run_one sc ~seed:1 and b = Runner.run_one sc ~seed:1 in
+      if
+        a.Runner.r_verdict.Oracle.vd_result <> b.Runner.r_verdict.Oracle.vd_result
+      then begin
+        Printf.eprintf "chaos: same seed produced different verdicts (%s)\n"
+          sc.Scenario.sc_name;
+        exit 1
+      end;
       if a.Runner.r_metrics <> b.Runner.r_metrics then begin
         Printf.eprintf
           "chaos: same seed produced different metrics snapshots (%s)\n"

@@ -222,6 +222,68 @@ let test_straggler_catches_up () =
   in
   check Alcotest.bool "straggler caught up" true ok
 
+(* Regression: a view change that rolls back a speculatively-executed
+   checkpoint boundary must discard the speculative checkpoint and restore
+   latest_cp_seqno. Before the fix, replicas that executed the boundary
+   kept pointing at the rolled-back snapshot while replicas that never saw
+   it stayed at the previous one; every new primary's checkpoint batch was
+   then rejected by the other camp (validate_kind pins cp_seqno on both
+   sides), no quorum ever formed, and the fleet livelocked at the
+   boundary. Observed on the socket backend, where partitions-by-timing
+   make asymmetric speculative execution routine. *)
+let test_rollback_across_checkpoint_boundary () =
+  let params =
+    { Replica.default_params with checkpoint_interval = 4; max_batch = 1 }
+  in
+  let cluster = Cluster.make ~n:4 ~params () in
+  let client = Cluster.add_client cluster () in
+  (* Commit seqnos 1-2 only: seqno 3 needs a fresh request, so the
+     checkpoint batch at 4 cannot auto-propose before the partition. *)
+  ignore (submit_and_wait cluster client 2);
+  Cluster.run cluster ~ms:100.0 (* drain in-flight commits *);
+  let r0 = Cluster.replica cluster 0 in
+  check Alcotest.int "committed below boundary" 2 (Replica.last_committed r0);
+  (* Cut off replicas 2 and 3: the tx at seqno 3 and the checkpoint batch
+     at the boundary (4) execute speculatively on 0 and 1 but cannot
+     commit. *)
+  let net = Cluster.network cluster in
+  Iaccf_sim.Network.partition net [ 2; 3 ] [ 0; 1; 100 ];
+  let recovered = ref 0 in
+  for _ = 1 to 2 do
+    Client.submit client ~proc:"counter/add" ~args:"1"
+      ~on_complete:(fun _ -> incr recovered)
+      ()
+  done;
+  Cluster.run cluster ~ms:200.0;
+  check Alcotest.bool "boundary checkpoint taken speculatively" true
+    ((Replica.stats r0).Replica.checkpoints_taken >= 1);
+  check Alcotest.int "nothing committed during partition" 2
+    (Replica.last_committed r0);
+  (* Heal: the majority joins the minority's pending view change, the new
+     primary rolls the speculative suffix back and re-proposes. Progress
+     across the boundary is the property under test. *)
+  Iaccf_sim.Network.heal net;
+  let ok =
+    Cluster.run_until cluster ~timeout_ms:120_000.0 (fun () -> !recovered = 2)
+  in
+  check Alcotest.bool "progress across boundary after rollback" true ok;
+  check Alcotest.bool "view changed" true
+    (List.exists (fun r -> Replica.view r >= 1) (Cluster.replicas cluster));
+  (* One view change must suffice. Without the latest_cp_seqno restore the
+     fleet splits into camps that reject each other's checkpoint batch at
+     seqno 4 and only reconverges after every camp has served (and failed)
+     a turn as primary — views 2-3 here, and unboundedly long under the
+     socket backend's exponential view-change backoff. *)
+  check Alcotest.bool "recovered in a single view change" true
+    (List.for_all (fun r -> Replica.view r <= 1) (Cluster.replicas cluster));
+  (* The next boundary (8) must seal the re-taken checkpoint cleanly. *)
+  ignore (submit_and_wait cluster client 4);
+  check
+    Alcotest.(option string)
+    "counter consistent after recovery" (Some "15")
+    (Iaccf_kv.Hamt.find "counter"
+       (Iaccf_kv.Store.map (Replica.store (Cluster.replica cluster 1))))
+
 let test_nonreceipt_variant_runs () =
   let params =
     { Replica.default_params with variant = Variant.no_receipt }
@@ -272,6 +334,8 @@ let () =
           Alcotest.test_case "state survives view change" `Quick
             test_view_change_preserves_committed_state;
           Alcotest.test_case "straggler catch-up" `Quick test_straggler_catches_up;
+          Alcotest.test_case "rollback across checkpoint boundary" `Quick
+            test_rollback_across_checkpoint_boundary;
         ] );
       ( "variants",
         [ Alcotest.test_case "no-receipt variant" `Quick test_nonreceipt_variant_runs ] );
